@@ -1,0 +1,28 @@
+"""Ablation benchmark: global kd-tree vs independent local trees.
+
+Section III-A of the paper motivates the global-tree design: independent
+per-rank trees make construction trivially parallel but force every query to
+visit every rank and move ``P*k`` candidates across the network, most of
+which are discarded.  The ablation quantifies both effects.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_strategy_ablation
+
+SCALE = 0.4
+N_RANKS = 8
+
+
+def test_ablation_distribution_strategy(benchmark, record_result):
+    result = run_once(benchmark, run_strategy_ablation, n_ranks=N_RANKS, scale=SCALE)
+    text = (
+        f"{result.text}\n"
+        f"query traffic ratio (local-only / panda): {result.query_traffic_ratio:.1f}x"
+    )
+    record_result("ablation_strategy", text)
+    # The global tree pays more at construction time (redistribution)...
+    assert result.panda_construction > 0.0
+    # ...but wins querying and moves far less candidate traffic.
+    assert result.panda_query < result.local_only_query
+    assert result.query_traffic_ratio > 1.0

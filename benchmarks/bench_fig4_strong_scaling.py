@@ -1,0 +1,36 @@
+"""Figure 4 reproduction benchmark: multinode strong scaling.
+
+Regenerates the construction and querying speedup series of Fig. 4(a-c) for
+the cosmology, plasma-physics and particle-physics datasets.  The paper's
+qualitative findings asserted here: both phases speed up with more nodes,
+and querying scales at least as well as construction.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig4 import PAPER_SPEEDUPS, run_fig4
+
+SCALE = 0.25
+SWEEPS = {
+    "cosmo_large": (2, 4, 8, 16),
+    "plasma_large": (4, 8, 16),
+    "dayabay_large": (2, 4, 8, 16),
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+def test_fig4_strong_scaling(benchmark, record_result, dataset):
+    result = run_once(benchmark, run_fig4, dataset, rank_counts=SWEEPS[dataset], scale=SCALE)
+    paper_c, paper_q = PAPER_SPEEDUPS[dataset]
+    text = (
+        f"{result.text}\n"
+        f"paper speedup at largest count: construction {paper_c}x, querying {paper_q}x\n"
+        f"reproduced:                      construction {result.construction_speedup[-1]:.2f}x, "
+        f"querying {result.query_speedup[-1]:.2f}x"
+    )
+    record_result(f"fig4_{dataset}", text)
+    assert result.construction_speedup[-1] > 1.0
+    assert result.query_speedup[-1] > 1.0
+    # Querying scales at least as well as construction (paper's observation).
+    assert result.query_speedup[-1] >= result.construction_speedup[-1] * 0.8

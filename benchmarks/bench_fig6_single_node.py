@@ -1,0 +1,38 @@
+"""Figure 6 reproduction benchmark: single-node thread scaling.
+
+Regenerates the construction and querying speedup curves on the three thin
+datasets for 1-24 threads plus the 48-thread SMT point.  Asserted shape
+(paper Section V-B1): construction scales strongly on 24 cores, querying
+scales less well because it is memory-latency bound, and SMT gives querying
+an extra boost.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import run_fig6
+
+SCALE = 0.5
+THREADS = (1, 2, 4, 8, 16, 24, 48)
+
+
+def test_fig6_single_node_scaling(benchmark, record_result):
+    result = run_once(benchmark, run_fig6, thread_counts=THREADS, scale=SCALE)
+    record_result("fig6_single_node", result.text)
+    idx24 = THREADS.index(24)
+    idx48 = THREADS.index(48)
+    for name in result.per_dataset:
+        construction = result.construction_speedup[name]
+        query = result.query_speedup[name]
+        # Construction scales strongly on 24 cores (paper: 17-20x).
+        assert construction[idx24] > 8.0, name
+        # Querying also scales on 24 cores (paper: 8.8-12.2x).
+        assert 4.0 < query[idx24] <= 24.0, name
+        # SMT improves querying further (paper: 1.2-1.7x extra).
+        assert query[idx48] > query[idx24], name
+    # The 10-D dayabay data benefits least from SMT (paper: 1.2x vs 1.5-1.7x
+    # for the 3-D datasets).
+    smt_gain = {
+        name: result.query_speedup[name][idx48] / result.query_speedup[name][idx24]
+        for name in result.per_dataset
+    }
+    assert smt_gain["dayabay_thin"] <= min(smt_gain["cosmo_thin"], smt_gain["plasma_thin"])

@@ -1,0 +1,37 @@
+"""Figure 7 reproduction benchmark: comparison with FLANN and ANN.
+
+Regenerates the training (construction) and classification (querying) time
+comparison of Fig. 7 on the three thin datasets, together with the
+structural quantities the paper uses to explain the gap (tree depth, node
+traversals per query).  Asserted shape: PANDA's queries are the fastest of
+the three, its 24-thread construction beats the (serial-only) libraries by
+a large factor, and ANN's midpoint rule produces the deepest trees on the
+skewed dayabay data.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import run_fig7
+
+SCALE = 0.5
+
+
+def test_fig7_flann_ann_comparison(benchmark, record_result):
+    result = run_once(benchmark, run_fig7, scale=SCALE)
+    record_result("fig7_comparison", result.text)
+    for dataset, rows in result.per_dataset.items():
+        by_library = {r.library: r for r in rows}
+        # Querying: PANDA fastest on one thread (paper: up to 48x vs FLANN,
+        # 3x vs ANN — we assert the ordering, not the magnitude).
+        assert result.speedup_vs(dataset, "flann", "query_1t") > 1.0, dataset
+        assert result.speedup_vs(dataset, "ann", "query_1t") > 1.0, dataset
+        # 24-thread querying: still ahead of FLANN (ANN has no parallel mode).
+        assert result.speedup_vs(dataset, "flann", "query_24t") > 1.0, dataset
+        assert by_library["ann"].query_24t is None
+        # 24-thread construction: order-of-magnitude class advantage because
+        # neither library parallelises construction (paper: 39x / 59x).
+        assert result.speedup_vs(dataset, "flann", "construction_24t") > 3.0, dataset
+    # ANN's tree is much deeper than PANDA's on the clustered 10-D data
+    # (paper: depth 109 vs 32).
+    day = {r.library: r for r in result.per_dataset["dayabay_thin"]}
+    assert day["ann"].tree_depth > day["panda"].tree_depth

@@ -1,0 +1,40 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation at
+reduced scale, prints the reproduced rows/series, and stores the text under
+``benchmarks/results/`` so the artefacts survive the run.  Wall-clock of the
+reproduction itself is measured by pytest-benchmark (single round: the
+experiments are deterministic and individually expensive).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the reproduced tables/series as text files."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Callable saving a named text artefact and echoing it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Cosmology workload: per-particle density estimation with distributed KNN.
+
+The paper motivates PANDA with halo finding in N-body simulations: dark
+matter halos are dense clumps, and a particle's distance to its k-th nearest
+neighbour is a standard local density proxy used to classify particles into
+halo vs. field populations.  This example:
+
+1. generates a halo + filament + void particle distribution,
+2. builds the distributed index,
+3. estimates every particle's local density from its k-NN distances,
+4. classifies particles as "halo members" by thresholding the density, and
+5. reports how well that matches the generator's ground-truth halo labels.
+
+Run with::
+
+    python examples/cosmology_halo_neighbors.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PandaConfig, PandaKNN
+from repro.datasets.cosmology import cosmology_particles
+
+
+def knn_density(distances: np.ndarray, dims: int = 3) -> np.ndarray:
+    """Local density estimate: k / volume of the k-th neighbour ball."""
+    k = distances.shape[1]
+    radius = np.maximum(distances[:, -1], 1e-12)
+    volume = (4.0 / 3.0) * np.pi * radius**dims
+    return k / volume
+
+
+def main() -> None:
+    n_particles = 40_000
+    k = 8
+    points, halo_ids = cosmology_particles(n_particles, seed=11, return_halo_ids=True)
+    in_halo_truth = halo_ids >= 0
+
+    index = PandaKNN(n_ranks=8, config=PandaConfig(k=k)).fit(points)
+    print(f"indexed {n_particles} particles on {index.n_ranks} ranks "
+          f"(load imbalance {index.load_imbalance():.3f})")
+
+    # Query every particle for its k nearest neighbours, in waves, as a
+    # simulation analysis step would.
+    report = index.query(points, k=k)
+    density = knn_density(report.distances)
+
+    # Classify: halo members are the high-density tail.  Use the known halo
+    # mass fraction to set the threshold (a halo finder would iterate here).
+    threshold = np.quantile(density, 1.0 - in_halo_truth.mean())
+    predicted_halo = density >= threshold
+
+    agreement = float(np.mean(predicted_halo == in_halo_truth))
+    halo_recall = float(np.mean(predicted_halo[in_halo_truth]))
+    print(f"\nk-NN density classification vs generator ground truth")
+    print(f"  particles in halos (truth):    {in_halo_truth.mean():.1%}")
+    print(f"  agreement with ground truth:   {agreement:.1%}")
+    print(f"  halo-member recall:            {halo_recall:.1%}")
+    print(f"  median density contrast halo/field: "
+          f"{np.median(density[in_halo_truth]) / np.median(density[~in_halo_truth]):.1f}x")
+
+    print(f"\nmodeled construction time: {index.construction_time().total_s:.3e} s")
+    print(f"modeled query time ({n_particles} queries): {index.query_time().total_s:.3e} s")
+    print(f"queries touching a remote rank: {report.fraction_sent_remote:.1%}")
+
+
+if __name__ == "__main__":
+    main()

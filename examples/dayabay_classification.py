@@ -1,0 +1,66 @@
+"""Particle-physics workload: classify Daya Bay detector records with KNN.
+
+Reproduces the paper's science result (Section V-C): raw detector snapshots,
+embedded in 10 dimensions by an autoencoder, are classified into 3 physics
+event classes with a majority vote over the k nearest neighbours; the paper
+reports 87 % accuracy.  The example uses the synthetic Daya Bay analogue,
+runs both the paper's majority vote and the distance-weighted refinement it
+anticipates, and prints a per-class confusion summary.
+
+Run with::
+
+    python examples/dayabay_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KNNClassifier
+from repro.core.classification import train_test_split
+from repro.datasets.dayabay import dayabay_records
+from repro.perf.report import format_table
+
+
+def confusion_matrix(true_labels: np.ndarray, predicted: np.ndarray, n_classes: int) -> np.ndarray:
+    """Rows = true class, columns = predicted class."""
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (true_labels, predicted), 1)
+    return matrix
+
+
+def main() -> None:
+    n_records = 20_000
+    k = 5
+    points, labels = dayabay_records(n_records, seed=42)
+    train_x, train_y, test_x, test_y = train_test_split(
+        points, labels, test_fraction=0.2, rng=np.random.default_rng(42)
+    )
+    print(f"{train_x.shape[0]} training records, {test_x.shape[0]} test records, "
+          f"{points.shape[1]}-D embedding, 3 classes")
+
+    majority = KNNClassifier(k=k, n_ranks=4, weighted=False).fit(train_x, train_y)
+    predictions = majority.predict(test_x)
+    accuracy = float(np.mean(predictions == test_y))
+    print(f"\nmajority vote (paper's method):  accuracy = {accuracy:.3f}  (paper: 0.87)")
+
+    weighted = KNNClassifier(k=k, n_ranks=4, weighted=True).fit(train_x, train_y)
+    accuracy_weighted = weighted.score(test_x, test_y)
+    print(f"distance-weighted vote:          accuracy = {accuracy_weighted:.3f}")
+
+    matrix = confusion_matrix(test_y, predictions, n_classes=3)
+    rows = [[f"true class {c}", *matrix[c].tolist()] for c in range(3)]
+    print()
+    print(format_table(["", "pred 0", "pred 1", "pred 2"], rows,
+                       title="Confusion matrix (majority vote)"))
+
+    report = majority.index.query(test_x, k=k)
+    print(f"\ndistributed query statistics on the test set:")
+    print(f"  queries forwarded to remote ranks: {report.fraction_sent_remote:.1%}")
+    print(f"  mean remote ranks per query:       {report.mean_remote_fanout:.2f}")
+    print("  (the co-located records make this dataset's fan-out the highest of the")
+    print("   three applications, as the paper observes in Section V-A3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Scaling study: strong scaling, weak scaling and baseline comparison.
+
+A condensed version of the paper's evaluation that runs in about a minute:
+
+* strong scaling of construction and querying on a fixed plasma-physics
+  dataset (Fig. 4 style),
+* weak scaling on the cosmology family (Fig. 5a style),
+* a comparison of PANDA against the exhaustive distributed baseline and the
+  independent-local-trees strategy on the same workload.
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MachineSpec
+from repro.baselines.brute_force import BruteForceDistributedKNN
+from repro.baselines.local_only import LocalTreesKNN
+from repro.cluster.cost_model import CostModel
+from repro.core.panda import PandaKNN
+from repro.datasets.cosmology import cosmology_particles
+from repro.datasets.plasma import plasma_particles
+from repro.perf.report import format_scaling
+from repro.perf.scaling import run_strong_scaling, run_weak_scaling
+
+#: The reproduction runs tiny datasets, so the fixed per-message latency is
+#: scaled down to keep the compute/communication balance of the paper's
+#: regime (see EXPERIMENTS.md, "latency scaling").
+MACHINE = MachineSpec.edison().with_scaled_latency(1e-3)
+
+
+def strong_scaling() -> None:
+    points = plasma_particles(40_000, seed=3)
+    rng = np.random.default_rng(1)
+    queries = points[rng.choice(points.shape[0], 2_000, replace=False)]
+    result = run_strong_scaling(points, queries, rank_counts=(2, 4, 8, 16), k=5, machine=MACHINE)
+    print(format_scaling(
+        result.resources(),
+        {
+            "construction_speedup": [round(float(s), 2) for s in result.construction_speedup()],
+            "query_speedup": [round(float(s), 2) for s in result.query_speedup()],
+        },
+        title="Strong scaling on plasma-physics data (Fig. 4 style)",
+    ))
+    print()
+
+
+def weak_scaling() -> None:
+    result = run_weak_scaling(
+        generator=lambda n, s: cosmology_particles(n, seed=s),
+        points_per_rank=6_000,
+        rank_counts=(2, 4, 8, 16),
+        query_fraction=0.1,
+        machine=MACHINE,
+    )
+    construction = np.asarray(result.construction_times())
+    query = np.asarray(result.query_times())
+    print(format_scaling(
+        result.resources(),
+        {
+            "construction_time_norm": [round(float(x), 2) for x in construction / construction[0]],
+            "query_time_norm": [round(float(x), 2) for x in query / query[0]],
+        },
+        title="Weak scaling on cosmology data (Fig. 5a style)",
+    ))
+    print()
+
+
+def baseline_comparison() -> None:
+    points = cosmology_particles(30_000, seed=5)
+    rng = np.random.default_rng(2)
+    queries = points[rng.choice(points.shape[0], 1_500, replace=False)]
+    n_ranks, k = 8, 5
+
+    panda = PandaKNN(n_ranks=n_ranks, machine=MACHINE).fit(points)
+    panda.query(queries, k=k)
+    panda_query = panda.query_time().total_s
+
+    brute = BruteForceDistributedKNN(n_ranks=n_ranks, machine=MACHINE).fit(points)
+    brute.query(queries, k=k)
+    model = CostModel(machine=MACHINE, threads_per_rank=brute.cluster.threads_per_rank)
+    brute_query = model.evaluate(
+        brute.cluster.metrics,
+        phases=["bf_broadcast_queries", "bf_local_scan", "bf_topk_reduce"],
+    ).total_s
+
+    local = LocalTreesKNN(n_ranks=n_ranks, machine=MACHINE).fit(points)
+    local.query(queries, k=k)
+    local_query = model.evaluate(
+        local.cluster.metrics,
+        phases=["lo_broadcast_queries", "lo_search_all_ranks", "lo_topk_reduce"],
+    ).total_s
+
+    print("Query-time comparison on 30k cosmology points, 1.5k queries, 8 ranks (modeled seconds):")
+    print(f"  PANDA (global kd-tree):          {panda_query:.3e}")
+    print(f"  independent local kd-trees:      {local_query:.3e}  ({local_query / panda_query:.1f}x slower)")
+    print(f"  exhaustive distributed search:   {brute_query:.3e}  ({brute_query / panda_query:.1f}x slower)")
+
+
+def main() -> None:
+    strong_scaling()
+    weak_scaling()
+    baseline_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Baseline KNN implementations the paper compares against.
+
+* :mod:`~repro.baselines.brute_force` — exhaustive distributed search
+  (the approach of prior distributed KNN work [9], [10]): every rank scans
+  all of its points for every query and a global top-k reduction merges the
+  ``P * k`` candidates.
+* :mod:`~repro.baselines.local_only` — "strategy 1" from Section III-A:
+  independent local kd-trees without redistribution; every query must be
+  broadcast to all ranks.
+* :mod:`~repro.baselines.flann_like` — FLANN-style kd-tree (variance split
+  dimension, mean of the first 100 points as the split value).
+* :mod:`~repro.baselines.ann_like` — ANN-style kd-tree (max-extent split
+  dimension, midpoint split value).
+* :mod:`~repro.baselines.buffered` — buffered kd-tree query scheduling
+  (Gieseke et al.), the GPU baseline of Fig. 8(a).
+"""
+
+from repro.baselines.brute_force import BruteForceDistributedKNN
+from repro.baselines.local_only import LocalTreesKNN
+from repro.baselines.flann_like import FlannLikeKNN
+from repro.baselines.ann_like import AnnLikeKNN
+from repro.baselines.buffered import BufferedKDTreeKNN
+
+__all__ = [
+    "BruteForceDistributedKNN",
+    "LocalTreesKNN",
+    "FlannLikeKNN",
+    "AnnLikeKNN",
+    "BufferedKDTreeKNN",
+]

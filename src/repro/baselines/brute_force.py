@@ -1,0 +1,117 @@
+"""Exhaustive distributed KNN (the prior-work baseline, refs [9] and [10]).
+
+Data is block-distributed with no spatial organisation.  Every query is
+broadcast to every rank, each rank scans *all* of its local points, and a
+top-k reduction over the ``P * k`` candidates produces the result.  This is
+exactly the strategy the paper argues against: per-query work is linear in
+the local point count and the network carries ``P * k`` candidates per query
+of which ``(P - 1) * k`` are thrown away.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.simulator import Cluster
+from repro.kdtree.heap import merge_topk
+
+#: Phase names charged by this baseline.
+PHASE_BROADCAST = "bf_broadcast_queries"
+PHASE_SCAN = "bf_local_scan"
+PHASE_REDUCE = "bf_topk_reduce"
+
+
+class BruteForceDistributedKNN:
+    """Distributed exhaustive KNN over a simulated cluster."""
+
+    def __init__(
+        self,
+        n_ranks: int = 4,
+        machine: MachineSpec | None = None,
+        threads_per_rank: int | None = None,
+    ) -> None:
+        self.cluster = Cluster(n_ranks=n_ranks, machine=machine, threads_per_rank=threads_per_rank)
+        self._fitted = False
+
+    def fit(self, points: np.ndarray, ids: np.ndarray | None = None) -> "BruteForceDistributedKNN":
+        """Block-distribute the points (no indexing work at all)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            raise ValueError("cannot fit over an empty point set")
+        self.cluster.distribute_block(points, ids)
+        self._fitted = True
+        return self
+
+    def query(self, queries: np.ndarray, k: int = 5) -> Tuple[np.ndarray, np.ndarray]:
+        """Answer queries by scanning every rank's full partition."""
+        if not self._fitted:
+            raise RuntimeError("index is not fitted; call fit(points) first")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        n_ranks = self.cluster.n_ranks
+        comm = self.cluster.comm
+        metrics = self.cluster.metrics
+
+        # Every rank needs every query: a broadcast of the whole query set.
+        with metrics.phase(PHASE_BROADCAST):
+            comm.bcast(queries, root=0)
+
+        # Each rank scans all of its local points for all queries.
+        per_rank: list[Tuple[np.ndarray, np.ndarray]] = []
+        with metrics.phase(PHASE_SCAN):
+            for rank in self.cluster.ranks:
+                counters = metrics.for_phase(rank.rank)
+                pts = rank.points
+                ids = rank.ids
+                if pts.shape[0] == 0:
+                    per_rank.append(
+                        (np.full((n_queries, k), np.inf), np.full((n_queries, k), -1, dtype=np.int64))
+                    )
+                    continue
+                counters.distance_computations += n_queries * pts.shape[0]
+                counters.distance_dims = max(counters.distance_dims, pts.shape[1])
+                take = min(k, pts.shape[0])
+                d2 = (
+                    np.sum(queries * queries, axis=1)[:, None]
+                    - 2.0 * queries @ pts.T
+                    + np.sum(pts * pts, axis=1)[None, :]
+                )
+                np.maximum(d2, 0.0, out=d2)
+                idx = np.argpartition(d2, take - 1, axis=1)[:, :take]
+                part = np.take_along_axis(d2, idx, axis=1)
+                order = np.argsort(part, axis=1, kind="stable")
+                idx_sorted = np.take_along_axis(idx, order, axis=1)
+                dists = np.full((n_queries, k), np.inf)
+                out_ids = np.full((n_queries, k), -1, dtype=np.int64)
+                dists[:, :take] = np.sqrt(np.take_along_axis(d2, idx_sorted, axis=1))
+                out_ids[:, :take] = ids[idx_sorted]
+                counters.scalar_ops += n_queries * int(np.log2(max(pts.shape[0], 2))) * k
+                per_rank.append((dists, out_ids))
+
+        # Gather P * k candidates per query at the root and reduce to top-k.
+        with metrics.phase(PHASE_REDUCE):
+            comm.gather(per_rank, root=0)
+            out_d = np.full((n_queries, k), np.inf)
+            out_i = np.full((n_queries, k), -1, dtype=np.int64)
+            root_counters = metrics.for_phase(0)
+            for dists, ids_arr in per_rank:
+                for qi in range(n_queries):
+                    valid = ids_arr[qi] >= 0
+                    d_new, i_new = merge_topk(k, out_d[qi][out_i[qi] >= 0], out_i[qi][out_i[qi] >= 0],
+                                              dists[qi][valid], ids_arr[qi][valid])
+                    out_d[qi, :] = np.inf
+                    out_i[qi, :] = -1
+                    out_d[qi, : d_new.shape[0]] = d_new
+                    out_i[qi, : i_new.shape[0]] = i_new
+                root_counters.scalar_ops += n_queries * k
+        return out_d, out_i
+
+    def candidate_traffic_bytes(self, n_queries: int, k: int) -> int:
+        """Bytes of candidate traffic a run generates (``P * k`` per query)."""
+        per_candidate = 8 + 8  # distance + id
+        return self.cluster.n_ranks * n_queries * k * per_candidate

@@ -1,0 +1,116 @@
+"""Strategy 1 from Section III-A: independent local kd-trees, no redistribution.
+
+Each rank builds a kd-tree over whatever points it happened to read.  Tree
+construction is embarrassingly parallel (no global redistribution), but
+because the ranks' point sets overlap spatially every query must be sent to
+*all* ranks and ``P * k`` candidates must be reduced, exactly the trade-off
+the paper describes before choosing the global-tree strategy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.simulator import Cluster
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.heap import merge_topk
+from repro.kdtree.query import QueryStats, batch_knn
+from repro.kdtree.tree import KDTree, KDTreeConfig
+
+#: Phase names charged by this baseline.
+PHASE_LOCAL_BUILD = "lo_local_build"
+PHASE_BROADCAST = "lo_broadcast_queries"
+PHASE_SEARCH = "lo_search_all_ranks"
+PHASE_REDUCE = "lo_topk_reduce"
+
+
+class LocalTreesKNN:
+    """Independent per-rank kd-trees with query-everywhere semantics."""
+
+    def __init__(
+        self,
+        n_ranks: int = 4,
+        machine: MachineSpec | None = None,
+        threads_per_rank: int | None = None,
+        tree_config: KDTreeConfig | None = None,
+    ) -> None:
+        self.cluster = Cluster(n_ranks=n_ranks, machine=machine, threads_per_rank=threads_per_rank)
+        self.tree_config = tree_config or KDTreeConfig()
+        self.trees: List[KDTree] = []
+        self._fitted = False
+
+    def fit(self, points: np.ndarray, ids: np.ndarray | None = None) -> "LocalTreesKNN":
+        """Block-distribute points and build one kd-tree per rank."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            raise ValueError("cannot fit over an empty point set")
+        self.cluster.distribute_block(points, ids)
+        self.trees = []
+        with self.cluster.metrics.phase(PHASE_LOCAL_BUILD):
+            for rank in self.cluster.ranks:
+                tree = build_kdtree(
+                    rank.points,
+                    ids=rank.ids,
+                    config=self.tree_config,
+                    threads=self.cluster.threads_per_rank,
+                )
+                # Charge the local build work to this rank under one phase.
+                sink = self.cluster.metrics.for_phase(rank.rank)
+                for counters in tree.stats.phase_counters.values():
+                    sink.merge(counters)
+                rank.store["local_tree"] = tree
+                self.trees.append(tree)
+        self._fitted = True
+        return self
+
+    def query(self, queries: np.ndarray, k: int = 5) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Send every query to every rank and reduce the P*k candidates."""
+        if not self._fitted:
+            raise RuntimeError("index is not fitted; call fit(points) first")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        comm = self.cluster.comm
+        metrics = self.cluster.metrics
+        total_stats = QueryStats()
+
+        with metrics.phase(PHASE_BROADCAST):
+            comm.bcast(queries, root=0)
+
+        per_rank: List[Tuple[np.ndarray, np.ndarray]] = []
+        with metrics.phase(PHASE_SEARCH):
+            for rank in self.cluster.ranks:
+                tree: KDTree = rank.store["local_tree"]
+                stats = QueryStats()
+                d, i, stats = batch_knn(tree, queries, k)
+                stats.charge(metrics.for_phase(rank.rank), tree.dims)
+                total_stats.merge(stats)
+                per_rank.append((d, i))
+
+        with metrics.phase(PHASE_REDUCE):
+            comm.gather(per_rank, root=0)
+            out_d = np.full((n_queries, k), np.inf)
+            out_i = np.full((n_queries, k), -1, dtype=np.int64)
+            root_counters = metrics.for_phase(0)
+            for dists, ids_arr in per_rank:
+                for qi in range(n_queries):
+                    valid_new = ids_arr[qi] >= 0
+                    valid_old = out_i[qi] >= 0
+                    d_new, i_new = merge_topk(
+                        k, out_d[qi][valid_old], out_i[qi][valid_old],
+                        dists[qi][valid_new], ids_arr[qi][valid_new],
+                    )
+                    out_d[qi, :] = np.inf
+                    out_i[qi, :] = -1
+                    out_d[qi, : d_new.shape[0]] = d_new
+                    out_i[qi, : i_new.shape[0]] = i_new
+                root_counters.scalar_ops += n_queries * k
+        return out_d, out_i, total_stats
+
+    def wasted_candidates(self, n_queries: int, k: int) -> int:
+        """Candidates computed and transferred but discarded: ``(P-1) * k`` per query."""
+        return (self.cluster.n_ranks - 1) * n_queries * k

@@ -1,0 +1,50 @@
+"""Simulated distributed-memory machine substrate.
+
+The paper runs on Edison (Cray XC30, ~50 000 cores) using MPI + OpenMP +
+SIMD intrinsics.  This package substitutes a deterministic, single-process
+simulation of that machine:
+
+* :class:`~repro.cluster.machine.MachineSpec` describes a node (cores, SMT,
+  SIMD width, memory bandwidth) and the interconnect (latency, bandwidth),
+  with presets for Edison's Xeon E5-2695v2 nodes and Knights Landing nodes.
+* :class:`~repro.cluster.simulator.Cluster` holds ``P`` ranks and a
+  :class:`~repro.cluster.comm.Communicator` whose collectives move real
+  NumPy arrays between rank-local stores while accounting every byte and
+  message into :class:`~repro.cluster.metrics.MetricsRegistry`.
+* :class:`~repro.cluster.cost_model.CostModel` converts the recorded
+  computation and communication counters into modeled wall-clock time so
+  that scaling *shapes* (strong/weak scaling, breakdowns, pipelining
+  overlap) can be reproduced without the original hardware.
+* :mod:`~repro.cluster.pool` provides optional thread/process backends for
+  genuinely parallel execution of embarrassingly parallel work on the local
+  host.
+
+The algorithms in :mod:`repro.core` are written against the communicator API
+only, so the accounting reflects exactly the traffic the paper's MPI code
+would generate.
+"""
+
+from repro.cluster.machine import InterconnectSpec, MachineSpec
+from repro.cluster.metrics import MetricsRegistry, PhaseCounters, RankCounters
+from repro.cluster.comm import Communicator
+from repro.cluster.simulator import Cluster, Rank
+from repro.cluster.cost_model import CostModel, PhaseTime, TimeBreakdown
+from repro.cluster.pool import ExecutionBackend, SerialBackend, ThreadBackend, ProcessBackend
+
+__all__ = [
+    "InterconnectSpec",
+    "MachineSpec",
+    "MetricsRegistry",
+    "PhaseCounters",
+    "RankCounters",
+    "Communicator",
+    "Cluster",
+    "Rank",
+    "CostModel",
+    "PhaseTime",
+    "TimeBreakdown",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+]

@@ -1,0 +1,300 @@
+"""MPI-like communication layer for the simulated cluster.
+
+The communicator implements the collectives PANDA relies on (broadcast,
+allgather, all-to-all with variable counts, reductions and point-to-point
+sends) in a bulk-synchronous style: each call takes per-rank inputs, returns
+per-rank outputs, and charges every transferred byte and message to the
+:class:`~repro.cluster.metrics.MetricsRegistry` under the currently active
+phase.  Sub-communicators over rank groups support the recursive group
+splits used during global kd-tree construction.
+
+Data is moved by reference (no copies are made for the "network" hop); the
+accounting is therefore exact while the simulation stays fast.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsRegistry
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Best-effort payload size in bytes of an object crossing the network.
+
+    NumPy arrays report their buffer size; sequences are summed recursively;
+    everything else falls back to ``sys.getsizeof``.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    return int(sys.getsizeof(obj))
+
+
+class Communicator:
+    """Bulk-synchronous communicator over a group of ranks.
+
+    Parameters
+    ----------
+    metrics:
+        Registry receiving the traffic accounting.  Accounting is always
+        charged against *global* rank ids so sub-communicators and the world
+        communicator share one ledger.
+    group:
+        Global rank ids participating in this communicator.  ``None`` means
+        all ranks of the registry (the world communicator).
+    """
+
+    def __init__(self, metrics: MetricsRegistry, group: Sequence[int] | None = None) -> None:
+        self._metrics = metrics
+        if group is None:
+            group = list(range(metrics.n_ranks))
+        group = list(group)
+        if len(group) == 0:
+            raise ValueError("communicator group must contain at least one rank")
+        if len(set(group)) != len(group):
+            raise ValueError(f"communicator group contains duplicate ranks: {group}")
+        for rank in group:
+            if not 0 <= rank < metrics.n_ranks:
+                raise ValueError(f"rank {rank} outside registry of size {metrics.n_ranks}")
+        self._group = group
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in this communicator."""
+        return len(self._group)
+
+    @property
+    def group(self) -> List[int]:
+        """Global rank ids of the group, in communicator order."""
+        return list(self._group)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The shared metrics registry."""
+        return self._metrics
+
+    def global_rank(self, local_rank: int) -> int:
+        """Translate a communicator-local rank to a global rank id."""
+        return self._group[local_rank]
+
+    def split(self, color_of: Callable[[int], int]) -> Dict[int, "Communicator"]:
+        """Split into sub-communicators by color (like ``MPI_Comm_split``).
+
+        ``color_of`` maps a *local* rank index to an integer color; ranks with
+        equal colors end up in the same sub-communicator, preserving order.
+        """
+        buckets: Dict[int, List[int]] = {}
+        for local in range(self.size):
+            buckets.setdefault(color_of(local), []).append(self._group[local])
+        return {color: Communicator(self._metrics, ranks) for color, ranks in sorted(buckets.items())}
+
+    def subgroup(self, local_ranks: Sequence[int]) -> "Communicator":
+        """Communicator over a subset of this group (local rank indices)."""
+        return Communicator(self._metrics, [self._group[r] for r in local_ranks])
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _charge_send(self, local_rank: int, nbytes: int, messages: int = 1) -> None:
+        counters = self._metrics.for_phase(self._group[local_rank])
+        counters.messages_sent += messages
+        counters.bytes_sent += nbytes
+
+    def _charge_recv(self, local_rank: int, nbytes: int, messages: int = 1) -> None:
+        counters = self._metrics.for_phase(self._group[local_rank])
+        counters.messages_received += messages
+        counters.bytes_received += nbytes
+
+    def _charge_sync(self) -> None:
+        for rank in self._group:
+            self._metrics.for_phase(rank).synchronizations += 1
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks (accounting only)."""
+        self._charge_sync()
+
+    def _tree_depth(self) -> int:
+        """Rounds of a binomial-tree / recursive-doubling collective."""
+        return max(int(math.ceil(math.log2(self.size))), 1) if self.size > 1 else 0
+
+    def bcast(self, value: Any, root: int = 0) -> List[Any]:
+        """Broadcast ``value`` from local rank ``root`` to every rank.
+
+        Returns a per-rank list of the broadcast value (shared by reference).
+        Modeled as a binomial-tree broadcast: the root injects the payload
+        ``ceil(log2 P)`` times (intermediate ranks forward it, but the
+        accounting attributes the injections to the root to keep the
+        per-phase maximum representative), and every other rank receives it
+        exactly once.
+        """
+        self._validate_local_rank(root)
+        nbytes = payload_nbytes(value)
+        depth = self._tree_depth()
+        for local in range(self.size):
+            if local == root:
+                self._charge_send(local, nbytes * depth, depth)
+            else:
+                self._charge_recv(local, nbytes, 1)
+        return [value for _ in range(self.size)]
+
+    def gather(self, values: Sequence[Any], root: int = 0) -> List[Any] | None:
+        """Gather one value per rank to ``root``.
+
+        ``values[i]`` is the contribution of local rank ``i``.  Returns the
+        gathered list at the root position and ``None`` conceptually
+        elsewhere; since the simulation is single-process the list itself is
+        returned for convenience.
+        """
+        self._validate_values(values)
+        self._validate_local_rank(root)
+        total = 0
+        for local, value in enumerate(values):
+            nbytes = payload_nbytes(value)
+            if local != root:
+                self._charge_send(local, nbytes, 1)
+                total += nbytes
+        self._charge_recv(root, total, max(self.size - 1, 0))
+        return list(values)
+
+    def allgather(self, values: Sequence[Any]) -> List[List[Any]]:
+        """All-gather: every rank receives every rank's contribution.
+
+        Modeled as recursive doubling: ``ceil(log2 P)`` rounds per rank, with
+        every rank still moving the full ``(P-1)``-contribution payload.
+        """
+        self._validate_values(values)
+        sizes = [payload_nbytes(v) for v in values]
+        total = sum(sizes)
+        depth = self._tree_depth()
+        for local in range(self.size):
+            self._charge_send(local, total - sizes[local], depth)
+            self._charge_recv(local, total - sizes[local], depth)
+        gathered = list(values)
+        return [list(gathered) for _ in range(self.size)]
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> List[Any]:
+        """Scatter one item per rank from ``root``."""
+        self._validate_local_rank(root)
+        if values is None:
+            raise ValueError("scatter requires the per-rank values at the root")
+        self._validate_values(values)
+        for local, value in enumerate(values):
+            nbytes = payload_nbytes(value)
+            if local == root:
+                continue
+            self._charge_send(root, nbytes, 1)
+            self._charge_recv(local, nbytes, 1)
+        return list(values)
+
+    def alltoall(self, send: Sequence[Sequence[Any]]) -> List[List[Any]]:
+        """Personalised all-to-all: ``send[src][dst]`` goes to rank ``dst``.
+
+        Returns ``recv`` with ``recv[dst][src] == send[src][dst]``.
+        Empty payloads (``None`` or zero-length arrays) are not charged as
+        messages, matching the sparse all-to-all the paper's query phase
+        performs.
+        """
+        if len(send) != self.size:
+            raise ValueError(f"expected {self.size} send rows, got {len(send)}")
+        for src, row in enumerate(send):
+            if len(row) != self.size:
+                raise ValueError(f"send row {src} has {len(row)} entries, expected {self.size}")
+        recv: List[List[Any]] = [[None for _ in range(self.size)] for _ in range(self.size)]
+        for src in range(self.size):
+            for dst in range(self.size):
+                item = send[src][dst]
+                recv[dst][src] = item
+                if src == dst:
+                    continue
+                nbytes = payload_nbytes(item)
+                if nbytes == 0 and not _is_nonempty(item):
+                    continue
+                self._charge_send(src, nbytes, 1)
+                self._charge_recv(dst, nbytes, 1)
+        return recv
+
+    def alltoallv(self, send: Sequence[Sequence[Any]]) -> List[List[Any]]:
+        """Alias of :meth:`alltoall`; provided for MPI naming familiarity."""
+        return self.alltoall(send)
+
+    def reduce(self, values: Sequence[Any], op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        """Reduce per-rank values to the root with binary operator ``op``.
+
+        Modeled as a binomial-tree reduction: every non-root rank sends its
+        (partially reduced) contribution once and the root receives
+        ``ceil(log2 P)`` already-combined messages.
+        """
+        self._validate_values(values)
+        self._validate_local_rank(root)
+        nbytes = payload_nbytes(values[0])
+        depth = self._tree_depth()
+        for local in range(self.size):
+            if local != root:
+                self._charge_send(local, nbytes, 1)
+        self._charge_recv(root, nbytes * depth, depth)
+        result = values[0]
+        for value in values[1:]:
+            result = op(result, value)
+        return result
+
+    def allreduce(self, values: Sequence[Any], op: Callable[[Any, Any], Any]) -> List[Any]:
+        """Reduce then broadcast; returns the reduced value for every rank."""
+        result = self.reduce(values, op, root=0)
+        return self.bcast(result, root=0)
+
+    def allreduce_sum(self, values: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Element-wise sum allreduce over NumPy arrays."""
+        arrays = [np.asarray(v) for v in values]
+        return self.allreduce(arrays, lambda a, b: a + b)
+
+    def send(self, src: int, dst: int, payload: Any) -> Any:
+        """Point-to-point send from local rank ``src`` to ``dst``."""
+        self._validate_local_rank(src)
+        self._validate_local_rank(dst)
+        nbytes = payload_nbytes(payload)
+        if src != dst:
+            self._charge_send(src, nbytes, 1)
+            self._charge_recv(dst, nbytes, 1)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _validate_local_rank(self, local_rank: int) -> None:
+        if not 0 <= local_rank < self.size:
+            raise ValueError(f"local rank {local_rank} outside communicator of size {self.size}")
+
+    def _validate_values(self, values: Sequence[Any]) -> None:
+        if len(values) != self.size:
+            raise ValueError(f"expected {self.size} per-rank values, got {len(values)}")
+
+
+def _is_nonempty(item: Any) -> bool:
+    """True when ``item`` represents an actual payload worth a message."""
+    if item is None:
+        return False
+    if isinstance(item, np.ndarray):
+        return item.size > 0
+    if isinstance(item, (list, tuple, dict, bytes, bytearray)):
+        return len(item) > 0
+    return True

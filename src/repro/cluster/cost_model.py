@@ -1,0 +1,243 @@
+"""Analytic performance model turning event counters into modeled time.
+
+The simulation executes PANDA's algorithms exactly (same traversals, same
+messages) but on one host, so wall-clock time is meaningless for reproducing
+the paper's cluster-scale figures.  Instead the cost model charges each
+counter class to the hardware resource the paper identifies as its
+bottleneck:
+
+* leaf-bucket distance computations — SIMD floating point, capped by memory
+  bandwidth for streaming through the bucket;
+* kd-tree node traversal — dependent memory latency (the paper: "the code is
+  significantly limited by memory accesses"), partially hidden by SMT;
+* histogram / median sampling — scalar + SIMD scan throughput;
+* point redistribution and SIMD packing — memory bandwidth streams;
+* communication — alpha-beta model over the interconnect, with optional
+  compute/communication overlap for the software-pipelined query phase.
+
+Each bulk-synchronous phase finishes when its slowest rank finishes, so the
+phase time is the per-rank maximum; the run time is the sum over phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.metrics import MetricsRegistry, PhaseCounters
+
+#: Floating point operations per point-dimension of a squared-distance
+#: evaluation (subtract, multiply, accumulate).
+FLOPS_PER_DISTANCE_DIM = 3.0
+
+#: Operations charged per reported histogram comparison.  The sub-interval
+#: scan is branch-free and fully SIMD-amortised (see kdtree.median), so each
+#: reported comparison costs well under a cycle on average.
+HISTOGRAM_OPS_PER_ELEMENT = 1.0
+
+
+@dataclass
+class PhaseTime:
+    """Modeled time of one phase of the run."""
+
+    phase: str
+    compute_s: float
+    comm_s: float
+    overlap: bool = False
+    per_rank_compute_s: List[float] = field(default_factory=list)
+    per_rank_comm_s: List[float] = field(default_factory=list)
+
+    @property
+    def nonoverlapped_comm_s(self) -> float:
+        """Communication time not hidden behind computation."""
+        if self.overlap:
+            return max(0.0, self.comm_s - self.compute_s)
+        return self.comm_s
+
+    @property
+    def total_s(self) -> float:
+        """Phase wall-clock: compute plus exposed communication."""
+        return self.compute_s + self.nonoverlapped_comm_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary dictionary used by reports."""
+        return {
+            "phase": self.phase,
+            "compute_s": self.compute_s,
+            "comm_s": self.comm_s,
+            "nonoverlapped_comm_s": self.nonoverlapped_comm_s,
+            "total_s": self.total_s,
+        }
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-phase modeled times plus the run total."""
+
+    phases: List[PhaseTime]
+
+    @property
+    def total_s(self) -> float:
+        """Total modeled wall-clock over all phases."""
+        return sum(p.total_s for p in self.phases)
+
+    def phase(self, name: str) -> PhaseTime:
+        """Look up a phase by name."""
+        for p in self.phases:
+            if p.phase == name:
+                return p
+        raise KeyError(f"phase {name!r} not present; have {[p.phase for p in self.phases]}")
+
+    def fractions(self) -> Dict[str, float]:
+        """Fraction of total time spent in each phase (paper's Fig. 5b/5c)."""
+        total = self.total_s
+        if total <= 0.0:
+            return {p.phase: 0.0 for p in self.phases}
+        return {p.phase: p.total_s / total for p in self.phases}
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested dictionary keyed by phase name."""
+        return {p.phase: p.as_dict() for p in self.phases}
+
+
+class CostModel:
+    """Convert :class:`MetricsRegistry` counters into modeled time.
+
+    Parameters
+    ----------
+    machine:
+        Node/interconnect description.
+    threads_per_rank:
+        Modeled worker threads per node.
+    overlap_phases:
+        Phase names whose communication is software-pipelined with
+        computation (the paper overlaps communication in the query phase and
+        reports only the *non-overlapped* remainder in Fig. 5c).
+    parallel_efficiency:
+        Fraction of ideal thread speedup actually achieved inside a node;
+        models the load imbalance + serial fraction the paper observes
+        (17-20x on 24 cores for construction).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        threads_per_rank: int | None = None,
+        overlap_phases: Iterable[str] = (),
+        parallel_efficiency: float = 0.85,
+    ) -> None:
+        self.machine = machine
+        self.threads_per_rank = machine.cores_per_node if threads_per_rank is None else threads_per_rank
+        if self.threads_per_rank <= 0:
+            raise ValueError(f"threads_per_rank must be positive, got {self.threads_per_rank}")
+        self.overlap_phases = set(overlap_phases)
+        if not 0.0 < parallel_efficiency <= 1.0:
+            raise ValueError(f"parallel_efficiency must be in (0, 1], got {parallel_efficiency}")
+        self.parallel_efficiency = parallel_efficiency
+
+    # ------------------------------------------------------------------
+    # Per-counter models
+    # ------------------------------------------------------------------
+    def _effective_threads(self, threads: int | None = None) -> float:
+        threads = threads if threads is not None else self.threads_per_rank
+        threads = min(threads, self.machine.total_threads())
+        physical = min(threads, self.machine.cores_per_node)
+        # Amdahl-flavoured efficiency: 1 thread is exact, more threads pay
+        # the serial/imbalance tax.
+        if physical <= 1:
+            return float(max(threads, 1))
+        return 1.0 + (physical - 1) * self.parallel_efficiency
+
+    def compute_time(self, counters: PhaseCounters, threads: int | None = None) -> float:
+        """Modeled on-node computation time for one rank's phase counters."""
+        threads = threads if threads is not None else self.threads_per_rank
+        eff_threads = self._effective_threads(threads)
+        machine = self.machine
+
+        # Leaf distance computations: SIMD flops vs. memory streaming.
+        dims = max(counters.distance_dims, 1)
+        flops = counters.distance_computations * dims * FLOPS_PER_DISTANCE_DIM
+        flop_rate = machine.peak_flops(threads) * (eff_threads / max(min(threads, machine.cores_per_node), 1))
+        flop_rate = max(flop_rate, machine.frequency_hz)  # never slower than 1 scalar op/cycle
+        dist_bytes = counters.distance_computations * dims * 8
+        t_distance = max(flops / flop_rate, dist_bytes / machine.memory_bandwidth_bytes_per_s)
+
+        # Tree traversal: one dependent memory access per visited node,
+        # spread over the threads that process independent queries/subtrees.
+        latency = machine.effective_memory_latency(threads)
+        t_traverse = counters.nodes_visited * latency / eff_threads
+
+        # Histogram / binning scans: SIMD-scanned, so charge the comparison
+        # count at the full SIMD comparison rate.
+        scan_rate = machine.scalar_rate(threads) * machine.simd_width_doubles
+        scan_rate *= eff_threads / max(min(threads, machine.cores_per_node), 1)
+        t_hist = counters.histogram_ops * HISTOGRAM_OPS_PER_ELEMENT / max(scan_rate, 1.0)
+
+        # Streaming data movement (partitioning, SIMD packing, shuffles).
+        t_stream = counters.bytes_streamed / machine.memory_bandwidth_bytes_per_s
+        t_stream += counters.elements_moved * 8 / machine.memory_bandwidth_bytes_per_s
+
+        # Residual scalar bookkeeping (heap pushes, comparisons, ...).
+        t_scalar = counters.scalar_ops / max(machine.scalar_rate(threads) * eff_threads
+                                             / max(min(threads, machine.cores_per_node), 1), 1.0)
+
+        return t_distance + t_traverse + t_hist + t_stream + t_scalar
+
+    def comm_time(self, counters: PhaseCounters, n_ranks: int = 2) -> float:
+        """Modeled network time for one rank's phase counters."""
+        net = self.machine.interconnect
+        send = net.message_time(counters.bytes_sent, counters.messages_sent)
+        recv = net.message_time(counters.bytes_received, counters.messages_received)
+        sync = counters.synchronizations * net.latency_s * max(math.log2(max(n_ranks, 2)), 1.0)
+        # Injection bandwidth is shared between send and receive directions.
+        return max(send, recv) + sync
+
+    # ------------------------------------------------------------------
+    # Whole-run evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        metrics: MetricsRegistry,
+        phases: Sequence[str] | None = None,
+        threads: int | None = None,
+    ) -> TimeBreakdown:
+        """Model the time of ``phases`` (default: all recorded phases)."""
+        if phases is None:
+            phases = [p for p in metrics.phase_order]
+            if not phases:
+                phases = [MetricsRegistry.DEFAULT_PHASE]
+        results: List[PhaseTime] = []
+        n_ranks = metrics.n_ranks
+        for phase in phases:
+            per_rank_compute: List[float] = []
+            per_rank_comm: List[float] = []
+            for rank in range(n_ranks):
+                counters = metrics.rank(rank).phases.get(phase, PhaseCounters())
+                per_rank_compute.append(self.compute_time(counters, threads))
+                per_rank_comm.append(self.comm_time(counters, n_ranks))
+            results.append(
+                PhaseTime(
+                    phase=phase,
+                    compute_s=max(per_rank_compute) if per_rank_compute else 0.0,
+                    comm_s=max(per_rank_comm) if per_rank_comm else 0.0,
+                    overlap=phase in self.overlap_phases,
+                    per_rank_compute_s=per_rank_compute,
+                    per_rank_comm_s=per_rank_comm,
+                )
+            )
+        return TimeBreakdown(phases=results)
+
+    def evaluate_phase_groups(
+        self,
+        metrics: MetricsRegistry,
+        groups: Mapping[str, Sequence[str]],
+        threads: int | None = None,
+    ) -> Dict[str, float]:
+        """Model time for named groups of phases (e.g. construction vs query)."""
+        out: Dict[str, float] = {}
+        for name, phase_list in groups.items():
+            breakdown = self.evaluate(metrics, phases=list(phase_list), threads=threads)
+            out[name] = breakdown.total_s
+        return out

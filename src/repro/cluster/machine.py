@@ -1,0 +1,227 @@
+"""Hardware descriptions used by the cost model.
+
+A :class:`MachineSpec` captures the per-node and interconnect parameters the
+paper reports for its two platforms:
+
+* Edison (Cray XC30): 2 x 12-core Intel Xeon E5-2695 v2 @ 2.4 GHz, 64 GB
+  DDR3-1866, Cray Aries interconnect with ~10 GB/s bi-directional injection
+  bandwidth per node.
+* Knights Landing (KNL): 68 cores @ 1.4 GHz, wide (512-bit) SIMD.
+
+The numbers only matter *relatively*: the cost model divides measured
+operation counts by throughputs derived from these parameters, so the
+reproduced figures inherit the paper's qualitative behaviour (compute-bound
+construction, memory-latency-bound querying, communication-heavy global tree
+phase) rather than its absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Network parameters of the cluster interconnect.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way small-message latency in seconds.
+    bandwidth_bytes_per_s:
+        Per-node injection bandwidth in bytes/second.
+    name:
+        Human readable identifier.
+    """
+
+    latency_s: float = 1.5e-6
+    bandwidth_bytes_per_s: float = 10e9
+    name: str = "generic"
+
+    def message_time(self, nbytes: int, n_messages: int = 1) -> float:
+        """Alpha-beta time for ``n_messages`` totalling ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if n_messages < 0:
+            raise ValueError(f"n_messages must be non-negative, got {n_messages}")
+        return n_messages * self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Description of one compute node plus its interconnect.
+
+    Attributes
+    ----------
+    cores_per_node:
+        Physical cores per node.
+    smt_per_core:
+        Hardware threads per core (SMT / hyper-threading).
+    frequency_hz:
+        Nominal clock frequency.
+    simd_width_doubles:
+        Number of double-precision lanes per SIMD instruction (4 for AVX,
+        8 for AVX-512).
+    flops_per_cycle_per_lane:
+        Sustained floating-point operations per cycle per lane for the
+        distance-computation kernel (FMA counted as 2).
+    memory_bandwidth_bytes_per_s:
+        Per-node sustainable memory bandwidth (STREAM-like).
+    memory_latency_s:
+        Average latency of a dependent random memory access; the kd-tree
+        traversal inner loop is bound by this term (Section V-B1 of the
+        paper: "the code is significantly limited by memory accesses").
+    smt_latency_hiding:
+        Fraction of the memory latency hidden when SMT threads are used
+        (the paper reports an extra 1.2-1.7x from SMT).
+    interconnect:
+        :class:`InterconnectSpec` of the network between nodes.
+    name:
+        Human readable identifier.
+    """
+
+    cores_per_node: int = 24
+    smt_per_core: int = 2
+    frequency_hz: float = 2.4e9
+    simd_width_doubles: int = 4
+    flops_per_cycle_per_lane: float = 2.0
+    memory_bandwidth_bytes_per_s: float = 89e9
+    memory_latency_s: float = 85e-9
+    smt_latency_hiding: float = 0.45
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    name: str = "generic-node"
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= 0:
+            raise ValueError(f"cores_per_node must be positive, got {self.cores_per_node}")
+        if self.smt_per_core <= 0:
+            raise ValueError(f"smt_per_core must be positive, got {self.smt_per_core}")
+        if self.simd_width_doubles <= 0:
+            raise ValueError(f"simd_width_doubles must be positive, got {self.simd_width_doubles}")
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {self.frequency_hz}")
+
+    # ------------------------------------------------------------------
+    # Derived throughputs
+    # ------------------------------------------------------------------
+    def peak_flops(self, threads: int | None = None) -> float:
+        """Peak double-precision FLOP/s for ``threads`` worker threads."""
+        threads = self._clamp_threads(threads)
+        physical = min(threads, self.cores_per_node)
+        return physical * self.frequency_hz * self.simd_width_doubles * self.flops_per_cycle_per_lane
+
+    def effective_memory_latency(self, threads: int | None = None) -> float:
+        """Memory latency per dependent access, accounting for SMT hiding."""
+        threads = self._clamp_threads(threads)
+        if threads > self.cores_per_node:
+            return self.memory_latency_s * (1.0 - self.smt_latency_hiding)
+        return self.memory_latency_s
+
+    def scalar_rate(self, threads: int | None = None) -> float:
+        """Scalar (non-SIMD) operations per second across ``threads`` threads."""
+        threads = self._clamp_threads(threads)
+        physical = min(threads, self.cores_per_node)
+        return physical * self.frequency_hz
+
+    def total_threads(self) -> int:
+        """Total hardware threads (cores x SMT)."""
+        return self.cores_per_node * self.smt_per_core
+
+    def _clamp_threads(self, threads: int | None) -> int:
+        if threads is None:
+            return self.cores_per_node
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        return min(threads, self.total_threads())
+
+    def with_interconnect(self, interconnect: InterconnectSpec) -> "MachineSpec":
+        """Return a copy of this spec with a different interconnect."""
+        return replace(self, interconnect=interconnect)
+
+    def with_scaled_latency(self, factor: float) -> "MachineSpec":
+        """Return a copy with the per-message network latency scaled by ``factor``.
+
+        The reproduction runs datasets that are orders of magnitude smaller
+        than the paper's, so per-rank computation and per-rank transferred
+        bytes shrink proportionally while the fixed per-message latency does
+        not.  Scaling the latency by (roughly) the same factor restores the
+        compute-to-latency balance of the paper's operating regime, which is
+        what the scaling-figure experiments rely on (see EXPERIMENTS.md).
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        scaled = replace(self.interconnect, latency_s=self.interconnect.latency_s * factor)
+        return replace(self, interconnect=scaled)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def edison() -> "MachineSpec":
+        """Edison Cray XC30 node: 2 x 12-core Xeon E5-2695v2, Aries network."""
+        return MachineSpec(
+            cores_per_node=24,
+            smt_per_core=2,
+            frequency_hz=2.4e9,
+            simd_width_doubles=4,
+            flops_per_cycle_per_lane=2.0,
+            memory_bandwidth_bytes_per_s=89e9,
+            memory_latency_s=85e-9,
+            smt_latency_hiding=0.45,
+            interconnect=InterconnectSpec(latency_s=1.5e-6, bandwidth_bytes_per_s=10e9, name="cray-aries"),
+            name="edison-xc30",
+        )
+
+    @staticmethod
+    def knl() -> "MachineSpec":
+        """Knights Landing node: 68 cores @ 1.4 GHz, AVX-512, MCDRAM."""
+        return MachineSpec(
+            cores_per_node=68,
+            smt_per_core=4,
+            frequency_hz=1.4e9,
+            simd_width_doubles=8,
+            flops_per_cycle_per_lane=2.0,
+            memory_bandwidth_bytes_per_s=400e9,
+            memory_latency_s=150e-9,
+            smt_latency_hiding=0.6,
+            interconnect=InterconnectSpec(latency_s=2.0e-6, bandwidth_bytes_per_s=12.5e9, name="omni-path"),
+            name="knl",
+        )
+
+    @staticmethod
+    def titan_z() -> "MachineSpec":
+        """A Titan Z-like GPU card used as the Fig. 8(a) comparison reference.
+
+        The buffered kd-tree baseline of Gieseke et al. runs on this device.
+        The card has huge arithmetic throughput but the buffered traversal is
+        bound by irregular memory access and host-device transfers, which is
+        what the latency/bandwidth parameters encode.
+        """
+        return MachineSpec(
+            cores_per_node=2880,
+            smt_per_core=1,
+            frequency_hz=0.876e9,
+            simd_width_doubles=1,
+            flops_per_cycle_per_lane=2.0,
+            memory_bandwidth_bytes_per_s=336e9,
+            memory_latency_s=400e-9,
+            smt_latency_hiding=0.0,
+            interconnect=InterconnectSpec(latency_s=10e-6, bandwidth_bytes_per_s=12e9, name="pcie"),
+            name="titan-z",
+        )
+
+    @staticmethod
+    def laptop() -> "MachineSpec":
+        """A small generic node used for quick examples and tests."""
+        return MachineSpec(
+            cores_per_node=8,
+            smt_per_core=2,
+            frequency_hz=3.0e9,
+            simd_width_doubles=4,
+            flops_per_cycle_per_lane=2.0,
+            memory_bandwidth_bytes_per_s=40e9,
+            memory_latency_s=90e-9,
+            smt_latency_hiding=0.35,
+            interconnect=InterconnectSpec(latency_s=5e-6, bandwidth_bytes_per_s=2e9, name="ethernet"),
+            name="laptop",
+        )

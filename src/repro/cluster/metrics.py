@@ -1,0 +1,208 @@
+"""Per-rank, per-phase accounting of computation and communication.
+
+Every operation the simulated PANDA implementation performs is charged to a
+*phase* (e.g. ``"global_tree"``, ``"redistribute"``, ``"local_knn"``) on a
+specific rank.  The cost model later converts these counters into modeled
+time; the benchmark harness also reports several of them directly (message
+counts, remote-query fan-out, tree-node traversals) because they are exact
+properties of the algorithm rather than of the hardware.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class PhaseCounters:
+    """Raw event counters accumulated by one rank inside one phase."""
+
+    #: Number of point-to-point or collective fragments sent.
+    messages_sent: int = 0
+    #: Number of fragments received.
+    messages_received: int = 0
+    #: Payload bytes sent.
+    bytes_sent: int = 0
+    #: Payload bytes received.
+    bytes_received: int = 0
+    #: Query-to-point distance evaluations (each costs ~2*dims flops).
+    distance_computations: int = 0
+    #: Dimensionality charged for the distance computations.
+    distance_dims: int = 0
+    #: kd-tree nodes visited during traversal (pointer-chasing, latency bound).
+    nodes_visited: int = 0
+    #: Elements scanned while histogramming / binning for median estimation.
+    histogram_ops: int = 0
+    #: Elements moved while partitioning / shuffling points.
+    elements_moved: int = 0
+    #: Bytes touched by streaming kernels (partitioning, packing).
+    bytes_streamed: int = 0
+    #: Generic scalar work units (comparisons, heap operations, bookkeeping).
+    scalar_ops: int = 0
+    #: Number of barrier-style synchronisations.
+    synchronizations: int = 0
+
+    def merge(self, other: "PhaseCounters") -> None:
+        """Accumulate ``other`` into this counter set in place."""
+        self.messages_sent += other.messages_sent
+        self.messages_received += other.messages_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.distance_computations += other.distance_computations
+        self.distance_dims = max(self.distance_dims, other.distance_dims)
+        self.nodes_visited += other.nodes_visited
+        self.histogram_ops += other.histogram_ops
+        self.elements_moved += other.elements_moved
+        self.bytes_streamed += other.bytes_streamed
+        self.scalar_ops += other.scalar_ops
+        self.synchronizations += other.synchronizations
+
+    def copy(self) -> "PhaseCounters":
+        """Return an independent copy."""
+        fresh = PhaseCounters()
+        fresh.merge(self)
+        fresh.distance_dims = self.distance_dims
+        return fresh
+
+    def total_bytes(self) -> int:
+        """Total payload bytes moved through the network by this rank."""
+        return self.bytes_sent + self.bytes_received
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary (for reports/tests)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "distance_computations": self.distance_computations,
+            "distance_dims": self.distance_dims,
+            "nodes_visited": self.nodes_visited,
+            "histogram_ops": self.histogram_ops,
+            "elements_moved": self.elements_moved,
+            "bytes_streamed": self.bytes_streamed,
+            "scalar_ops": self.scalar_ops,
+            "synchronizations": self.synchronizations,
+        }
+
+
+@dataclass
+class RankCounters:
+    """All phase counters belonging to a single rank."""
+
+    rank: int
+    phases: Dict[str, PhaseCounters] = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseCounters:
+        """Return (creating if necessary) the counters for ``name``."""
+        if name not in self.phases:
+            self.phases[name] = PhaseCounters()
+        return self.phases[name]
+
+    def total(self) -> PhaseCounters:
+        """Aggregate counters across all phases of this rank."""
+        agg = PhaseCounters()
+        for counters in self.phases.values():
+            agg.merge(counters)
+        return agg
+
+
+class MetricsRegistry:
+    """Registry of counters for every rank of a simulated cluster.
+
+    The registry also keeps the *current phase* so instrumented code does not
+    need to thread a phase name through every call: the communicator and the
+    kernels charge their events to ``registry.current_phase``.
+    """
+
+    DEFAULT_PHASE = "unattributed"
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        self._ranks: List[RankCounters] = [RankCounters(rank=r) for r in range(n_ranks)]
+        self._phase_stack: List[str] = [self.DEFAULT_PHASE]
+        self._phase_order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Phase management
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks tracked by this registry."""
+        return len(self._ranks)
+
+    @property
+    def current_phase(self) -> str:
+        """Name of the phase currently being charged."""
+        return self._phase_stack[-1]
+
+    @property
+    def phase_order(self) -> List[str]:
+        """Phases in first-entered order (used for ordered breakdowns)."""
+        return list(self._phase_order)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager charging enclosed events to phase ``name``."""
+        if name not in self._phase_order:
+            self._phase_order.append(name)
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def rank(self, rank: int) -> RankCounters:
+        """Counters of rank ``rank``."""
+        return self._ranks[rank]
+
+    def for_phase(self, rank: int, phase: str | None = None) -> PhaseCounters:
+        """Counters of ``rank`` for ``phase`` (default: current phase)."""
+        return self._ranks[rank].phase(phase or self.current_phase)
+
+    def all_ranks(self) -> List[RankCounters]:
+        """Counters of every rank."""
+        return list(self._ranks)
+
+    def phase_total(self, phase: str) -> PhaseCounters:
+        """Counters of ``phase`` aggregated over all ranks."""
+        agg = PhaseCounters()
+        for rank_counters in self._ranks:
+            if phase in rank_counters.phases:
+                agg.merge(rank_counters.phases[phase])
+        return agg
+
+    def phase_max(self, phase: str) -> PhaseCounters:
+        """Element-wise maximum of ``phase`` counters over ranks.
+
+        Bulk-synchronous phases complete when the slowest rank finishes, so
+        the cost model uses the per-rank maximum rather than the sum.
+        """
+        worst = PhaseCounters()
+        for rank_counters in self._ranks:
+            if phase not in rank_counters.phases:
+                continue
+            counters = rank_counters.phases[phase]
+            for name, value in counters.as_dict().items():
+                if value > getattr(worst, name):
+                    setattr(worst, name, value)
+        return worst
+
+    def grand_total(self) -> PhaseCounters:
+        """Counters aggregated over all ranks and phases."""
+        agg = PhaseCounters()
+        for rank_counters in self._ranks:
+            agg.merge(rank_counters.total())
+        return agg
+
+    def reset(self) -> None:
+        """Clear every counter while keeping the rank count."""
+        self._ranks = [RankCounters(rank=r) for r in range(self.n_ranks)]
+        self._phase_stack = [self.DEFAULT_PHASE]
+        self._phase_order = []

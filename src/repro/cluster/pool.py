@@ -1,0 +1,142 @@
+"""Execution backends for running embarrassingly parallel work for real.
+
+The simulation models intra-node parallelism analytically, but some
+experiments (the single-node scaling example, and users who simply want
+faster answers on their laptop) benefit from genuinely parallel execution.
+This module provides interchangeable backends with a single ``map`` API:
+
+* :class:`SerialBackend` — plain loop (deterministic baseline, default);
+* :class:`ThreadBackend` — ``concurrent.futures.ThreadPoolExecutor``; useful
+  when the work releases the GIL (large NumPy kernels);
+* :class:`ProcessBackend` — ``multiprocessing`` pool for CPU-bound Python
+  work such as per-query kd-tree traversals.
+
+Backends are deliberately tiny; the query engine accepts any object with a
+``map(fn, items)`` method.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Protocol, Sequence
+
+
+class ExecutionBackend(Protocol):
+    """Minimal protocol for a work-distribution backend."""
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, preserving order."""
+        ...  # pragma: no cover - protocol definition
+
+    def close(self) -> None:
+        """Release any worker resources."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SerialBackend:
+    """Run work items one after another in the calling thread."""
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` sequentially."""
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialBackend()"
+
+
+class ThreadBackend:
+    """Thread-pool backend (best for GIL-releasing NumPy-heavy work)."""
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = min(32, (os.cpu_count() or 1)) if n_workers is None else n_workers
+        if self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` across the thread pool, preserving order."""
+        if not items:
+            return []
+        return list(self._ensure().map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ThreadBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadBackend(n_workers={self.n_workers})"
+
+
+class ProcessBackend:
+    """Process-pool backend for CPU-bound pure-Python work.
+
+    Work functions and items must be picklable.  Worker start-up is lazy so
+    constructing the backend is cheap.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
+        if self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` across the process pool, preserving order."""
+        if not items:
+            return []
+        return list(self._ensure().map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessBackend(n_workers={self.n_workers})"
+
+
+def chunk_items(items: Sequence[Any], n_chunks: int) -> List[List[Any]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced chunks."""
+    if n_chunks <= 0:
+        raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+    n = len(items)
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    chunks: List[List[Any]] = []
+    base, extra = divmod(n, n_chunks)
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks

@@ -1,0 +1,55 @@
+"""PANDA: distributed kd-tree construction and distributed KNN querying.
+
+This package implements the paper's primary contribution on top of the
+simulated cluster substrate (:mod:`repro.cluster`) and the single-node
+kd-tree kernels (:mod:`repro.kdtree`):
+
+* :mod:`~repro.core.global_tree` — the global kd-tree partitioning the
+  domain across ranks, with per-rank bounding boxes, vectorised owner
+  lookup and r'-ball rank intersection;
+* :mod:`~repro.core.redistribution` — distributed construction of the
+  global tree: sampled-variance split dimension, sampled-histogram split
+  point, and the all-to-all point exchange;
+* :mod:`~repro.core.local_phase` — per-rank local tree construction with
+  the paper's data-parallel / thread-parallel / SIMD-packing phases;
+* :mod:`~repro.core.query_engine` — the five-step distributed query
+  protocol with query batching and modeled communication overlap;
+* :mod:`~repro.core.panda` — the :class:`~repro.core.panda.PandaKNN`
+  façade (distributed mode and the replicated-tree mode used in Fig. 8b);
+* :mod:`~repro.core.classification` — KNN classification / regression on
+  top of either a local tree or a distributed PANDA index;
+* :mod:`~repro.core.breakdown` — mapping of recorded phases onto the
+  paper's Fig. 5(b)/(c) categories.
+"""
+
+from repro.core.config import PandaConfig
+from repro.core.global_tree import GlobalTree
+from repro.core.redistribution import build_global_tree
+from repro.core.local_phase import build_local_trees
+from repro.core.query_engine import DistributedQueryEngine, QueryReport
+from repro.core.panda import PandaKNN, ReplicatedKNN
+from repro.core.classification import KNNClassifier, KNNRegressor, LocalKNNClassifier
+from repro.core.breakdown import (
+    CONSTRUCTION_PHASES,
+    QUERY_PHASES,
+    construction_breakdown,
+    query_breakdown,
+)
+
+__all__ = [
+    "PandaConfig",
+    "GlobalTree",
+    "build_global_tree",
+    "build_local_trees",
+    "DistributedQueryEngine",
+    "QueryReport",
+    "PandaKNN",
+    "ReplicatedKNN",
+    "KNNClassifier",
+    "KNNRegressor",
+    "LocalKNNClassifier",
+    "CONSTRUCTION_PHASES",
+    "QUERY_PHASES",
+    "construction_breakdown",
+    "query_breakdown",
+]

@@ -1,0 +1,125 @@
+"""Mapping of recorded phases onto the paper's Fig. 5(b)/(c) categories.
+
+The metrics registry records fine-grained phases; the paper reports two
+stacked-percentage charts:
+
+* Fig. 5(b): construction — global kd-tree construction, particle
+  redistribution, local kd-tree (data parallel), local kd-tree (thread
+  parallel), local kd-tree (SIMD packing);
+* Fig. 5(c): querying — find owner, local KNN, identify remote nodes,
+  remote KNN, non-overlapped communication.
+
+These helpers evaluate the cost model per phase and fold the results into
+exactly those categories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.cluster.cost_model import CostModel
+from repro.cluster.machine import MachineSpec
+from repro.cluster.simulator import Cluster
+from repro.core.query_engine import (
+    PHASE_FIND_OWNER,
+    PHASE_IDENTIFY_REMOTE,
+    PHASE_LOCAL_KNN,
+    PHASE_MERGE,
+    PHASE_REMOTE_KNN,
+    QUERY_PHASES,
+)
+from repro.core.redistribution import PHASE_GLOBAL_TREE, PHASE_REDISTRIBUTE
+from repro.kdtree.build import PHASE_DATA_PARALLEL, PHASE_SIMD_PACKING, PHASE_THREAD_PARALLEL
+
+#: Construction phases in Fig. 5(b) order.
+CONSTRUCTION_PHASES = (
+    PHASE_GLOBAL_TREE,
+    PHASE_REDISTRIBUTE,
+    PHASE_DATA_PARALLEL,
+    PHASE_THREAD_PARALLEL,
+    PHASE_SIMD_PACKING,
+)
+
+#: Human-readable labels matching the paper's legend.
+CONSTRUCTION_LABELS = {
+    PHASE_GLOBAL_TREE: "Global kd-tree construction",
+    PHASE_REDISTRIBUTE: "Redistribute particles",
+    PHASE_DATA_PARALLEL: "Local kd-tree (data parallel)",
+    PHASE_THREAD_PARALLEL: "Local kd-tree (thread parallel)",
+    PHASE_SIMD_PACKING: "Local kd-tree (SIMD packing)",
+}
+
+QUERY_LABELS = {
+    PHASE_FIND_OWNER: "Find owner",
+    PHASE_LOCAL_KNN: "Local KNN",
+    PHASE_IDENTIFY_REMOTE: "Identify remote nodes",
+    PHASE_REMOTE_KNN: "Remote KNN",
+    PHASE_MERGE: "Merge results",
+}
+
+NON_OVERLAPPED_COMM_LABEL = "Non-overlapped communication"
+
+
+def default_cost_model(cluster: Cluster, machine: MachineSpec | None = None) -> CostModel:
+    """Cost model with the query phases marked as pipelined/overlapped."""
+    machine = machine or cluster.machine
+    return CostModel(
+        machine=machine,
+        threads_per_rank=cluster.threads_per_rank,
+        overlap_phases=QUERY_PHASES,
+    )
+
+
+def construction_breakdown(
+    cluster: Cluster,
+    cost_model: CostModel | None = None,
+    as_fractions: bool = True,
+) -> Dict[str, float]:
+    """Fig. 5(b): time per construction category (fractions by default)."""
+    cost_model = cost_model or default_cost_model(cluster)
+    breakdown = cost_model.evaluate(cluster.metrics, phases=list(CONSTRUCTION_PHASES))
+    values = {CONSTRUCTION_LABELS[p.phase]: p.total_s for p in breakdown.phases}
+    if not as_fractions:
+        return values
+    total = sum(values.values())
+    if total <= 0.0:
+        return {label: 0.0 for label in values}
+    return {label: v / total for label, v in values.items()}
+
+
+def query_breakdown(
+    cluster: Cluster,
+    cost_model: CostModel | None = None,
+    as_fractions: bool = True,
+) -> Dict[str, float]:
+    """Fig. 5(c): time per query category, communication reported separately.
+
+    Computation of each protocol step is reported under its own label; the
+    communication of all query phases is pipelined with computation, and only
+    the *non-overlapped* remainder is reported (as in the paper).
+    """
+    cost_model = cost_model or default_cost_model(cluster)
+    breakdown = cost_model.evaluate(cluster.metrics, phases=list(QUERY_PHASES))
+    values: Dict[str, float] = {}
+    non_overlapped = 0.0
+    for phase_time in breakdown.phases:
+        values[QUERY_LABELS[phase_time.phase]] = phase_time.compute_s
+        non_overlapped += phase_time.nonoverlapped_comm_s
+    values[NON_OVERLAPPED_COMM_LABEL] = non_overlapped
+    if not as_fractions:
+        return values
+    total = sum(values.values())
+    if total <= 0.0:
+        return {label: 0.0 for label in values}
+    return {label: v / total for label, v in values.items()}
+
+
+def phase_times(
+    cluster: Cluster,
+    phases: Sequence[str],
+    cost_model: CostModel | None = None,
+) -> Dict[str, float]:
+    """Modeled total seconds of each phase in ``phases``."""
+    cost_model = cost_model or default_cost_model(cluster)
+    breakdown = cost_model.evaluate(cluster.metrics, phases=list(phases))
+    return {p.phase: p.total_s for p in breakdown.phases}

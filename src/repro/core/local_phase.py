@@ -1,0 +1,65 @@
+"""Per-rank local kd-tree construction (paper steps ii-iv).
+
+After redistribution every rank owns the points of its region; this module
+builds each rank's local kd-tree and charges the work of the three local
+phases (data-parallel levels, thread-parallel subtrees, SIMD packing) to the
+cluster metrics so the Fig. 5(b) breakdown includes them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.simulator import Cluster
+from repro.core.config import PandaConfig
+from repro.kdtree.build import (
+    PHASE_DATA_PARALLEL,
+    PHASE_SIMD_PACKING,
+    PHASE_THREAD_PARALLEL,
+    build_kdtree,
+)
+from repro.kdtree.tree import KDTree
+
+#: Key under which each rank stores its local tree.
+LOCAL_TREE_KEY = "local_tree"
+
+#: Local construction phases in Fig. 5(b) order.
+LOCAL_PHASES = (PHASE_DATA_PARALLEL, PHASE_THREAD_PARALLEL, PHASE_SIMD_PACKING)
+
+
+def build_local_trees(cluster: Cluster, config: PandaConfig | None = None) -> List[KDTree]:
+    """Build a local kd-tree on every rank of ``cluster``.
+
+    The trees are stored in ``rank.store["local_tree"]`` and returned in
+    rank order.  Build counters are charged to the per-rank metrics under
+    the phases ``local_data_parallel``, ``local_thread_parallel`` and
+    ``local_simd_packing``.
+    """
+    config = config or PandaConfig()
+    trees: List[KDTree] = []
+    for rank in cluster.ranks:
+        tree = build_kdtree(
+            rank.points,
+            ids=rank.ids,
+            config=config.local,
+            threads=cluster.threads_per_rank,
+        )
+        rank.store[LOCAL_TREE_KEY] = tree
+        trees.append(tree)
+        # Register the phases in paper order and merge this rank's counters.
+        for phase_name in LOCAL_PHASES:
+            with cluster.metrics.phase(phase_name):
+                pass
+            if phase_name in tree.stats.phase_counters:
+                cluster.metrics.rank(rank.rank).phase(phase_name).merge(
+                    tree.stats.phase_counters[phase_name]
+                )
+    return trees
+
+
+def local_tree_of(cluster: Cluster, rank: int) -> KDTree:
+    """Return the local tree previously built on ``rank``."""
+    store = cluster.ranks[rank].store
+    if LOCAL_TREE_KEY not in store:
+        raise KeyError(f"rank {rank} has no local kd-tree; call build_local_trees first")
+    return store[LOCAL_TREE_KEY]

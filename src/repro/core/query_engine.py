@@ -1,0 +1,393 @@
+"""The five-step distributed KNN query protocol (paper Section III-B).
+
+For every batch of queries:
+
+1. **Find owner** — the rank holding a query walks the (replicated) global
+   kd-tree to find the rank owning the query's region and forwards the
+   query there (all-to-all exchange).
+2. **Local KNN** — the owner searches its local kd-tree; the distance to
+   the k-th local neighbour becomes the pruning radius r'.
+3. **Identify remote nodes** — the owner intersects the r' ball with the
+   other ranks' domain boxes and forwards (query, r') only to those ranks.
+4. **Remote KNN** — contacted ranks run a radius-bounded local search and
+   return their candidates to the owner.
+5. **Merge** — the owner merges local and remote candidates with a bounded
+   heap and returns the final k neighbours to the rank that originally held
+   the query.
+
+Queries are processed in batches (``PandaConfig.query_batch_size``) which is
+what enables the software pipelining / communication overlap the paper uses;
+the cost model treats the query phases' communication as overlappable.
+Every step charges its computation and traffic to a dedicated phase so the
+Fig. 5(c) breakdown can be reconstructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.simulator import Cluster
+from repro.core.config import PandaConfig
+from repro.core.global_tree import GlobalTree
+from repro.core.local_phase import local_tree_of
+from repro.kdtree.heap import merge_topk
+from repro.kdtree.query import QueryStats, batch_knn
+
+#: Phase names charged by the query engine (Fig. 5c categories).
+PHASE_FIND_OWNER = "query_find_owner"
+PHASE_LOCAL_KNN = "query_local_knn"
+PHASE_IDENTIFY_REMOTE = "query_identify_remote"
+PHASE_REMOTE_KNN = "query_remote_knn"
+PHASE_MERGE = "query_merge"
+
+QUERY_PHASES = (
+    PHASE_FIND_OWNER,
+    PHASE_LOCAL_KNN,
+    PHASE_IDENTIFY_REMOTE,
+    PHASE_REMOTE_KNN,
+    PHASE_MERGE,
+)
+
+
+@dataclass
+class QueryReport:
+    """Results and statistics of a distributed query run."""
+
+    k: int
+    distances: np.ndarray
+    ids: np.ndarray
+    owners: np.ndarray
+    remote_fanout: np.ndarray
+    remote_neighbors_used: np.ndarray
+    n_batches: int = 1
+    local_stats: QueryStats = field(default_factory=QueryStats)
+    remote_stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries answered."""
+        return int(self.distances.shape[0])
+
+    @property
+    def fraction_sent_remote(self) -> float:
+        """Fraction of queries forwarded to at least one remote rank."""
+        if self.n_queries == 0:
+            return 0.0
+        return float(np.count_nonzero(self.remote_fanout > 0)) / self.n_queries
+
+    @property
+    def mean_remote_fanout(self) -> float:
+        """Average number of remote ranks contacted per query."""
+        if self.n_queries == 0:
+            return 0.0
+        return float(self.remote_fanout.mean())
+
+    @property
+    def mean_remote_neighbors(self) -> float:
+        """Average number of final neighbours supplied by remote ranks."""
+        if self.n_queries == 0:
+            return 0.0
+        return float(self.remote_neighbors_used.mean())
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary used by reports and tests."""
+        return {
+            "n_queries": float(self.n_queries),
+            "k": float(self.k),
+            "fraction_sent_remote": self.fraction_sent_remote,
+            "mean_remote_fanout": self.mean_remote_fanout,
+            "mean_remote_neighbors": self.mean_remote_neighbors,
+            "local_nodes_visited": float(self.local_stats.nodes_visited),
+            "remote_nodes_visited": float(self.remote_stats.nodes_visited),
+            "local_distance_computations": float(self.local_stats.distance_computations),
+            "remote_distance_computations": float(self.remote_stats.distance_computations),
+        }
+
+
+class DistributedQueryEngine:
+    """Executes the distributed query protocol over a prepared cluster.
+
+    The cluster must already hold redistributed points and per-rank local
+    trees (see :func:`repro.core.redistribution.build_global_tree` and
+    :func:`repro.core.local_phase.build_local_trees`).
+    """
+
+    def __init__(self, cluster: Cluster, global_tree: GlobalTree, config: PandaConfig | None = None) -> None:
+        self.cluster = cluster
+        self.global_tree = global_tree
+        self.config = config or PandaConfig()
+        if global_tree.n_ranks != cluster.n_ranks:
+            raise ValueError(
+                f"global tree describes {global_tree.n_ranks} ranks but the cluster has {cluster.n_ranks}"
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        queries: np.ndarray,
+        k: int | None = None,
+        origin_ranks: np.ndarray | None = None,
+    ) -> QueryReport:
+        """Answer k-nearest-neighbour queries for every row of ``queries``.
+
+        Parameters
+        ----------
+        queries:
+            ``(n, dims)`` query coordinates.
+        k:
+            Neighbours per query (defaults to ``config.k``).
+        origin_ranks:
+            Rank initially holding each query (defaults to a block
+            distribution over the cluster, mimicking queries being read from
+            a partitioned file).
+
+        Returns
+        -------
+        QueryReport
+            Distances/ids in the original query order plus fan-out
+            statistics.
+        """
+        k = self.config.k if k is None else k
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        n_ranks = self.cluster.n_ranks
+        if origin_ranks is None:
+            boundaries = np.linspace(0, n_queries, n_ranks + 1).astype(np.int64)
+            origin_ranks = np.empty(n_queries, dtype=np.int64)
+            for r in range(n_ranks):
+                origin_ranks[boundaries[r] : boundaries[r + 1]] = r
+        else:
+            origin_ranks = np.asarray(origin_ranks, dtype=np.int64)
+            if origin_ranks.shape[0] != n_queries:
+                raise ValueError("origin_ranks must have one entry per query")
+            if origin_ranks.size and (origin_ranks.min() < 0 or origin_ranks.max() >= n_ranks):
+                raise ValueError("origin_ranks contains an invalid rank id")
+
+        out_d = np.full((n_queries, k), np.inf, dtype=np.float64)
+        out_i = np.full((n_queries, k), -1, dtype=np.int64)
+        owners_all = np.zeros(n_queries, dtype=np.int64)
+        fanout_all = np.zeros(n_queries, dtype=np.int64)
+        remote_used_all = np.zeros(n_queries, dtype=np.int64)
+        local_stats = QueryStats()
+        remote_stats = QueryStats()
+
+        batch_size = self.config.query_batch_size
+        n_batches = 0
+        for lo in range(0, n_queries, batch_size):
+            hi = min(lo + batch_size, n_queries)
+            n_batches += 1
+            self._run_batch(
+                queries[lo:hi],
+                np.arange(lo, hi, dtype=np.int64),
+                origin_ranks[lo:hi],
+                k,
+                out_d,
+                out_i,
+                owners_all,
+                fanout_all,
+                remote_used_all,
+                local_stats,
+                remote_stats,
+            )
+
+        return QueryReport(
+            k=k,
+            distances=out_d,
+            ids=out_i,
+            owners=owners_all,
+            remote_fanout=fanout_all,
+            remote_neighbors_used=remote_used_all,
+            n_batches=max(n_batches, 1),
+            local_stats=local_stats,
+            remote_stats=remote_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        queries: np.ndarray,
+        qids: np.ndarray,
+        origin_ranks: np.ndarray,
+        k: int,
+        out_d: np.ndarray,
+        out_i: np.ndarray,
+        owners_all: np.ndarray,
+        fanout_all: np.ndarray,
+        remote_used_all: np.ndarray,
+        local_stats: QueryStats,
+        remote_stats: QueryStats,
+    ) -> None:
+        cluster = self.cluster
+        comm = cluster.comm
+        metrics = cluster.metrics
+        n_ranks = cluster.n_ranks
+        tree_depth = max(self.global_tree.depth(), 1)
+
+        # ------------------------------------------------------------------
+        # Step 1: find owners and route queries to them.
+        # ------------------------------------------------------------------
+        with metrics.phase(PHASE_FIND_OWNER):
+            owners = self.global_tree.owner_of(queries)
+            owners_all[qids] = owners
+            for r in range(n_ranks):
+                mine = origin_ranks == r
+                counters = metrics.for_phase(r)
+                counters.nodes_visited += int(np.count_nonzero(mine)) * tree_depth
+                counters.scalar_ops += int(np.count_nonzero(mine))
+            send = [[None for _ in range(n_ranks)] for _ in range(n_ranks)]
+            for src in range(n_ranks):
+                src_mask = origin_ranks == src
+                for dst in range(n_ranks):
+                    sel = src_mask & (owners == dst)
+                    if np.any(sel):
+                        send[src][dst] = (queries[sel], qids[sel], np.full(int(sel.sum()), src, dtype=np.int64))
+            recv = comm.alltoall(send)
+
+        # Assemble the per-owner work lists.
+        owner_queries: List[np.ndarray] = []
+        owner_qids: List[np.ndarray] = []
+        owner_origins: List[np.ndarray] = []
+        for dst in range(n_ranks):
+            pieces = [item for item in recv[dst] if item is not None]
+            if pieces:
+                owner_queries.append(np.concatenate([p[0] for p in pieces], axis=0))
+                owner_qids.append(np.concatenate([p[1] for p in pieces]))
+                owner_origins.append(np.concatenate([p[2] for p in pieces]))
+            else:
+                owner_queries.append(np.empty((0, queries.shape[1])))
+                owner_qids.append(np.empty(0, dtype=np.int64))
+                owner_origins.append(np.empty(0, dtype=np.int64))
+
+        # ------------------------------------------------------------------
+        # Step 2: local KNN at the owner; r' bounds from the k-th distance.
+        # ------------------------------------------------------------------
+        local_dists: List[np.ndarray] = []
+        local_ids: List[np.ndarray] = []
+        radii: List[np.ndarray] = []
+        with metrics.phase(PHASE_LOCAL_KNN):
+            for r in range(n_ranks):
+                if owner_queries[r].shape[0] == 0:
+                    local_dists.append(np.empty((0, k)))
+                    local_ids.append(np.empty((0, k), dtype=np.int64))
+                    radii.append(np.empty(0))
+                    continue
+                tree = local_tree_of(cluster, r)
+                stats = QueryStats()
+                d, i, stats = batch_knn(tree, owner_queries[r], k, stats=None)
+                d_kth = d[:, k - 1]
+                local_dists.append(d)
+                local_ids.append(i)
+                radii.append(np.where(np.isfinite(d_kth), d_kth, np.inf))
+                stats.charge(metrics.for_phase(r), tree.dims)
+                local_stats.merge(stats)
+
+        # ------------------------------------------------------------------
+        # Step 3: identify remote ranks within r' and forward the queries.
+        # ------------------------------------------------------------------
+        with metrics.phase(PHASE_IDENTIFY_REMOTE):
+            send = [[None for _ in range(n_ranks)] for _ in range(n_ranks)]
+            per_owner_remote: List[List[np.ndarray]] = []
+            for r in range(n_ranks):
+                nq = owner_queries[r].shape[0]
+                counters = metrics.for_phase(r)
+                if nq == 0:
+                    per_owner_remote.append([])
+                    continue
+                remote_lists = self.global_tree.ranks_within_batch(owner_queries[r], radii[r], np.full(nq, r))
+                per_owner_remote.append(remote_lists)
+                counters.scalar_ops += nq * n_ranks
+                fanouts = np.array([len(lst) for lst in remote_lists], dtype=np.int64)
+                fanout_all[owner_qids[r]] = fanouts
+                # Group the forwarded queries per destination rank.
+                buckets: Dict[int, List[int]] = {}
+                for qi, lst in enumerate(remote_lists):
+                    for dst in lst:
+                        buckets.setdefault(int(dst), []).append(qi)
+                for dst, q_idx in buckets.items():
+                    sel = np.asarray(q_idx, dtype=np.int64)
+                    send[r][dst] = (
+                        owner_queries[r][sel],
+                        owner_qids[r][sel],
+                        radii[r][sel],
+                        np.full(sel.shape[0], r, dtype=np.int64),
+                    )
+            recv = comm.alltoall(send)
+
+        # ------------------------------------------------------------------
+        # Step 4: bounded local KNN for received remote queries; send back.
+        # ------------------------------------------------------------------
+        with metrics.phase(PHASE_REMOTE_KNN):
+            reply = [[None for _ in range(n_ranks)] for _ in range(n_ranks)]
+            for r in range(n_ranks):
+                pieces = [item for item in recv[r] if item is not None]
+                if not pieces:
+                    continue
+                tree = local_tree_of(cluster, r)
+                rq = np.concatenate([p[0] for p in pieces], axis=0)
+                rqid = np.concatenate([p[1] for p in pieces])
+                rrad = np.concatenate([p[2] for p in pieces])
+                rowner = np.concatenate([p[3] for p in pieces])
+                stats = QueryStats()
+                d, i, stats = batch_knn(tree, rq, k, radii=rrad)
+                stats.charge(metrics.for_phase(r), tree.dims)
+                remote_stats.merge(stats)
+                for owner in np.unique(rowner):
+                    sel = rowner == owner
+                    reply[r][int(owner)] = (rqid[sel], d[sel], i[sel])
+            replies = comm.alltoall(reply)
+
+        # ------------------------------------------------------------------
+        # Step 5: merge local and remote candidates; return to origin ranks.
+        # ------------------------------------------------------------------
+        with metrics.phase(PHASE_MERGE):
+            result_send = [[None for _ in range(n_ranks)] for _ in range(n_ranks)]
+            for r in range(n_ranks):
+                nq = owner_queries[r].shape[0]
+                if nq == 0:
+                    continue
+                counters = metrics.for_phase(r)
+                merged_d = local_dists[r].copy()
+                merged_i = local_ids[r].copy()
+                # Index of each query id within this owner's batch.
+                position = {int(qid): idx for idx, qid in enumerate(owner_qids[r])}
+                for piece in replies[r]:
+                    if piece is None:
+                        continue
+                    rqid, rd, ri = piece
+                    for row in range(rqid.shape[0]):
+                        idx = position[int(rqid[row])]
+                        valid = ri[row] >= 0
+                        d_new, i_new = merge_topk(
+                            k, merged_d[idx], merged_i[idx], rd[row][valid], ri[row][valid]
+                        )
+                        merged_d[idx, :] = np.inf
+                        merged_i[idx, :] = -1
+                        merged_d[idx, : d_new.shape[0]] = d_new
+                        merged_i[idx, : i_new.shape[0]] = i_new
+                        counters.scalar_ops += int(k * np.log2(max(k, 2)))
+                # Count neighbours that did not come from the owner itself.
+                for idx in range(nq):
+                    final_ids = set(int(x) for x in merged_i[idx] if x >= 0)
+                    local_set = set(int(x) for x in local_ids[r][idx] if x >= 0)
+                    remote_used_all[owner_qids[r][idx]] = len(final_ids - local_set)
+                # Return results to the rank that originally held the query.
+                for origin in np.unique(owner_origins[r]):
+                    sel = owner_origins[r] == origin
+                    result_send[r][int(origin)] = (owner_qids[r][sel], merged_d[sel], merged_i[sel])
+            results = comm.alltoall(result_send)
+            for origin in range(n_ranks):
+                for piece in results[origin]:
+                    if piece is None:
+                        continue
+                    rqid, rd, ri = piece
+                    out_d[rqid] = rd
+                    out_i[rqid] = ri

@@ -1,0 +1,286 @@
+"""Distributed global kd-tree construction and point redistribution.
+
+This module implements steps (i) of the paper's construction pipeline: the
+cluster-wide recursive halving that produces the global kd-tree and moves
+every point to the rank owning its region.
+
+At every level, for every group of ranks:
+
+1. the split *dimension* is the one with maximum variance, estimated from a
+   per-rank sample combined with an allreduce of (count, sum, sum-of-squares);
+2. the split *value* is the approximate median: every rank contributes
+   ``m = 256`` sampled coordinates (allgather), all ranks histogram their
+   local coordinates into the non-uniform bins those samples induce, the
+   histograms are summed with an allreduce, and the interval point whose
+   cumulative share is closest to the target fraction is selected;
+3. every rank partitions its points into the two half-spaces and the halves
+   are exchanged with an all-to-all so the first half of the group's ranks
+   own the "left" region and the second half the "right" region.
+
+The recursion stops when every group contains a single rank; that rank then
+owns a non-overlapping axis-aligned region of the domain.  All communication
+is charged to the ``global_tree`` phase and all point movement to the
+``redistribute`` phase so the Fig. 5(b) breakdown can be reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.comm import Communicator
+from repro.cluster.simulator import Cluster
+from repro.core.config import PandaConfig
+from repro.core.global_tree import LEAF, GlobalTree, GlobalTreeNode
+from repro.kdtree.median import HistogramMedianEstimator, sample_interval_points, select_median_interval
+
+#: Phase names charged by this module.
+PHASE_GLOBAL_TREE = "global_tree"
+PHASE_REDISTRIBUTE = "redistribute"
+
+
+def _group_split_dimension(
+    cluster: Cluster,
+    comm: Communicator,
+    config: PandaConfig,
+    rng: np.random.Generator,
+) -> int:
+    """Choose the max-variance dimension across the ranks of ``comm``."""
+    moments = []
+    for local, global_rank in enumerate(comm.group):
+        rank = cluster.ranks[global_rank]
+        pts = rank.points
+        if pts.shape[0] > config.global_variance_samples:
+            idx = rng.choice(pts.shape[0], size=config.global_variance_samples, replace=False)
+            pts = pts[idx]
+        counters = cluster.metrics.for_phase(global_rank)
+        counters.scalar_ops += int(pts.size)
+        if pts.size == 0:
+            dims = cluster.ranks[comm.group[0]].points.shape[1]
+            moments.append(np.zeros(2 * dims + 1))
+            continue
+        dims = pts.shape[1]
+        row = np.concatenate([[pts.shape[0]], pts.sum(axis=0), (pts * pts).sum(axis=0)])
+        moments.append(row)
+    reduced = comm.allreduce_sum(moments)[0]
+    dims = (reduced.shape[0] - 1) // 2
+    count = max(reduced[0], 1.0)
+    mean = reduced[1 : 1 + dims] / count
+    second = reduced[1 + dims :] / count
+    variance = np.maximum(second - mean * mean, 0.0)
+    return int(np.argmax(variance))
+
+
+def _group_split_value(
+    cluster: Cluster,
+    comm: Communicator,
+    dim: int,
+    target: float,
+    config: PandaConfig,
+    rng: np.random.Generator,
+) -> float:
+    """Approximate the ``target`` quantile along ``dim`` across the group."""
+    estimator = HistogramMedianEstimator(
+        n_samples=config.global_samples_per_rank, binning=config.binning
+    )
+    # Every rank contributes m sampled coordinates; allgather makes the
+    # combined interval points available everywhere.
+    samples = []
+    for global_rank in comm.group:
+        values = cluster.ranks[global_rank].points[:, dim] if cluster.ranks[global_rank].n_points else np.empty(0)
+        samples.append(sample_interval_points(values, config.global_samples_per_rank, rng))
+    gathered = comm.allgather(samples)[0]
+    interval_points = np.unique(np.concatenate([s for s in gathered if s.size] or [np.empty(0)]))
+    if interval_points.size == 0:
+        return 0.0
+
+    # Every rank histograms its own points into the shared bins.
+    histograms = []
+    for global_rank in comm.group:
+        rank = cluster.ranks[global_rank]
+        values = rank.points[:, dim] if rank.n_points else np.empty(0)
+        counts, ops = estimator.histogram(values, interval_points)
+        cluster.metrics.for_phase(global_rank).histogram_ops += ops
+        histograms.append(counts)
+    total_counts = comm.allreduce_sum(histograms)[0]
+    return select_median_interval(interval_points, total_counts, target=target)
+
+
+def _exchange_partitions(
+    cluster: Cluster,
+    comm: Communicator,
+    dim: int,
+    split_val: float,
+    left_ranks: Sequence[int],
+    right_ranks: Sequence[int],
+    target: float,
+) -> float:
+    """Partition each rank's points around ``split_val`` and exchange halves.
+
+    After this call the ranks in ``left_ranks`` hold only points with
+    coordinate ``<= split_val`` along ``dim`` and ``right_ranks`` only the
+    rest, each approximately balanced within its side.  Returns the split
+    value actually used (adjusted when the estimate failed to separate the
+    data).
+    """
+    group = comm.group
+    size = comm.size
+    left_set = {r: i for i, r in enumerate(left_ranks)}
+    right_set = {r: i for i, r in enumerate(right_ranks)}
+
+    def _partition_at(value: float) -> Tuple[list, list, int, int]:
+        lefts: List[Tuple[np.ndarray, np.ndarray]] = []
+        rights: List[Tuple[np.ndarray, np.ndarray]] = []
+        n_left = 0
+        n_right = 0
+        for global_rank in group:
+            rank = cluster.ranks[global_rank]
+            if rank.n_points == 0:
+                lefts.append((rank.points[:0], rank.ids[:0]))
+                rights.append((rank.points[:0], rank.ids[:0]))
+                continue
+            mask = rank.points[:, dim] <= value
+            lefts.append((rank.points[mask], rank.ids[mask]))
+            rights.append((rank.points[~mask], rank.ids[~mask]))
+            n_left += int(np.count_nonzero(mask))
+            n_right += rank.n_points - int(np.count_nonzero(mask))
+        return lefts, rights, n_left, n_right
+
+    # Charge the streaming partition pass once per rank.
+    for global_rank in group:
+        rank = cluster.ranks[global_rank]
+        counters = cluster.metrics.for_phase(global_rank)
+        counters.elements_moved += rank.n_points
+        counters.bytes_streamed += int(rank.points.nbytes)
+
+    left_parts, right_parts, total_left, total_right = _partition_at(split_val)
+
+    if total_left == 0 or total_right == 0:
+        # The sampled median failed to separate the data (skewed sample or
+        # heavy duplication).  Retry with the midpoint of the global extent,
+        # which is guaranteed to split whenever the coordinates are not all
+        # identical; otherwise fall back to a positional split (points are
+        # then identical along ``dim``, so every box still bounds them).
+        extents = []
+        for global_rank in group:
+            pts = cluster.ranks[global_rank].points
+            if pts.shape[0] == 0:
+                extents.append(np.array([np.inf, -np.inf]))
+            else:
+                extents.append(np.array([pts[:, dim].min(), pts[:, dim].max()]))
+        reduced = comm.allreduce(extents, lambda a, b: np.array([min(a[0], b[0]), max(a[1], b[1])]))[0]
+        gmin, gmax = float(reduced[0]), float(reduced[1])
+        if gmin < gmax:
+            split_val = (gmin + gmax) / 2.0
+            left_parts, right_parts, total_left, total_right = _partition_at(split_val)
+        else:
+            left_parts, right_parts = [], []
+            for global_rank in group:
+                rank = cluster.ranks[global_rank]
+                cut = int(round(rank.n_points * target))
+                left_parts.append((rank.points[:cut], rank.ids[:cut]))
+                right_parts.append((rank.points[cut:], rank.ids[cut:]))
+
+    # Build the all-to-all send matrix: each source splits its left part
+    # into len(left_ranks) chunks and its right part into len(right_ranks).
+    send: List[List[Tuple[np.ndarray, np.ndarray] | None]] = [
+        [None for _ in range(size)] for _ in range(size)
+    ]
+    for src_local, global_rank in enumerate(group):
+        lp, li = left_parts[src_local]
+        rp, ri = right_parts[src_local]
+        for dst_local, dst_rank in enumerate(group):
+            if dst_rank in left_set:
+                j = left_set[dst_rank]
+                chunk = _chunk_slice(lp.shape[0], len(left_ranks), j)
+                send[src_local][dst_local] = (lp[chunk], li[chunk])
+            else:
+                j = right_set[dst_rank]
+                chunk = _chunk_slice(rp.shape[0], len(right_ranks), j)
+                send[src_local][dst_local] = (rp[chunk], ri[chunk])
+
+    recv = comm.alltoall(send)
+
+    # Each destination keeps the union of what it received.
+    for dst_local, global_rank in enumerate(group):
+        pieces = [item for item in recv[dst_local] if item is not None and item[0].shape[0] > 0]
+        rank = cluster.ranks[global_rank]
+        if pieces:
+            points = np.concatenate([p for p, _ in pieces], axis=0)
+            ids = np.concatenate([i for _, i in pieces])
+        else:
+            dims = rank.points.shape[1] if rank.points.ndim == 2 else 0
+            points = np.empty((0, dims), dtype=np.float64)
+            ids = np.empty(0, dtype=np.int64)
+        counters = cluster.metrics.for_phase(global_rank)
+        counters.bytes_streamed += int(points.nbytes)
+        rank.set_points(points, ids)
+    return float(split_val)
+
+
+def _chunk_slice(n: int, n_chunks: int, chunk: int) -> slice:
+    """Boundaries of balanced chunk ``chunk`` of ``n`` items in ``n_chunks``."""
+    boundaries = np.linspace(0, n, n_chunks + 1).astype(np.int64)
+    return slice(int(boundaries[chunk]), int(boundaries[chunk + 1]))
+
+
+def build_global_tree(
+    cluster: Cluster,
+    config: PandaConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> GlobalTree:
+    """Construct the global kd-tree and redistribute points to their owners.
+
+    On return every rank of ``cluster`` owns the points falling into its
+    region and the returned :class:`GlobalTree` describes the partition.
+    """
+    config = config or PandaConfig()
+    rng = rng or np.random.default_rng(config.seed)
+    dims = 0
+    for rank in cluster.ranks:
+        if rank.points.ndim == 2 and rank.points.shape[1] > 0:
+            dims = rank.points.shape[1]
+            break
+    if dims == 0:
+        raise ValueError("cluster ranks hold no points; distribute data before construction")
+    if cluster.n_ranks == 1:
+        return GlobalTree.single_rank(dims)
+
+    nodes: List[GlobalTreeNode] = [GlobalTreeNode()]
+    # Work queue of (rank group, node index).
+    groups: List[Tuple[List[int], int]] = [(list(range(cluster.n_ranks)), 0)]
+    while groups:
+        next_groups: List[Tuple[List[int], int]] = []
+        for group, node_idx in groups:
+            if len(group) == 1:
+                nodes[node_idx].rank = group[0]
+                nodes[node_idx].split_dim = LEAF
+                continue
+            comm = Communicator(cluster.metrics, group)
+            n_left = (len(group) + 1) // 2
+            left_ranks = group[:n_left]
+            right_ranks = group[n_left:]
+            target = n_left / len(group)
+
+            with cluster.metrics.phase(PHASE_GLOBAL_TREE):
+                dim = _group_split_dimension(cluster, comm, config, rng)
+                split_val = _group_split_value(cluster, comm, dim, target, config, rng)
+            with cluster.metrics.phase(PHASE_REDISTRIBUTE):
+                split_val = _exchange_partitions(
+                    cluster, comm, dim, split_val, left_ranks, right_ranks, target
+                )
+
+            left_idx = len(nodes)
+            nodes.append(GlobalTreeNode())
+            right_idx = len(nodes)
+            nodes.append(GlobalTreeNode())
+            nodes[node_idx].split_dim = dim
+            nodes[node_idx].split_val = split_val
+            nodes[node_idx].left = left_idx
+            nodes[node_idx].right = right_idx
+            next_groups.append((left_ranks, left_idx))
+            next_groups.append((right_ranks, right_idx))
+        groups = next_groups
+
+    return GlobalTree.from_nodes(nodes, n_ranks=cluster.n_ranks, dims=dims)

@@ -1,0 +1,206 @@
+"""Named, reduced-scale analogues of every dataset in Tables I and II.
+
+Each entry records the paper's original attributes (particle count, cores,
+reported construction/query seconds) next to the reduced-scale parameters
+this reproduction uses, so the benchmark harness can print paper-vs-measured
+tables and the experiments stay laptop-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.cosmology import cosmology_particles
+from repro.datasets.dayabay import dayabay_records
+from repro.datasets.plasma import plasma_particles
+from repro.datasets.sdss import ALL_MAG_DIMS, PSF_MOD_MAG_DIMS, sdss_photometry
+
+
+@dataclass(frozen=True)
+class PaperAttributes:
+    """Attributes the paper reports for the original dataset (Table I / II)."""
+
+    particles: float
+    dims: int
+    cores: int = 0
+    construction_seconds: Optional[float] = None
+    query_seconds: Optional[float] = None
+    k: int = 5
+    query_fraction: float = 0.10
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named reduced-scale dataset configuration.
+
+    Attributes
+    ----------
+    name:
+        Registry key (matches the paper's dataset name).
+    generator:
+        Callable ``(n, seed) -> points`` or ``(n, seed) -> (points, labels)``.
+    n_points:
+        Reduced-scale point count used by this reproduction.
+    dims:
+        Dimensionality.
+    n_ranks:
+        Simulated node count used for the large-scale analogues (scaled from
+        the paper's core counts at 24 cores/node).
+    k:
+        Neighbours per query.
+    query_fraction:
+        Fraction of the points used as queries.
+    labelled:
+        Whether the generator returns labels.
+    paper:
+        The original attributes from the paper, for reporting.
+    """
+
+    name: str
+    generator: Callable[[int, int], object]
+    n_points: int
+    dims: int
+    n_ranks: int
+    k: int = 5
+    query_fraction: float = 0.10
+    labelled: bool = False
+    paper: PaperAttributes = field(default_factory=lambda: PaperAttributes(particles=0, dims=3))
+
+    def generate(self, seed: int = 0, n_points: int | None = None):
+        """Generate the dataset; returns points or (points, labels)."""
+        n = n_points if n_points is not None else self.n_points
+        return self.generator(n, seed)
+
+    def points(self, seed: int = 0, n_points: int | None = None) -> np.ndarray:
+        """Generate and return only the coordinates."""
+        data = self.generate(seed=seed, n_points=n_points)
+        if self.labelled:
+            return data[0]
+        return data
+
+    def points_and_labels(self, seed: int = 0, n_points: int | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate coordinates and labels (labelled datasets only)."""
+        if not self.labelled:
+            raise ValueError(f"dataset {self.name!r} has no labels")
+        return self.generate(seed=seed, n_points=n_points)
+
+    def queries(self, points: np.ndarray, seed: int = 0) -> np.ndarray:
+        """Select the query subset (a random ``query_fraction`` of the points).
+
+        Fractions above 1 (the SDSS workloads query 5x more points than they
+        index) sample with replacement and add a small jitter so the queries
+        are not exact copies of indexed points.
+        """
+        rng = np.random.default_rng(seed + 1)
+        n_queries = max(1, int(round(points.shape[0] * self.query_fraction)))
+        if n_queries <= points.shape[0]:
+            idx = rng.choice(points.shape[0], size=n_queries, replace=False)
+            return points[idx]
+        idx = rng.choice(points.shape[0], size=n_queries, replace=True)
+        scale = points.std(axis=0, keepdims=True) * 0.01
+        return points[idx] + rng.normal(size=(n_queries, points.shape[1])) * scale
+
+
+def _cosmo(n: int, seed: int) -> np.ndarray:
+    return cosmology_particles(n, seed=seed)
+
+
+def _plasma(n: int, seed: int) -> np.ndarray:
+    return plasma_particles(n, seed=seed)
+
+
+def _dayabay(n: int, seed: int):
+    return dayabay_records(n, seed=seed)
+
+
+def _psf_mod_mag(n: int, seed: int) -> np.ndarray:
+    return sdss_photometry(n, dims=PSF_MOD_MAG_DIMS, seed=seed)
+
+
+def _all_mag(n: int, seed: int) -> np.ndarray:
+    return sdss_photometry(n, dims=ALL_MAG_DIMS, seed=seed)
+
+
+#: Registry of reduced-scale analogues of the paper's datasets.
+DATASETS: Dict[str, DatasetSpec] = {
+    # ----- Table I: multinode datasets -------------------------------------
+    "cosmo_small": DatasetSpec(
+        name="cosmo_small", generator=_cosmo, n_points=40_000, dims=3, n_ranks=2,
+        paper=PaperAttributes(particles=1.1e9, dims=3, cores=96,
+                              construction_seconds=23.3, query_seconds=12.2),
+    ),
+    "cosmo_medium": DatasetSpec(
+        name="cosmo_medium", generator=_cosmo, n_points=80_000, dims=3, n_ranks=4,
+        paper=PaperAttributes(particles=8.1e9, dims=3, cores=768,
+                              construction_seconds=31.4, query_seconds=14.7),
+    ),
+    "cosmo_large": DatasetSpec(
+        name="cosmo_large", generator=_cosmo, n_points=120_000, dims=3, n_ranks=8,
+        paper=PaperAttributes(particles=68.7e9, dims=3, cores=49152,
+                              construction_seconds=12.2, query_seconds=3.8),
+    ),
+    "plasma_large": DatasetSpec(
+        name="plasma_large", generator=_plasma, n_points=150_000, dims=3, n_ranks=8,
+        paper=PaperAttributes(particles=188.8e9, dims=3, cores=49152,
+                              construction_seconds=47.8, query_seconds=11.6),
+    ),
+    "dayabay_large": DatasetSpec(
+        name="dayabay_large", generator=_dayabay, n_points=60_000, dims=10, n_ranks=4,
+        query_fraction=0.005, labelled=True,
+        paper=PaperAttributes(particles=2.7e9, dims=10, cores=6144,
+                              construction_seconds=4.0, query_seconds=6.8,
+                              query_fraction=0.005),
+    ),
+    # ----- Table I: single-node (thin) datasets ----------------------------
+    "cosmo_thin": DatasetSpec(
+        name="cosmo_thin", generator=_cosmo, n_points=20_000, dims=3, n_ranks=1,
+        paper=PaperAttributes(particles=50e6, dims=3, cores=24,
+                              construction_seconds=1.1, query_seconds=1.1),
+    ),
+    "plasma_thin": DatasetSpec(
+        name="plasma_thin", generator=_plasma, n_points=15_000, dims=3, n_ranks=1,
+        paper=PaperAttributes(particles=37e6, dims=3, cores=24,
+                              construction_seconds=1.0, query_seconds=0.8),
+    ),
+    "dayabay_thin": DatasetSpec(
+        name="dayabay_thin", generator=_dayabay, n_points=12_000, dims=10, n_ranks=1,
+        query_fraction=0.005, labelled=True,
+        paper=PaperAttributes(particles=27e6, dims=10, cores=24,
+                              construction_seconds=1.8, query_seconds=3.2,
+                              query_fraction=0.005),
+    ),
+    # ----- Table II: KNL / SDSS datasets ------------------------------------
+    "psf_mod_mag": DatasetSpec(
+        name="psf_mod_mag", generator=_psf_mod_mag, n_points=20_000, dims=10, n_ranks=1,
+        k=10, query_fraction=5.0,
+        paper=PaperAttributes(particles=2e6, dims=10, k=10, query_fraction=5.0),
+    ),
+    "all_mag": DatasetSpec(
+        name="all_mag", generator=_all_mag, n_points=20_000, dims=15, n_ranks=1,
+        k=10, query_fraction=5.0,
+        paper=PaperAttributes(particles=2e6, dims=15, k=10, query_fraction=5.0),
+    ),
+    "knl_cosmo": DatasetSpec(
+        name="knl_cosmo", generator=_cosmo, n_points=80_000, dims=3, n_ranks=8, k=10,
+        paper=PaperAttributes(particles=254e6, dims=3, k=10, query_fraction=1.0),
+    ),
+    "knl_plasma": DatasetSpec(
+        name="knl_plasma", generator=_plasma, n_points=80_000, dims=3, n_ranks=8, k=10,
+        paper=PaperAttributes(particles=250e6, dims=3, k=10, query_fraction=1.0),
+    ),
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered datasets."""
+    return sorted(DATASETS)
+
+
+def load_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}")
+    return DATASETS[name]

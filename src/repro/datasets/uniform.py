@@ -1,0 +1,60 @@
+"""Elementary point generators used by tests and as building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_points(
+    n: int,
+    dims: int = 3,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Uniformly distributed points in an axis-aligned box.
+
+    Parameters
+    ----------
+    n, dims:
+        Number of points and dimensionality.
+    low, high:
+        Box bounds (shared by every dimension).
+    seed:
+        RNG seed (generation is deterministic).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if dims <= 0:
+        raise ValueError(f"dims must be positive, got {dims}")
+    if high <= low:
+        raise ValueError(f"high must exceed low, got low={low}, high={high}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(n, dims))
+
+
+def gaussian_blobs(
+    n: int,
+    dims: int = 3,
+    n_blobs: int = 8,
+    spread: float = 0.05,
+    box: float = 1.0,
+    seed: int = 0,
+    return_labels: bool = False,
+):
+    """Mixture-of-Gaussians point cloud (generic clustered data).
+
+    Returns the points, or ``(points, blob_labels)`` when
+    ``return_labels=True``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n_blobs <= 0:
+        raise ValueError(f"n_blobs must be positive, got {n_blobs}")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, box, size=(n_blobs, dims))
+    assignment = rng.integers(0, n_blobs, size=n)
+    points = centers[assignment] + rng.normal(scale=spread * box, size=(n, dims))
+    if return_labels:
+        return points, assignment.astype(np.int64)
+    return points

@@ -1,0 +1,51 @@
+"""Paper-reproduction experiment drivers.
+
+One module per table/figure of the paper's evaluation section; each driver
+returns structured results (and can format them as the text table / series
+the paper reports) and is wrapped by a benchmark under ``benchmarks/``.
+
+=============  =====================================================
+Module         Paper artefact
+=============  =====================================================
+``table1``     Table I — dataset attributes and PANDA times
+``fig4``       Fig. 4 — strong scaling (cosmo, plasma, dayabay)
+``fig5``       Fig. 5 — weak scaling + construction/query breakdowns
+``fig6``       Fig. 6 — single-node thread scaling
+``fig7``       Fig. 7 — comparison with FLANN and ANN
+``fig8``       Fig. 8 / Table II — Knights Landing experiments
+``science``    Section V-C — Daya Bay classification accuracy
+``ablations``  Section III-A1 design-choice ablations
+=============  =====================================================
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8a, run_fig8b, run_fig8c
+from repro.experiments.science import run_science_accuracy
+from repro.experiments.ablations import (
+    run_binning_ablation,
+    run_bucket_size_ablation,
+    run_split_dimension_ablation,
+    run_strategy_ablation,
+)
+
+__all__ = [
+    "run_table1",
+    "run_fig4",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig5c",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig8c",
+    "run_science_accuracy",
+    "run_split_dimension_ablation",
+    "run_bucket_size_ablation",
+    "run_binning_ablation",
+    "run_strategy_ablation",
+]

@@ -1,0 +1,103 @@
+"""Figure 4 reproduction: multinode strong scaling of construction and querying.
+
+The paper fixes the dataset (cosmo_large, plasma_large or dayabay_large) and
+increases the core count by 8x (4x for plasma), reporting the speedup of the
+construction and query phases relative to the smallest core count.  The key
+qualitative findings are:
+
+* both phases scale, but querying scales better than construction (e.g.
+  cosmo: 5.2x vs 4.3x on 8x more cores) because construction must
+  redistribute the entire dataset while queries only move small payloads;
+* construction scalability degrades as the global tree gets deeper with
+  more nodes (plasma: 2.7x on 4x more cores).
+
+This driver performs the same sweep over simulated rank counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cluster.machine import MachineSpec
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import scaled_machine
+from repro.perf.report import format_scaling
+from repro.perf.scaling import ScalingResult, run_strong_scaling
+
+#: Default sweeps per dataset: scaled-down analogues of the paper's
+#: 6144->49152, 12288->49152 and 768->6144 core sweeps (8x, 4x, 8x).
+DEFAULT_SWEEPS = {
+    "cosmo_large": (2, 4, 8, 16),
+    "plasma_large": (4, 8, 16),
+    "dayabay_large": (2, 4, 8, 16),
+}
+
+#: Paper speedups at the largest core count (construction, querying).
+PAPER_SPEEDUPS = {
+    "cosmo_large": (4.3, 5.2),
+    "plasma_large": (2.7, 4.4),
+    "dayabay_large": (6.5, 6.6),
+}
+
+
+@dataclass
+class Fig4Result:
+    """Strong-scaling series for one dataset."""
+
+    dataset: str
+    scaling: ScalingResult
+    construction_speedup: List[float]
+    query_speedup: List[float]
+    paper_construction_speedup: float
+    paper_query_speedup: float
+
+    @property
+    def text(self) -> str:
+        """Formatted series matching the paper's figure axes."""
+        return format_scaling(
+            self.scaling.resources(),
+            {
+                "construction_speedup": self.construction_speedup,
+                "query_speedup": self.query_speedup,
+            },
+            title=f"Fig. 4 strong scaling — {self.dataset}",
+        )
+
+
+def run_fig4(
+    dataset: str = "cosmo_large",
+    rank_counts: Sequence[int] | None = None,
+    scale: float = 1.0,
+    k: int = 5,
+    seed: int = 0,
+    machine: MachineSpec | None = None,
+) -> Fig4Result:
+    """Strong-scaling sweep for one of the Fig. 4 datasets."""
+    spec = load_dataset(dataset)
+    rank_counts = tuple(rank_counts or DEFAULT_SWEEPS.get(dataset, (2, 4, 8)))
+    n_points = max(4_000, int(round(spec.n_points * scale)))
+    points = spec.points(seed=seed, n_points=n_points)
+    queries = spec.queries(points, seed=seed)
+    scaling = run_strong_scaling(
+        points, queries, rank_counts, k=k, machine=scaled_machine(machine), label=dataset
+    )
+    paper_c, paper_q = PAPER_SPEEDUPS.get(dataset, (float("nan"), float("nan")))
+    return Fig4Result(
+        dataset=dataset,
+        scaling=scaling,
+        construction_speedup=[float(s) for s in scaling.construction_speedup()],
+        query_speedup=[float(s) for s in scaling.query_speedup()],
+        paper_construction_speedup=paper_c,
+        paper_query_speedup=paper_q,
+    )
+
+
+def run_fig4_all(
+    scale: float = 0.5, seed: int = 0, machine: MachineSpec | None = None
+) -> Dict[str, Fig4Result]:
+    """Run the sweep for all three Fig. 4 datasets."""
+    return {
+        name: run_fig4(name, scale=scale, seed=seed, machine=machine)
+        for name in DEFAULT_SWEEPS
+    }

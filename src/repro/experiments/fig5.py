@@ -1,0 +1,127 @@
+"""Figure 5 reproduction: weak scaling and the construction/query breakdowns.
+
+* Fig. 5(a): weak scaling on the cosmology family — ~250M points per node in
+  the paper (a fixed number of points per rank here), 64x more cores in the
+  sweep; construction time grows by only 2.2x and querying by 1.5x.
+* Fig. 5(b): construction time breakdown — global kd-tree construction and
+  particle redistribution dominate (>75 % for the 3-D datasets; less for the
+  10-D dayabay data where split-dimension selection makes the local tree
+  relatively more expensive).
+* Fig. 5(c): query time breakdown — local KNN dominates (up to 67 %),
+  remote KNN is small for the 3-D datasets but large for dayabay (the
+  co-located records force ~22 remote ranks per query), and only the
+  non-overlapped part of communication is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+from repro.datasets.cosmology import cosmology_particles
+from repro.experiments.common import run_panda_on_dataset, scaled_machine
+from repro.perf.report import format_breakdown, format_scaling
+from repro.perf.scaling import ScalingResult, run_weak_scaling
+
+#: Datasets shown in the Fig. 5(b)/(c) breakdowns.
+BREAKDOWN_DATASETS = ("cosmo_large", "plasma_large", "dayabay_large")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(a): weak scaling
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig5aResult:
+    """Weak-scaling series on the cosmology family."""
+
+    scaling: ScalingResult
+    construction_normalized: List[float]
+    query_normalized: List[float]
+    paper_construction_growth: float = 2.2
+    paper_query_growth: float = 1.5
+
+    @property
+    def text(self) -> str:
+        """Formatted normalised-time series (1.0 at the smallest rank count)."""
+        return format_scaling(
+            self.scaling.resources(),
+            {
+                "construction_time_norm": self.construction_normalized,
+                "query_time_norm": self.query_normalized,
+            },
+            title="Fig. 5(a) weak scaling — cosmology",
+        )
+
+
+def run_fig5a(
+    points_per_rank: int = 12_000,
+    rank_counts: Sequence[int] = (2, 4, 8, 16),
+    k: int = 5,
+    seed: int = 0,
+    machine: MachineSpec | None = None,
+) -> Fig5aResult:
+    """Weak scaling on synthetic cosmology data (constant points per rank)."""
+    scaling = run_weak_scaling(
+        generator=lambda n, s: cosmology_particles(n, seed=s),
+        points_per_rank=points_per_rank,
+        rank_counts=rank_counts,
+        k=k,
+        seed=seed,
+        machine=scaled_machine(machine),
+        label="weak-cosmo",
+    )
+    construction = np.asarray(scaling.construction_times())
+    query = np.asarray(scaling.query_times())
+    return Fig5aResult(
+        scaling=scaling,
+        construction_normalized=[float(x) for x in construction / construction[0]],
+        query_normalized=[float(x) for x in query / query[0]],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(b) and 5(c): breakdowns
+# ---------------------------------------------------------------------------
+@dataclass
+class BreakdownResult:
+    """Per-dataset phase shares (fractions summing to 1)."""
+
+    breakdowns: Dict[str, Dict[str, float]]
+    title: str
+
+    @property
+    def text(self) -> str:
+        """Formatted breakdown tables, one per dataset."""
+        blocks = []
+        for name, shares in self.breakdowns.items():
+            blocks.append(format_breakdown(shares, title=f"{self.title} — {name}"))
+        return "\n\n".join(blocks)
+
+
+def run_fig5b(
+    datasets: Sequence[str] = BREAKDOWN_DATASETS,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> BreakdownResult:
+    """Construction-time breakdown per dataset (Fig. 5b)."""
+    breakdowns: Dict[str, Dict[str, float]] = {}
+    for name in datasets:
+        run = run_panda_on_dataset(name, scale=scale, seed=seed, query_scale=0.1)
+        breakdowns[name] = run.index.construction_breakdown()
+    return BreakdownResult(breakdowns=breakdowns, title="Fig. 5(b) construction breakdown")
+
+
+def run_fig5c(
+    datasets: Sequence[str] = BREAKDOWN_DATASETS,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> BreakdownResult:
+    """Query-time breakdown per dataset (Fig. 5c)."""
+    breakdowns: Dict[str, Dict[str, float]] = {}
+    for name in datasets:
+        run = run_panda_on_dataset(name, scale=scale, seed=seed)
+        breakdowns[name] = run.index.query_breakdown()
+    return BreakdownResult(breakdowns=breakdowns, title="Fig. 5(c) query breakdown")

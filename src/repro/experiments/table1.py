@@ -1,0 +1,108 @@
+"""Table I reproduction: dataset attributes and PANDA construction/query times.
+
+The paper's Table I lists, for every dataset, the particle count, the
+dimensionality, the kd-tree construction time, k, the query fraction, the
+query time and the core count.  This driver runs the reduced-scale analogue
+of each dataset through the full PANDA pipeline and reports both the paper's
+values and the modeled times of the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import run_panda_on_dataset
+from repro.perf.report import format_table
+
+#: Datasets appearing in Table I, in the paper's row order.
+TABLE1_DATASETS = (
+    "cosmo_small",
+    "cosmo_medium",
+    "cosmo_large",
+    "plasma_large",
+    "dayabay_large",
+    "cosmo_thin",
+    "plasma_thin",
+    "dayabay_thin",
+)
+
+
+@dataclass
+class Table1Row:
+    """One row of the reproduced Table I."""
+
+    name: str
+    n_points: int
+    dims: int
+    k: int
+    query_fraction: float
+    n_ranks: int
+    construction_time: float
+    query_time: float
+    paper_construction: float | None
+    paper_query: float | None
+    paper_particles: float
+    paper_cores: int
+
+    def as_list(self) -> List[object]:
+        """Row cells in printing order."""
+        return [
+            self.name,
+            self.n_points,
+            self.dims,
+            self.k,
+            f"{self.query_fraction * 100:g}%",
+            self.n_ranks,
+            self.construction_time,
+            self.query_time,
+            self.paper_construction if self.paper_construction is not None else "-",
+            self.paper_query if self.paper_query is not None else "-",
+        ]
+
+
+def run_table1(
+    datasets: Sequence[str] = TABLE1_DATASETS,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Reproduce Table I at reduced scale.
+
+    Returns a dict with ``rows`` (list of :class:`Table1Row`) and ``text``
+    (a formatted table mirroring the paper's columns).
+    """
+    rows: List[Table1Row] = []
+    for name in datasets:
+        spec = load_dataset(name)
+        run = run_panda_on_dataset(name, scale=scale, seed=seed)
+        rows.append(
+            Table1Row(
+                name=name,
+                n_points=run.n_points,
+                dims=spec.dims,
+                k=run.k,
+                query_fraction=spec.query_fraction,
+                n_ranks=run.n_ranks,
+                construction_time=run.construction_time,
+                query_time=run.query_time,
+                paper_construction=spec.paper.construction_seconds,
+                paper_query=spec.paper.query_seconds,
+                paper_particles=spec.paper.particles,
+                paper_cores=spec.paper.cores,
+            )
+        )
+    headers = [
+        "Name",
+        "Particles",
+        "Dims",
+        "k",
+        "Queries(%)",
+        "Ranks",
+        "Time(C) model s",
+        "Time(Q) model s",
+        "Paper C s",
+        "Paper Q s",
+    ]
+    text = format_table(headers, [r.as_list() for r in rows], title="Table I (reduced-scale reproduction)")
+    return {"rows": rows, "text": text}

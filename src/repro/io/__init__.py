@@ -1,0 +1,14 @@
+"""Chunked column storage and partitioned reads.
+
+The paper stores each particle property as a 1-D HDF5 array dataset and
+every rank reads an approximately equal, contiguous slab before
+construction.  :class:`~repro.io.column_store.ColumnStore` reproduces that
+layout on top of ``.npy`` chunk files (one directory per dataset, one
+column per property, fixed-size chunks), and :mod:`~repro.io.partition`
+computes the per-rank slabs for block and round-robin layouts.
+"""
+
+from repro.io.column_store import ColumnStore
+from repro.io.partition import block_partition, partition_bounds, round_robin_partition
+
+__all__ = ["ColumnStore", "block_partition", "round_robin_partition", "partition_bounds"]

@@ -1,0 +1,131 @@
+"""Chunked on-disk column store (HDF5-1-D-array-per-property stand-in).
+
+A dataset is a directory; every column (``x``, ``y``, ``z``, ``energy``, a
+label, ...) is stored as a sequence of fixed-size ``.npy`` chunk files plus
+a tiny JSON manifest.  Ranks read only the chunks overlapping their slab,
+mimicking the collective partitioned reads the paper performs before
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_MANIFEST = "manifest.json"
+
+
+class ColumnStore:
+    """Chunked column store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding (or to hold) the dataset.
+    chunk_size:
+        Rows per chunk file when writing.
+    """
+
+    def __init__(self, root: str | Path, chunk_size: int = 65536) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.root = Path(root)
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(self, columns: Dict[str, np.ndarray]) -> None:
+        """Write named 1-D columns of equal length, replacing the dataset."""
+        if not columns:
+            raise ValueError("at least one column is required")
+        lengths = {name: np.asarray(col).shape[0] for name, col in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"columns have mismatching lengths: {lengths}")
+        n = next(iter(lengths.values()))
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = {"n_rows": int(n), "chunk_size": self.chunk_size, "columns": {}}
+        for name, col in columns.items():
+            col = np.asarray(col)
+            if col.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D, got shape {col.shape}")
+            col_dir = self.root / name
+            col_dir.mkdir(parents=True, exist_ok=True)
+            n_chunks = 0
+            for lo in range(0, n, self.chunk_size):
+                chunk = col[lo : lo + self.chunk_size]
+                np.save(col_dir / f"chunk_{n_chunks:06d}.npy", chunk)
+                n_chunks += 1
+            manifest["columns"][name] = {"dtype": str(col.dtype), "n_chunks": n_chunks}
+        (self.root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+    def write_points(self, points: np.ndarray, column_names: Sequence[str] | None = None,
+                     extra: Dict[str, np.ndarray] | None = None) -> None:
+        """Write a 2-D point array as one column per coordinate."""
+        points = np.atleast_2d(np.asarray(points))
+        if column_names is None:
+            column_names = [f"dim{i}" for i in range(points.shape[1])]
+        if len(column_names) != points.shape[1]:
+            raise ValueError("column_names length must equal the number of dimensions")
+        columns = {name: points[:, i] for i, name in enumerate(column_names)}
+        if extra:
+            columns.update(extra)
+        self.write(columns)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def manifest(self) -> dict:
+        """Load the dataset manifest."""
+        path = self.root / _MANIFEST
+        if not path.exists():
+            raise FileNotFoundError(f"no column store at {self.root}")
+        return json.loads(path.read_text())
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows in the dataset."""
+        return int(self.manifest()["n_rows"])
+
+    def column_names(self) -> List[str]:
+        """Names of the stored columns."""
+        return sorted(self.manifest()["columns"])
+
+    def read_column(self, name: str, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Read ``column[start:stop]`` touching only the overlapping chunks."""
+        manifest = self.manifest()
+        if name not in manifest["columns"]:
+            raise KeyError(f"unknown column {name!r}; available: {sorted(manifest['columns'])}")
+        n = manifest["n_rows"]
+        chunk_size = manifest["chunk_size"]
+        stop = n if stop is None else min(stop, n)
+        start = max(0, start)
+        if stop <= start:
+            dtype = np.dtype(manifest["columns"][name]["dtype"])
+            return np.empty(0, dtype=dtype)
+        first_chunk = start // chunk_size
+        last_chunk = (stop - 1) // chunk_size
+        pieces = []
+        for ci in range(first_chunk, last_chunk + 1):
+            chunk = np.load(self.root / name / f"chunk_{ci:06d}.npy")
+            lo = max(start - ci * chunk_size, 0)
+            hi = min(stop - ci * chunk_size, chunk.shape[0])
+            pieces.append(chunk[lo:hi])
+        return np.concatenate(pieces)
+
+    def read_points(self, column_names: Sequence[str], start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Read several columns as a 2-D ``(rows, len(column_names))`` array."""
+        cols = [self.read_column(name, start, stop) for name in column_names]
+        return np.column_stack(cols) if cols else np.empty((0, 0))
+
+    def read_rank_slab(self, column_names: Sequence[str], rank: int, n_ranks: int) -> np.ndarray:
+        """Read the contiguous slab assigned to ``rank`` of ``n_ranks``."""
+        from repro.io.partition import partition_bounds
+
+        if not 0 <= rank < n_ranks:
+            raise ValueError(f"rank {rank} outside 0..{n_ranks - 1}")
+        lo, hi = partition_bounds(self.n_rows, n_ranks)[rank]
+        return self.read_points(column_names, lo, hi)

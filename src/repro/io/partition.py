@@ -1,0 +1,33 @@
+"""Per-rank partitioning of a dataset read from storage."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def partition_bounds(n: int, n_ranks: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[start, end)`` slabs of ``n`` items over ranks.
+
+    Slab sizes differ by at most one item, matching the paper's assumption
+    that "each node reads in an approximately equal number of points".
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n_ranks <= 0:
+        raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+    boundaries = np.linspace(0, n, n_ranks + 1).astype(np.int64)
+    return [(int(boundaries[r]), int(boundaries[r + 1])) for r in range(n_ranks)]
+
+
+def block_partition(data: np.ndarray, n_ranks: int) -> List[np.ndarray]:
+    """Split ``data`` (first axis) into contiguous balanced blocks."""
+    return [data[lo:hi] for lo, hi in partition_bounds(data.shape[0], n_ranks)]
+
+
+def round_robin_partition(data: np.ndarray, n_ranks: int) -> List[np.ndarray]:
+    """Deal rows of ``data`` to ranks round-robin."""
+    if n_ranks <= 0:
+        raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+    return [data[r::n_ranks] for r in range(n_ranks)]

@@ -1,0 +1,70 @@
+"""Array-based kd-tree kernels: construction, querying and validation.
+
+This package implements the single-node building blocks of PANDA:
+
+* :mod:`~repro.kdtree.splitters` — split-dimension and split-point rules
+  (PANDA's sampled max-variance dimension + sampled-histogram median, plus
+  the FLANN-style and ANN-style rules used as baselines);
+* :mod:`~repro.kdtree.median` — the approximate median estimator built from
+  a non-uniform-bin histogram over sampled interval points, including the
+  32-stride sub-interval accelerated binning described in Section III-A1;
+* :mod:`~repro.kdtree.build` — breadth-first ("data parallel") +
+  depth-first ("thread parallel") construction with leaf buckets packed
+  contiguously ("SIMD packing");
+* :mod:`~repro.kdtree.query` — Algorithm 1: bounded-radius k-nearest
+  neighbour search with a bounded max-heap and distance-based pruning;
+* :mod:`~repro.kdtree.tree` — the flat array representation shared by all
+  of the above;
+* :mod:`~repro.kdtree.validate` — structural invariants used by tests.
+"""
+
+from repro.kdtree.bucket import BucketStore
+from repro.kdtree.heap import BoundedMaxHeap, merge_topk
+from repro.kdtree.median import (
+    HistogramMedianEstimator,
+    approximate_median,
+    searchsorted_binning,
+    subinterval_binning,
+)
+from repro.kdtree.splitters import (
+    SplitContext,
+    choose_split_dimension,
+    choose_split_value,
+    SPLIT_DIM_STRATEGIES,
+    SPLIT_VALUE_STRATEGIES,
+)
+from repro.kdtree.tree import KDTree, KDTreeConfig, TreeBuildStats
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.query import (
+    KNNResult,
+    QueryStats,
+    batch_knn,
+    brute_force_knn,
+    knn_search,
+)
+from repro.kdtree.validate import check_tree_invariants
+
+__all__ = [
+    "BucketStore",
+    "BoundedMaxHeap",
+    "merge_topk",
+    "HistogramMedianEstimator",
+    "approximate_median",
+    "searchsorted_binning",
+    "subinterval_binning",
+    "SplitContext",
+    "choose_split_dimension",
+    "choose_split_value",
+    "SPLIT_DIM_STRATEGIES",
+    "SPLIT_VALUE_STRATEGIES",
+    "KDTree",
+    "KDTreeConfig",
+    "TreeBuildStats",
+    "build_kdtree",
+    "KNNResult",
+    "QueryStats",
+    "batch_knn",
+    "brute_force_knn",
+    "knn_search",
+    "check_tree_invariants",
+]

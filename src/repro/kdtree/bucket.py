@@ -1,0 +1,104 @@
+"""Packed leaf-bucket storage ("SIMD packing").
+
+Step (iv) of the paper's construction shuffles the dataset so that the
+points of each leaf bucket are contiguous in memory; querying a bucket is
+then an exhaustive, SIMD-friendly distance computation over a dense slab.
+:class:`BucketStore` is the NumPy equivalent: a single ``(n, dims)`` array in
+leaf order plus ``(start, count)`` slices per leaf, so every bucket scan is
+one vectorised operation over a contiguous view.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class BucketStore:
+    """Leaf-contiguous storage of points and their global ids.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dims)`` array already permuted into leaf order.
+    ids:
+        ``(n,)`` global identifiers in the same order.
+    starts, counts:
+        Per-leaf slice descriptors into the packed arrays.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+        ids = np.asarray(ids, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        if ids.shape[0] != points.shape[0]:
+            raise ValueError("ids length must match number of points")
+        if starts.shape != counts.shape:
+            raise ValueError("starts and counts must have identical shape")
+        if counts.sum() != points.shape[0]:
+            raise ValueError(
+                f"bucket counts sum to {int(counts.sum())} but there are {points.shape[0]} points"
+            )
+        self.points = points
+        self.ids = ids
+        self.starts = starts
+        self.counts = counts
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Total number of stored points."""
+        return int(self.points.shape[0])
+
+    @property
+    def dims(self) -> int:
+        """Point dimensionality."""
+        return int(self.points.shape[1]) if self.points.size else 0
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of leaf buckets."""
+        return int(self.starts.shape[0])
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Per-bucket point counts."""
+        return self.counts.copy()
+
+    def bucket(self, leaf: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (points_view, ids_view) of one leaf bucket (no copies)."""
+        start = int(self.starts[leaf])
+        count = int(self.counts[leaf])
+        return self.points[start : start + count], self.ids[start : start + count]
+
+    # ------------------------------------------------------------------
+    # Distance kernels
+    # ------------------------------------------------------------------
+    def bucket_sq_distances(self, leaf: int, query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Squared Euclidean distances from ``query`` to every point in a leaf.
+
+        This is the exhaustive, vectorised scan the paper performs at leaf
+        nodes; returns (squared_distances, ids).
+        """
+        pts, ids = self.bucket(leaf)
+        diff = pts - query
+        return np.einsum("ij,ij->i", diff, diff), ids
+
+    def bucket_sq_distances_bounded(
+        self, leaf: int, query: np.ndarray, radius_sq: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`bucket_sq_distances` but filtered to ``<= radius_sq``."""
+        dists, ids = self.bucket_sq_distances(leaf, query)
+        mask = dists <= radius_sq
+        return dists[mask], ids[mask]

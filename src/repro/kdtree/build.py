@@ -1,0 +1,321 @@
+"""Local kd-tree construction (paper Section III-A, steps ii-iv).
+
+The builder reproduces the three intra-node phases the paper separates for
+its Fig. 5(b) breakdown:
+
+* ``local_data_parallel`` — the top levels are processed one level at a time
+  (breadth-first) because there are not yet enough branches for thread-level
+  parallelism; threads cooperate on the split/shuffle of each node.
+* ``local_thread_parallel`` — once the frontier holds roughly
+  ``threads x 10`` branches, each subtree is built depth-first by one thread.
+* ``local_simd_packing`` — finally the points are shuffled into leaf order
+  so that each bucket is contiguous in memory.
+
+Within shared memory only the *index permutation* is shuffled during the
+first two phases (the paper: "the shuffling stage only involves moving the
+index, not the points themselves"); the points move exactly once, during
+SIMD packing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kdtree.splitters import SplitContext, choose_split_dimension, choose_split_value
+from repro.kdtree.tree import LEAF, KDTree, KDTreeConfig, TreeBuildStats
+
+#: Phase names charged during a local build (shared with repro.core).
+PHASE_DATA_PARALLEL = "local_data_parallel"
+PHASE_THREAD_PARALLEL = "local_thread_parallel"
+PHASE_SIMD_PACKING = "local_simd_packing"
+
+
+class _TreeAccumulator:
+    """Growable node storage used while the tree is being constructed."""
+
+    def __init__(self) -> None:
+        self.split_dim: List[int] = []
+        self.split_val: List[float] = []
+        self.left: List[int] = []
+        self.right: List[int] = []
+        self.start: List[int] = []
+        self.count: List[int] = []
+
+    def new_node(self) -> int:
+        """Append an uninitialised node and return its index."""
+        self.split_dim.append(LEAF)
+        self.split_val.append(np.nan)
+        self.left.append(LEAF)
+        self.right.append(LEAF)
+        self.start.append(0)
+        self.count.append(0)
+        return len(self.split_dim) - 1
+
+    def set_leaf(self, node: int, start: int, count: int) -> None:
+        self.split_dim[node] = LEAF
+        self.left[node] = LEAF
+        self.right[node] = LEAF
+        self.start[node] = start
+        self.count[node] = count
+
+    def set_internal(self, node: int, dim: int, value: float, left: int, right: int,
+                     start: int, count: int) -> None:
+        self.split_dim[node] = dim
+        self.split_val[node] = value
+        self.left[node] = left
+        self.right[node] = right
+        self.start[node] = start
+        self.count[node] = count
+
+
+def _partition(
+    points: np.ndarray,
+    perm: np.ndarray,
+    start: int,
+    end: int,
+    dim: int,
+    value: float,
+) -> Tuple[int, float, bool]:
+    """Partition ``perm[start:end]`` around ``value`` along ``dim``.
+
+    Returns ``(mid, value, ok)`` where ``perm[start:mid]`` holds points with
+    coordinate <= value and ``perm[mid:end]`` the rest.  When the requested
+    value produces an empty side (skewed estimate or heavy duplication) the
+    function falls back to a balanced split at the middle of the sorted
+    order and adjusts the split value so the kd-tree invariant
+    (left <= value < right) still holds; ``ok`` is False when even that is
+    impossible because every coordinate is identical.
+    """
+    segment = perm[start:end]
+    values = points[segment, dim]
+    mask = values <= value
+    n_left = int(np.count_nonzero(mask))
+    n_total = segment.size
+    if 0 < n_left < n_total:
+        ordered = np.concatenate([segment[mask], segment[~mask]])
+        perm[start:end] = ordered
+        return start + n_left, value, True
+
+    # Fallback: split the sorted order at the middle, placing duplicates of
+    # the boundary value entirely on the left so the invariant holds.
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    if sorted_vals[0] == sorted_vals[-1]:
+        return start, value, False
+    mid = n_total // 2
+    boundary = sorted_vals[mid - 1] if mid > 0 else sorted_vals[0]
+    n_left = int(np.searchsorted(sorted_vals, boundary, side="right"))
+    if n_left == 0 or n_left == n_total:
+        # boundary fell on the extreme; move it to the first value change.
+        n_left = int(np.searchsorted(sorted_vals, sorted_vals[0], side="right"))
+        boundary = sorted_vals[n_left - 1]
+        if n_left == n_total:
+            return start, value, False
+    perm[start:end] = segment[order]
+    return start + n_left, float(boundary), True
+
+
+def _split_node(
+    points: np.ndarray,
+    perm: np.ndarray,
+    start: int,
+    end: int,
+    depth: int,
+    config: KDTreeConfig,
+    ctx: SplitContext,
+) -> Tuple[int, float, int, bool]:
+    """Choose a split for ``perm[start:end]`` and partition it in place.
+
+    Returns ``(mid, split_value, split_dim, ok)``.
+    """
+    segment_points = points[perm[start:end]]
+    dim = choose_split_dimension(segment_points, config.split_dim_strategy, ctx, depth)
+    values = segment_points[:, dim]
+    if values.min() == values.max():
+        # Degenerate along the preferred dimension: fall back to the widest one.
+        extents = segment_points.max(axis=0) - segment_points.min(axis=0)
+        dim = int(np.argmax(extents))
+        values = segment_points[:, dim]
+        if values.min() == values.max():
+            return start, float(values[0]), dim, False
+    value = choose_split_value(values, config.split_value_strategy, ctx)
+    if ctx.counters is not None:
+        ctx.counters.elements_moved += end - start
+        ctx.counters.scalar_ops += end - start
+    mid, value, ok = _partition(points, perm, start, end, dim, value)
+    return mid, value, dim, ok
+
+
+def build_kdtree(
+    points: np.ndarray,
+    ids: np.ndarray | None = None,
+    config: KDTreeConfig | None = None,
+    threads: int = 1,
+    rng: np.random.Generator | None = None,
+) -> KDTree:
+    """Build a kd-tree over ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dims)`` array of coordinates.
+    ids:
+        Optional global identifiers carried alongside each point (defaults
+        to ``0..n-1``); the distributed layer stores dataset-wide ids here.
+    config:
+        Construction parameters (defaults to PANDA's configuration).
+    threads:
+        Modeled thread count; controls when construction switches from the
+        breadth-first to the depth-first phase and how the phase counters
+        are attributed.  The build itself is sequential.
+    rng:
+        Random generator for the sampling rules; a seeded default is derived
+        from ``config.seed`` so builds are reproducible.
+
+    Returns
+    -------
+    KDTree
+        The packed tree, with per-phase counters available in
+        ``tree.stats.phase_counters``.
+    """
+    config = config or KDTreeConfig()
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n, dims = points.shape
+    if dims == 0:
+        raise ValueError("points must have at least one dimension")
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.shape[0] != n:
+        raise ValueError(f"ids length {ids.shape[0]} does not match points {n}")
+    if threads <= 0:
+        raise ValueError(f"threads must be positive, got {threads}")
+    rng = rng or np.random.default_rng(config.seed)
+
+    stats = TreeBuildStats(n_points=n)
+    acc = _TreeAccumulator()
+    perm = np.arange(n, dtype=np.int64)
+
+    if n == 0:
+        root = acc.new_node()
+        acc.set_leaf(root, 0, 0)
+        stats.n_nodes = 1
+        stats.n_leaves = 1
+        return _finalise(points, ids, perm, acc, config, stats)
+
+    dp_counters = stats.phase(PHASE_DATA_PARALLEL)
+    tp_counters = stats.phase(PHASE_THREAD_PARALLEL)
+    dp_ctx = SplitContext(
+        rng=rng,
+        sample_size=config.variance_sample_size,
+        median_samples=config.median_samples,
+        binning=config.binning,
+        counters=dp_counters,
+    )
+    tp_ctx = SplitContext(
+        rng=rng,
+        sample_size=config.variance_sample_size,
+        median_samples=config.median_samples,
+        binning=config.binning,
+        counters=tp_counters,
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 1: breadth-first "data parallel" levels.
+    # ------------------------------------------------------------------
+    root = acc.new_node()
+    frontier: List[Tuple[int, int, int, int]] = [(root, 0, n, 0)]  # (node, start, end, depth)
+    target_branches = max(threads * config.data_parallel_factor, 1)
+    max_depth = 0
+    while frontier:
+        splittable = [entry for entry in frontier if entry[2] - entry[1] > config.bucket_size]
+        if len(frontier) >= target_branches or not splittable:
+            break
+        stats.data_parallel_levels += 1
+        next_frontier: List[Tuple[int, int, int, int]] = []
+        for node, start, end, depth in frontier:
+            count = end - start
+            max_depth = max(max_depth, depth)
+            if count <= config.bucket_size:
+                acc.set_leaf(node, start, count)
+                stats.n_leaves += 1
+                continue
+            mid, value, dim, ok = _split_node(points, perm, start, end, depth, config, dp_ctx)
+            if not ok:
+                acc.set_leaf(node, start, count)
+                stats.n_leaves += 1
+                stats.forced_leaves += 1
+                continue
+            left = acc.new_node()
+            right = acc.new_node()
+            acc.set_internal(node, dim, value, left, right, start, count)
+            next_frontier.append((left, start, mid, depth + 1))
+            next_frontier.append((right, mid, end, depth + 1))
+        frontier = next_frontier
+
+    # ------------------------------------------------------------------
+    # Phase 2: depth-first "thread parallel" subtrees.
+    # ------------------------------------------------------------------
+    stats.thread_parallel_subtrees = len(frontier)
+    for subtree in frontier:
+        stack: List[Tuple[int, int, int, int]] = [subtree]
+        while stack:
+            node, start, end, depth = stack.pop()
+            count = end - start
+            max_depth = max(max_depth, depth)
+            if count <= config.bucket_size:
+                acc.set_leaf(node, start, count)
+                stats.n_leaves += 1
+                continue
+            mid, value, dim, ok = _split_node(points, perm, start, end, depth, config, tp_ctx)
+            if not ok:
+                acc.set_leaf(node, start, count)
+                stats.n_leaves += 1
+                stats.forced_leaves += 1
+                continue
+            left = acc.new_node()
+            right = acc.new_node()
+            acc.set_internal(node, dim, value, left, right, start, count)
+            # Depth-first: process the left child next for cache locality.
+            stack.append((right, mid, end, depth + 1))
+            stack.append((left, start, mid, depth + 1))
+
+    stats.max_depth = max_depth
+    stats.n_nodes = len(acc.split_dim)
+    return _finalise(points, ids, perm, acc, config, stats)
+
+
+def _finalise(
+    points: np.ndarray,
+    ids: np.ndarray,
+    perm: np.ndarray,
+    acc: _TreeAccumulator,
+    config: KDTreeConfig,
+    stats: TreeBuildStats,
+) -> KDTree:
+    """Phase 3: SIMD packing — shuffle points into leaf order and assemble."""
+    pack_counters = stats.phase(PHASE_SIMD_PACKING)
+    packed_points = points[perm]
+    packed_ids = ids[perm]
+    # Reading and writing every coordinate once each.
+    pack_counters.bytes_streamed += int(packed_points.nbytes) * 2 + int(packed_ids.nbytes) * 2
+    pack_counters.elements_moved += int(perm.size)
+    stats.n_nodes = len(acc.split_dim)
+    if stats.n_leaves == 0:
+        stats.n_leaves = sum(1 for d in acc.split_dim if d == LEAF)
+    return KDTree(
+        points=packed_points,
+        ids=packed_ids,
+        split_dim=np.asarray(acc.split_dim, dtype=np.int32),
+        split_val=np.asarray(acc.split_val, dtype=np.float64),
+        left=np.asarray(acc.left, dtype=np.int32),
+        right=np.asarray(acc.right, dtype=np.int32),
+        start=np.asarray(acc.start, dtype=np.int64),
+        count=np.asarray(acc.count, dtype=np.int64),
+        config=config,
+        stats=stats,
+    )

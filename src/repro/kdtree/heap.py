@@ -1,0 +1,163 @@
+"""Bounded max-heap used to track the k nearest neighbours found so far.
+
+Algorithm 1 of the paper maintains a heap ``H`` of at most ``k`` candidates
+ordered by distance to the query; its maximum is the pruning radius ``r'``.
+The implementation below is a classic binary max-heap over parallel arrays
+(distances and point ids) so pushes and replacements are O(log k) without
+any Python object churn, plus a vectorised helper for merging candidate sets
+coming back from remote ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class BoundedMaxHeap:
+    """Fixed-capacity max-heap of (distance, id) pairs.
+
+    The heap keeps at most ``k`` entries; pushing a closer candidate into a
+    full heap evicts the current farthest one.  ``worst()`` returns the
+    current pruning bound r' (infinite until the heap is full, exactly as in
+    Algorithm 1 where pruning only starts once ``|H| = k``).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._dist = np.empty(k, dtype=np.float64)
+        self._ids = np.empty(k, dtype=np.int64)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        """True once k candidates are held."""
+        return self._size == self.k
+
+    def worst(self) -> float:
+        """Current pruning radius r': max distance when full, +inf otherwise."""
+        if self._size < self.k:
+            return np.inf
+        return float(self._dist[0])
+
+    def max_distance(self) -> float:
+        """Largest distance currently held (+inf when empty)."""
+        if self._size == 0:
+            return np.inf
+        return float(self._dist[0])
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def push(self, dist: float, point_id: int) -> bool:
+        """Offer a candidate; returns True when it was kept.
+
+        Mirrors Algorithm 1 lines 8-15: candidates are inserted while the
+        heap is not full; afterwards only candidates closer than the current
+        maximum replace the top.
+        """
+        if self._size < self.k:
+            i = self._size
+            self._dist[i] = dist
+            self._ids[i] = point_id
+            self._size += 1
+            self._sift_up(i)
+            return True
+        if dist < self._dist[0]:
+            self._dist[0] = dist
+            self._ids[0] = point_id
+            self._sift_down(0)
+            return True
+        return False
+
+    def push_many(self, dists: np.ndarray, ids: np.ndarray) -> int:
+        """Offer a batch of candidates; returns how many were kept."""
+        kept = 0
+        for d, i in zip(dists, ids):
+            if self.push(float(d), int(i)):
+                kept += 1
+        return kept
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def sorted_items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distances, ids) sorted ascending by distance."""
+        order = np.argsort(self._dist[: self._size], kind="stable")
+        return self._dist[: self._size][order].copy(), self._ids[: self._size][order].copy()
+
+    def items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distances, ids) in heap order (no copy of heap layout)."""
+        return self._dist[: self._size].copy(), self._ids[: self._size].copy()
+
+    # ------------------------------------------------------------------
+    # Heap plumbing
+    # ------------------------------------------------------------------
+    def _sift_up(self, i: int) -> None:
+        dist = self._dist
+        ids = self._ids
+        while i > 0:
+            parent = (i - 1) >> 1
+            if dist[i] > dist[parent]:
+                dist[i], dist[parent] = dist[parent], dist[i]
+                ids[i], ids[parent] = ids[parent], ids[i]
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        dist = self._dist
+        ids = self._ids
+        size = self._size
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            largest = i
+            if left < size and dist[left] > dist[largest]:
+                largest = left
+            if right < size and dist[right] > dist[largest]:
+                largest = right
+            if largest == i:
+                break
+            dist[i], dist[largest] = dist[largest], dist[i]
+            ids[i], ids[largest] = ids[largest], ids[i]
+            i = largest
+
+
+def merge_topk(
+    k: int,
+    dists_a: np.ndarray,
+    ids_a: np.ndarray,
+    dists_b: np.ndarray,
+    ids_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two candidate lists and keep the k closest (step 5 of querying).
+
+    Duplicate point ids are removed keeping the smaller distance, which makes
+    the merge idempotent when a remote rank happens to return a point the
+    owner already found (possible for points exactly on a domain boundary).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    dists = np.concatenate([np.asarray(dists_a, dtype=np.float64), np.asarray(dists_b, dtype=np.float64)])
+    ids = np.concatenate([np.asarray(ids_a, dtype=np.int64), np.asarray(ids_b, dtype=np.int64)])
+    if dists.size == 0:
+        return dists, ids
+    order = np.lexsort((dists, ids))
+    ids_sorted = ids[order]
+    dists_sorted = dists[order]
+    keep_first = np.ones(ids_sorted.size, dtype=bool)
+    keep_first[1:] = ids_sorted[1:] != ids_sorted[:-1]
+    ids_unique = ids_sorted[keep_first]
+    dists_unique = dists_sorted[keep_first]
+    top = np.argsort(dists_unique, kind="stable")[:k]
+    return dists_unique[top], ids_unique[top]

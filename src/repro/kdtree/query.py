@@ -1,0 +1,237 @@
+"""k-nearest-neighbour search over a local kd-tree (paper Algorithm 1).
+
+The traversal keeps a stack of ``(node, lower_bound)`` pairs where the lower
+bound is the accumulated squared distance from the query to the node's
+region along already-crossed splitting planes.  A bounded max-heap holds the
+best k candidates; its maximum is the pruning radius r', progressively
+shrunk as closer candidates are found.  Leaf buckets are scanned exhaustively
+with a vectorised distance kernel (the packed layout makes this one
+contiguous NumPy operation).
+
+The search accepts an initial radius bound so that *remote* queries (step 4
+of the distributed protocol) start already pruned by the owner's local
+result, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cluster.metrics import PhaseCounters
+from repro.kdtree.heap import BoundedMaxHeap
+from repro.kdtree.tree import KDTree
+
+
+@dataclass
+class QueryStats:
+    """Work counters accumulated over one or more queries."""
+
+    queries: int = 0
+    nodes_visited: int = 0
+    leaves_scanned: int = 0
+    distance_computations: int = 0
+    heap_updates: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.queries += other.queries
+        self.nodes_visited += other.nodes_visited
+        self.leaves_scanned += other.leaves_scanned
+        self.distance_computations += other.distance_computations
+        self.heap_updates += other.heap_updates
+
+    def charge(self, counters: PhaseCounters, dims: int) -> None:
+        """Charge this work to a cluster phase counter set."""
+        counters.nodes_visited += self.nodes_visited
+        counters.distance_computations += self.distance_computations
+        counters.distance_dims = max(counters.distance_dims, dims)
+        counters.scalar_ops += self.heap_updates + self.queries
+
+
+@dataclass
+class KNNResult:
+    """Result of one k-nearest-neighbour query."""
+
+    distances: np.ndarray
+    ids: np.ndarray
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def k_found(self) -> int:
+        """Number of neighbours actually found (may be < k near boundaries)."""
+        return int(self.ids.shape[0])
+
+
+def knn_search(
+    tree: KDTree,
+    query: np.ndarray,
+    k: int,
+    radius: float = np.inf,
+    stats: QueryStats | None = None,
+) -> KNNResult:
+    """Find the k nearest neighbours of ``query`` within ``radius``.
+
+    Parameters
+    ----------
+    tree:
+        The local kd-tree.
+    query:
+        ``(dims,)`` coordinate vector.
+    k:
+        Number of neighbours requested.
+    radius:
+        Initial search radius r (Euclidean, not squared).  Defaults to
+        infinity; remote queries pass the owner's current k-th distance.
+    stats:
+        Optional external stats accumulator (merged into the result).
+
+    Returns
+    -------
+    KNNResult
+        Distances (ascending, Euclidean) and the corresponding global ids.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    query = np.asarray(query, dtype=np.float64).ravel()
+    if tree.n_points and query.shape[0] != tree.dims:
+        raise ValueError(f"query has {query.shape[0]} dims, tree has {tree.dims}")
+    local_stats = QueryStats(queries=1)
+    heap = BoundedMaxHeap(k)
+    if tree.n_points == 0:
+        result_stats = stats or QueryStats()
+        result_stats.merge(local_stats)
+        return KNNResult(distances=np.empty(0), ids=np.empty(0, dtype=np.int64), stats=result_stats)
+
+    radius_sq = radius * radius if np.isfinite(radius) else np.inf
+    points = tree.points
+    ids = tree.ids
+    split_dim = tree.split_dim
+    split_val = tree.split_val
+    left = tree.left
+    right = tree.right
+    start = tree.start
+    count = tree.count
+
+    # Stack of (node index, accumulated squared lower bound).
+    stack: List[Tuple[int, float]] = [(0, 0.0)]
+    while stack:
+        node, lower_bound = stack.pop()
+        r_prime_sq = min(heap.worst(), radius_sq)
+        if lower_bound >= r_prime_sq:
+            continue
+        local_stats.nodes_visited += 1
+        dim = int(split_dim[node])
+        if dim < 0:
+            # Leaf bucket: exhaustive vectorised scan.
+            s = int(start[node])
+            c = int(count[node])
+            bucket = points[s : s + c]
+            diff = bucket - query
+            dists = np.einsum("ij,ij->i", diff, diff)
+            local_stats.leaves_scanned += 1
+            local_stats.distance_computations += c
+            bound = min(heap.worst(), radius_sq)
+            candidate_mask = dists < bound
+            if np.any(candidate_mask):
+                cand_dists = dists[candidate_mask]
+                cand_ids = ids[s : s + c][candidate_mask]
+                order = np.argsort(cand_dists, kind="stable")
+                for d, pid in zip(cand_dists[order], cand_ids[order]):
+                    if d < min(heap.worst(), radius_sq):
+                        heap.push(float(d), int(pid))
+                        local_stats.heap_updates += 1
+            continue
+
+        # Internal node: descend towards the closer child first.
+        delta = query[dim] - split_val[node]
+        plane_sq = lower_bound + delta * delta
+        if delta <= 0.0:
+            closer, farther = int(left[node]), int(right[node])
+        else:
+            closer, farther = int(right[node]), int(left[node])
+        r_prime_sq = min(heap.worst(), radius_sq)
+        if plane_sq < r_prime_sq:
+            stack.append((farther, plane_sq))
+        stack.append((closer, lower_bound))
+
+    dists_sq, result_ids = heap.sorted_items()
+    if np.isfinite(radius_sq):
+        keep = dists_sq <= radius_sq
+        dists_sq = dists_sq[keep]
+        result_ids = result_ids[keep]
+    result_stats = stats if stats is not None else QueryStats()
+    result_stats.merge(local_stats)
+    return KNNResult(distances=np.sqrt(dists_sq), ids=result_ids, stats=local_stats)
+
+
+def batch_knn(
+    tree: KDTree,
+    queries: np.ndarray,
+    k: int,
+    radii: np.ndarray | float = np.inf,
+    stats: QueryStats | None = None,
+) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+    """Run :func:`knn_search` for every row of ``queries``.
+
+    Returns ``(distances, ids, stats)`` where the arrays have shape
+    ``(n_queries, k)``; missing neighbours (fewer than k in range) are padded
+    with ``inf`` distances and id ``-1``.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n_queries = queries.shape[0]
+    out_d = np.full((n_queries, k), np.inf, dtype=np.float64)
+    out_i = np.full((n_queries, k), -1, dtype=np.int64)
+    agg = QueryStats()
+    radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (n_queries,))
+    for qi in range(n_queries):
+        result = knn_search(tree, queries[qi], k, radius=float(radii_arr[qi]))
+        found = result.k_found
+        out_d[qi, :found] = result.distances
+        out_i[qi, :found] = result.ids
+        agg.merge(result.stats)
+    if stats is not None:
+        stats.merge(agg)
+    return out_d, out_i, agg
+
+
+def brute_force_knn(
+    points: np.ndarray,
+    ids: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exhaustive reference KNN used to verify kd-tree results.
+
+    Returns ``(distances, ids)`` with shape ``(n_queries, k)``, padded with
+    ``inf`` / ``-1`` when fewer than k points exist.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    ids = np.asarray(ids, dtype=np.int64)
+    n_queries = queries.shape[0]
+    n_points = points.shape[0]
+    out_d = np.full((n_queries, k), np.inf, dtype=np.float64)
+    out_i = np.full((n_queries, k), -1, dtype=np.int64)
+    if n_points == 0:
+        return out_d, out_i
+    take = min(k, n_points)
+    dims = points.shape[1]
+    # Chunk the queries to bound the (chunk, n_points, dims) difference
+    # tensor; exact differences avoid the precision loss of the expanded
+    # |a|^2 - 2ab + |b|^2 formulation on near-duplicate points.
+    chunk = max(1, int(5e6 // max(n_points * max(dims, 1), 1)))
+    for lo in range(0, n_queries, chunk):
+        hi = min(lo + chunk, n_queries)
+        block = queries[lo:hi]
+        diff = block[:, None, :] - points[None, :, :]
+        d2 = np.einsum("qpd,qpd->qp", diff, diff)
+        idx = np.argpartition(d2, take - 1, axis=1)[:, :take]
+        part = np.take_along_axis(d2, idx, axis=1)
+        order = np.argsort(part, axis=1, kind="stable")
+        idx_sorted = np.take_along_axis(idx, order, axis=1)
+        out_d[lo:hi, :take] = np.sqrt(np.take_along_axis(part, order, axis=1))
+        out_i[lo:hi, :take] = ids[idx_sorted]
+    return out_d, out_i

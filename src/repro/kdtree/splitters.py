@@ -1,0 +1,171 @@
+"""Split-dimension and split-point selection rules.
+
+PANDA, FLANN and ANN differ mostly in how they pick the splitting dimension
+and the splitting value at each kd-tree node (paper Section V-B2):
+
+=============  ==============================  =====================================
+Library        Split dimension                 Split value
+=============  ==============================  =====================================
+PANDA          max variance over a sample      approx. median from sampled histogram
+FLANN          max variance over a sample      mean of the first 100 points
+ANN            max extent (bounding box side)  midpoint of the bounds
+exact          max variance (full data)        exact median
+=============  ==============================  =====================================
+
+All rules are exposed through two registries so the tree builder and the
+baseline implementations share one code path and the ablation benchmarks can
+swap strategies by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.cluster.metrics import PhaseCounters
+from repro.kdtree.median import HistogramMedianEstimator
+
+
+@dataclass
+class SplitContext:
+    """Inputs shared by every split rule.
+
+    Attributes
+    ----------
+    rng:
+        Random generator for sampling-based rules (deterministic per build).
+    sample_size:
+        Sample size used for variance estimation (PANDA/FLANN take a subset
+        of points rather than the whole node).
+    median_samples:
+        Interval-point sample count for the histogram median (1024 local,
+        256 global in the paper).
+    binning:
+        Histogram binning variant (``"subinterval"`` or ``"searchsorted"``).
+    counters:
+        Optional counter sink for histogram/scan work.
+    """
+
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    sample_size: int = 1024
+    median_samples: int = 1024
+    binning: str = "subinterval"
+    counters: PhaseCounters | None = None
+
+    def median_estimator(self) -> HistogramMedianEstimator:
+        """Estimator configured from this context."""
+        return HistogramMedianEstimator(n_samples=self.median_samples, binning=self.binning)
+
+
+# ---------------------------------------------------------------------------
+# Split-dimension rules
+# ---------------------------------------------------------------------------
+def _sample_rows(points: np.ndarray, ctx: SplitContext) -> np.ndarray:
+    if points.shape[0] <= ctx.sample_size:
+        return points
+    idx = ctx.rng.choice(points.shape[0], size=ctx.sample_size, replace=False)
+    return points[idx]
+
+
+def variance_dimension(points: np.ndarray, ctx: SplitContext) -> int:
+    """Dimension with maximum variance, estimated on a sample (PANDA/FLANN)."""
+    sample = _sample_rows(points, ctx)
+    if ctx.counters is not None:
+        ctx.counters.scalar_ops += int(sample.size)
+    variances = sample.var(axis=0)
+    return int(np.argmax(variances))
+
+
+def full_variance_dimension(points: np.ndarray, ctx: SplitContext) -> int:
+    """Dimension with maximum variance computed over all points."""
+    if ctx.counters is not None:
+        ctx.counters.scalar_ops += int(points.size)
+    return int(np.argmax(points.var(axis=0)))
+
+
+def max_extent_dimension(points: np.ndarray, ctx: SplitContext) -> int:
+    """Dimension with the largest value range (ANN's rule)."""
+    if ctx.counters is not None:
+        ctx.counters.scalar_ops += int(points.size)
+    extents = points.max(axis=0) - points.min(axis=0)
+    return int(np.argmax(extents))
+
+
+def round_robin_dimension(points: np.ndarray, ctx: SplitContext, depth: int = 0) -> int:
+    """Cycle through dimensions by depth (classic Bentley kd-tree)."""
+    return depth % points.shape[1]
+
+
+SPLIT_DIM_STRATEGIES: Dict[str, Callable[..., int]] = {
+    "variance": variance_dimension,
+    "full_variance": full_variance_dimension,
+    "max_extent": max_extent_dimension,
+    "round_robin": round_robin_dimension,
+}
+
+
+def choose_split_dimension(
+    points: np.ndarray, strategy: str, ctx: SplitContext, depth: int = 0
+) -> int:
+    """Dispatch to the named split-dimension rule."""
+    if strategy not in SPLIT_DIM_STRATEGIES:
+        raise ValueError(
+            f"unknown split-dimension strategy {strategy!r}; options: {sorted(SPLIT_DIM_STRATEGIES)}"
+        )
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError(f"points must be a non-empty 2-D array, got shape {points.shape}")
+    if strategy == "round_robin":
+        return round_robin_dimension(points, ctx, depth)
+    return SPLIT_DIM_STRATEGIES[strategy](points, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Split-value rules
+# ---------------------------------------------------------------------------
+def histogram_median_value(values: np.ndarray, ctx: SplitContext) -> float:
+    """PANDA's sampled-histogram approximate median."""
+    return ctx.median_estimator().estimate(values, ctx.rng, ctx.counters)
+
+
+def exact_median_value(values: np.ndarray, ctx: SplitContext) -> float:
+    """Exact median (reference rule, expensive at scale)."""
+    if ctx.counters is not None:
+        ctx.counters.scalar_ops += int(values.size * np.log2(max(values.size, 2)))
+    return float(np.median(values))
+
+
+def mean_first_100_value(values: np.ndarray, ctx: SplitContext) -> float:
+    """FLANN's rule: average of the first 100 values along the dimension."""
+    head = values[: min(100, values.size)]
+    if ctx.counters is not None:
+        ctx.counters.scalar_ops += int(head.size)
+    return float(head.mean())
+
+
+def midpoint_value(values: np.ndarray, ctx: SplitContext) -> float:
+    """ANN's rule: midpoint of the min/max bounds along the dimension."""
+    if ctx.counters is not None:
+        ctx.counters.scalar_ops += int(values.size)
+    return float((values.min() + values.max()) / 2.0)
+
+
+SPLIT_VALUE_STRATEGIES: Dict[str, Callable[[np.ndarray, SplitContext], float]] = {
+    "histogram_median": histogram_median_value,
+    "exact_median": exact_median_value,
+    "mean_first_100": mean_first_100_value,
+    "midpoint": midpoint_value,
+}
+
+
+def choose_split_value(values: np.ndarray, strategy: str, ctx: SplitContext) -> float:
+    """Dispatch to the named split-value rule."""
+    if strategy not in SPLIT_VALUE_STRATEGIES:
+        raise ValueError(
+            f"unknown split-value strategy {strategy!r}; options: {sorted(SPLIT_VALUE_STRATEGIES)}"
+        )
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot choose a split value from an empty array")
+    return SPLIT_VALUE_STRATEGIES[strategy](values, ctx)

@@ -1,0 +1,115 @@
+"""Structural invariants of a built kd-tree.
+
+Used by the test-suite (including property-based tests) to certify that a
+tree produced by any configuration is well formed:
+
+* node slices partition ``[0, n)`` exactly once across the leaves;
+* every internal node's left subtree holds only coordinates ``<= split_val``
+  and the right subtree only coordinates ``> split_val``;
+* leaf buckets respect the configured bucket size unless the builder was
+  forced to stop (identical points);
+* child slices tile their parent slice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kdtree.tree import KDTree
+
+
+class TreeInvariantError(AssertionError):
+    """Raised when a structural invariant is violated."""
+
+
+def check_tree_invariants(tree: KDTree, strict_bucket_size: bool = False) -> None:
+    """Validate the invariants of ``tree``; raises :class:`TreeInvariantError`.
+
+    Parameters
+    ----------
+    tree:
+        The tree to validate.
+    strict_bucket_size:
+        When True, every leaf must respect ``config.bucket_size`` even if
+        the builder marked it as forced (duplicate-heavy data); default
+        allows forced leaves.
+    """
+    n = tree.n_points
+    if tree.n_nodes == 0:
+        raise TreeInvariantError("tree has no nodes")
+
+    covered = np.zeros(n, dtype=bool)
+    # Stack entries: (node, start, end) expected slice for that node.
+    stack: List[Tuple[int, int, int]] = [(0, 0, n)]
+    visited_nodes = 0
+    while stack:
+        node, start, end = stack.pop()
+        visited_nodes += 1
+        node_start = int(tree.start[node])
+        node_count = int(tree.count[node])
+        if tree.is_leaf(node):
+            if node_count != end - start or node_start != start:
+                raise TreeInvariantError(
+                    f"leaf {node} covers [{node_start}, {node_start + node_count}) "
+                    f"but its position in the tree implies [{start}, {end})"
+                )
+            if strict_bucket_size and node_count > tree.config.bucket_size:
+                raise TreeInvariantError(
+                    f"leaf {node} holds {node_count} points > bucket_size {tree.config.bucket_size}"
+                )
+            if node_count > tree.config.bucket_size:
+                # Forced leaf: only legitimate when splitting was impossible.
+                segment = tree.points[start:end]
+                extents = segment.max(axis=0) - segment.min(axis=0) if segment.size else np.zeros(1)
+                if segment.size and float(extents.max()) > 0.0:
+                    raise TreeInvariantError(
+                        f"leaf {node} exceeds bucket size but its points are separable"
+                    )
+            if covered[start:end].any():
+                raise TreeInvariantError(f"leaf {node} overlaps a previously covered slice")
+            covered[start:end] = True
+            continue
+
+        dim = int(tree.split_dim[node])
+        value = float(tree.split_val[node])
+        left = int(tree.left[node])
+        right = int(tree.right[node])
+        if left < 0 or right < 0:
+            raise TreeInvariantError(f"internal node {node} is missing a child")
+        if not 0 <= dim < tree.dims:
+            raise TreeInvariantError(f"internal node {node} has invalid split dimension {dim}")
+        left_start, left_count = int(tree.start[left]), int(tree.count[left])
+        right_start, right_count = int(tree.start[right]), int(tree.count[right])
+        if left_start != start or left_start + left_count != right_start:
+            raise TreeInvariantError(
+                f"children of node {node} do not tile its slice: "
+                f"left [{left_start}, {left_start + left_count}), right starts at {right_start}"
+            )
+        if right_start + right_count != end:
+            raise TreeInvariantError(
+                f"children of node {node} do not cover its slice end {end}"
+            )
+        if left_count == 0 or right_count == 0:
+            raise TreeInvariantError(f"internal node {node} has an empty child")
+        left_vals = tree.points[left_start : left_start + left_count, dim]
+        right_vals = tree.points[right_start : right_start + right_count, dim]
+        if left_vals.size and float(left_vals.max()) > value:
+            raise TreeInvariantError(
+                f"node {node}: left subtree has coordinate {float(left_vals.max())} > split {value}"
+            )
+        if right_vals.size and float(right_vals.min()) <= value:
+            raise TreeInvariantError(
+                f"node {node}: right subtree has coordinate {float(right_vals.min())} <= split {value}"
+            )
+        stack.append((left, left_start, left_start + left_count))
+        stack.append((right, right_start, end))
+
+    if n > 0 and not covered.all():
+        missing = int(np.count_nonzero(~covered))
+        raise TreeInvariantError(f"{missing} points are not covered by any leaf")
+    if visited_nodes != tree.n_nodes:
+        raise TreeInvariantError(
+            f"visited {visited_nodes} nodes but the tree stores {tree.n_nodes}"
+        )

@@ -1,0 +1,33 @@
+"""Performance-measurement harness: timers, scaling runners and reports.
+
+These utilities drive the paper-reproduction experiments: they sweep rank
+or thread counts, collect modeled (cost-model) and measured (wall-clock)
+times, convert them to the speedup series the paper plots, and format the
+text tables the benchmark harness prints.
+"""
+
+from repro.perf.timers import Stopwatch, WallTimer
+from repro.perf.speedup import parallel_efficiency, speedup_series
+from repro.perf.scaling import (
+    ScalingPoint,
+    ScalingResult,
+    run_strong_scaling,
+    run_thread_scaling,
+    run_weak_scaling,
+)
+from repro.perf.report import format_breakdown, format_scaling, format_table
+
+__all__ = [
+    "WallTimer",
+    "Stopwatch",
+    "speedup_series",
+    "parallel_efficiency",
+    "ScalingPoint",
+    "ScalingResult",
+    "run_strong_scaling",
+    "run_weak_scaling",
+    "run_thread_scaling",
+    "format_table",
+    "format_scaling",
+    "format_breakdown",
+]

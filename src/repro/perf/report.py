@@ -1,0 +1,65 @@
+"""Plain-text report formatting (tables, scaling series, breakdowns).
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that formatting consistent and readable
+in terminal output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells but there are {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_scaling(
+    resources: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    resource_label: str = "ranks",
+    title: str | None = None,
+) -> str:
+    """Render one or more series against a shared resource axis."""
+    headers = [resource_label] + list(series.keys())
+    rows = []
+    for i, res in enumerate(resources):
+        row: List[object] = [res]
+        for values in series.values():
+            row.append(values[i])
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_breakdown(breakdown: Mapping[str, float], title: str | None = None, as_percent: bool = True) -> str:
+    """Render a phase breakdown (fractions shown as percentages)."""
+    rows = []
+    for label, value in breakdown.items():
+        rows.append([label, f"{value * 100:.1f}%" if as_percent else value])
+    return format_table(["phase", "share" if as_percent else "seconds"], rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,61 @@
+"""Speedup and efficiency arithmetic for scaling studies."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def speedup_series(times: Sequence[float], baseline_index: int = 0) -> np.ndarray:
+    """Speedup of each entry relative to ``times[baseline_index]``.
+
+    This is how the paper normalises its strong-scaling figures (speedup
+    compared to the smallest core count that fits the dataset).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    if times.size == 0:
+        return times
+    if not 0 <= baseline_index < times.size:
+        raise ValueError(f"baseline_index {baseline_index} outside series of length {times.size}")
+    baseline = times[baseline_index]
+    if baseline <= 0.0:
+        raise ValueError(f"baseline time must be positive, got {baseline}")
+    with np.errstate(divide="ignore"):
+        return baseline / times
+
+
+def parallel_efficiency(
+    times: Sequence[float], resources: Sequence[int], baseline_index: int = 0
+) -> np.ndarray:
+    """Speedup divided by the ideal speedup for each resource count."""
+    resources = np.asarray(resources, dtype=np.float64)
+    times_arr = np.asarray(times, dtype=np.float64)
+    if resources.shape != times_arr.shape:
+        raise ValueError("times and resources must have identical shapes")
+    speedups = speedup_series(times_arr, baseline_index)
+    ideal = resources / resources[baseline_index]
+    return speedups / ideal
+
+
+def normalized_times(times: Sequence[float], baseline_index: int = 0) -> np.ndarray:
+    """Times divided by the baseline time (used for weak-scaling plots)."""
+    times = np.asarray(times, dtype=np.float64)
+    baseline = times[baseline_index]
+    if baseline <= 0.0:
+        raise ValueError(f"baseline time must be positive, got {baseline}")
+    return times / baseline
+
+
+def scaling_summary(
+    resources: Sequence[int], times: Sequence[float], baseline_index: int = 0
+) -> Dict[str, list]:
+    """Bundle resources, times, speedups and efficiency into one dict."""
+    speedups = speedup_series(times, baseline_index)
+    efficiency = parallel_efficiency(times, resources, baseline_index)
+    return {
+        "resources": list(resources),
+        "times": [float(t) for t in times],
+        "speedup": [float(s) for s in speedups],
+        "efficiency": [float(e) for e in efficiency],
+    }

@@ -1,0 +1,65 @@
+"""Lightweight wall-clock timing helpers."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with WallTimer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class Stopwatch:
+    """Accumulates named time intervals (useful for phase-style timing)."""
+
+    def __init__(self) -> None:
+        self._laps: Dict[str, float] = {}
+        self._order: List[str] = []
+        self._current: str | None = None
+        self._start = 0.0
+
+    def start(self, name: str) -> None:
+        """Start (or resume) timing the interval ``name``."""
+        if self._current is not None:
+            self.stop()
+        if name not in self._laps:
+            self._laps[name] = 0.0
+            self._order.append(name)
+        self._current = name
+        self._start = time.perf_counter()
+
+    def stop(self) -> None:
+        """Stop the currently running interval."""
+        if self._current is None:
+            return
+        self._laps[self._current] += time.perf_counter() - self._start
+        self._current = None
+
+    def laps(self) -> Dict[str, float]:
+        """Accumulated seconds per interval, in start order."""
+        self.stop()
+        return {name: self._laps[name] for name in self._order}
+
+    def total(self) -> float:
+        """Total accumulated seconds across all intervals."""
+        return sum(self.laps().values())

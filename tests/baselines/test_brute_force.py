@@ -1,0 +1,55 @@
+"""Tests for the exhaustive distributed KNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceDistributedKNN
+from repro.kdtree.query import brute_force_knn
+
+
+class TestBruteForceDistributedKNN:
+    def test_matches_reference(self, small_points, small_queries):
+        index = BruteForceDistributedKNN(n_ranks=4).fit(small_points)
+        d, i = index.query(small_queries[:50], k=5)
+        bd, _ = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries[:50], 5)
+        assert np.allclose(d, bd, atol=1e-9)
+
+    def test_single_rank(self, small_points, small_queries):
+        index = BruteForceDistributedKNN(n_ranks=1).fit(small_points)
+        d, _ = index.query(small_queries[:20], k=3)
+        bd, _ = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries[:20], 3)
+        assert np.allclose(d, bd, atol=1e-9)
+
+    def test_query_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            BruteForceDistributedKNN(n_ranks=2).query(np.zeros((1, 3)), k=3)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            BruteForceDistributedKNN(n_ranks=2).fit(np.empty((0, 3)))
+
+    def test_invalid_k_rejected(self, small_points):
+        index = BruteForceDistributedKNN(n_ranks=2).fit(small_points)
+        with pytest.raises(ValueError):
+            index.query(np.zeros((1, 3)), k=0)
+
+    def test_distance_work_is_linear_in_points(self, small_points):
+        index = BruteForceDistributedKNN(n_ranks=4).fit(small_points)
+        queries = small_points[:10]
+        index.query(queries, k=3)
+        scan = index.cluster.metrics.phase_total("bf_local_scan")
+        assert scan.distance_computations == 10 * small_points.shape[0]
+
+    def test_candidate_traffic_formula(self, small_points):
+        index = BruteForceDistributedKNN(n_ranks=8).fit(small_points)
+        assert index.candidate_traffic_bytes(n_queries=100, k=5) == 8 * 100 * 5 * 16
+
+    def test_broadcast_traffic_grows_with_ranks(self, small_points, small_queries):
+        small = BruteForceDistributedKNN(n_ranks=2).fit(small_points)
+        small.query(small_queries[:30], k=3)
+        large = BruteForceDistributedKNN(n_ranks=8).fit(small_points)
+        large.query(small_queries[:30], k=3)
+        assert (
+            large.cluster.metrics.phase_total("bf_broadcast_queries").bytes_sent
+            > small.cluster.metrics.phase_total("bf_broadcast_queries").bytes_sent
+        )

@@ -1,0 +1,62 @@
+"""Tests for the buffered kd-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.buffered import BufferedKDTreeKNN
+from repro.kdtree.query import brute_force_knn
+
+
+class TestBufferedKDTreeKNN:
+    def test_exact_results(self, small_points, small_queries):
+        index = BufferedKDTreeKNN(buffer_size=64, bucket_size=128).fit(small_points)
+        d, i, stats = index.query(small_queries[:80], k=5)
+        bd, _ = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries[:80], 5)
+        assert np.allclose(d, bd, atol=1e-9)
+        assert stats.passes >= 1
+
+    def test_exact_on_clustered_data(self, cosmo_points):
+        rng = np.random.default_rng(0)
+        queries = cosmo_points[rng.choice(cosmo_points.shape[0], 60, replace=False)]
+        index = BufferedKDTreeKNN(bucket_size=256).fit(cosmo_points)
+        d, _, _ = index.query(queries, k=4)
+        bd, _ = brute_force_knn(cosmo_points, np.arange(cosmo_points.shape[0]), queries, 4)
+        assert np.allclose(d, bd, atol=1e-9)
+
+    def test_query_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            BufferedKDTreeKNN().query(np.zeros((1, 3)))
+
+    def test_invalid_buffer_size_rejected(self):
+        with pytest.raises(ValueError):
+            BufferedKDTreeKNN(buffer_size=0)
+
+    def test_invalid_k_rejected(self, small_points):
+        index = BufferedKDTreeKNN().fit(small_points)
+        with pytest.raises(ValueError):
+            index.query(np.zeros((1, 3)), k=0)
+
+    def test_stats_convertible(self, small_points, small_queries):
+        index = BufferedKDTreeKNN(bucket_size=128).fit(small_points)
+        _, _, stats = index.query(small_queries[:30], k=3)
+        qstats = stats.as_query_stats()
+        assert qstats.distance_computations == stats.distance_computations
+
+    def test_more_distance_work_than_direct_traversal(self, small_points, small_queries):
+        """Large leaves + buffering trade extra distance computations for
+        batching; the direct Algorithm 1 traversal does less arithmetic."""
+        from repro.kdtree.build import build_kdtree
+        from repro.kdtree.query import batch_knn
+
+        queries = small_queries[:60]
+        buffered = BufferedKDTreeKNN(bucket_size=256).fit(small_points)
+        _, _, bstats = buffered.query(queries, k=5)
+        tree = build_kdtree(small_points)
+        _, _, dstats = batch_knn(tree, queries, 5)
+        assert bstats.distance_computations > dstats.distance_computations
+
+    def test_empty_tree(self):
+        index = BufferedKDTreeKNN().fit(np.empty((0, 3)))
+        d, i, _ = index.query(np.zeros((2, 3)), k=3)
+        assert np.all(np.isinf(d))
+        assert np.all(i == -1)

@@ -1,0 +1,59 @@
+"""Tests for the independent-local-trees baseline (strategy 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.local_only import LocalTreesKNN
+from repro.core.panda import PandaKNN
+from repro.kdtree.query import brute_force_knn
+
+
+class TestLocalTreesKNN:
+    def test_matches_reference(self, small_points, small_queries):
+        index = LocalTreesKNN(n_ranks=4).fit(small_points)
+        d, i, stats = index.query(small_queries[:60], k=5)
+        bd, _ = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries[:60], 5)
+        assert np.allclose(d, bd, atol=1e-9)
+        assert stats.queries == 60 * 4  # every query runs on every rank
+
+    def test_query_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LocalTreesKNN(n_ranks=2).query(np.zeros((1, 3)), k=3)
+
+    def test_invalid_k_rejected(self, small_points):
+        index = LocalTreesKNN(n_ranks=2).fit(small_points)
+        with pytest.raises(ValueError):
+            index.query(np.zeros((1, 3)), k=-1)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            LocalTreesKNN(n_ranks=2).fit(np.empty((0, 3)))
+
+    def test_wasted_candidates_formula(self, small_points):
+        index = LocalTreesKNN(n_ranks=8).fit(small_points)
+        assert index.wasted_candidates(n_queries=10, k=5) == 7 * 10 * 5
+
+    def test_every_rank_searches_every_query(self, small_points, small_queries):
+        """The defining inefficiency of strategy 1: no query pruning by rank."""
+        index = LocalTreesKNN(n_ranks=4).fit(small_points)
+        queries = small_queries[:40]
+        index.query(queries, k=5)
+        for rank in range(4):
+            counters = index.cluster.metrics.rank(rank).phase("lo_search_all_ranks")
+            assert counters.nodes_visited > 0
+
+    def test_more_total_query_work_than_panda(self, cosmo_points):
+        """PANDA's spatial partitioning avoids searching every rank."""
+        rng = np.random.default_rng(0)
+        queries = cosmo_points[rng.choice(cosmo_points.shape[0], 100, replace=False)]
+        local = LocalTreesKNN(n_ranks=8).fit(cosmo_points)
+        _, _, local_stats = local.query(queries, k=5)
+        panda = PandaKNN(n_ranks=8).fit(cosmo_points)
+        report = panda.query(queries, k=5)
+        panda_work = report.local_stats.distance_computations + report.remote_stats.distance_computations
+        assert local_stats.distance_computations > panda_work
+
+    def test_construction_has_no_redistribution_traffic(self, small_points):
+        index = LocalTreesKNN(n_ranks=4).fit(small_points)
+        build = index.cluster.metrics.phase_total("lo_local_build")
+        assert build.bytes_sent == 0

@@ -1,0 +1,189 @@
+"""Tests for the MPI-like communicator and its traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import Communicator, payload_nbytes
+from repro.cluster.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def comm4():
+    registry = MetricsRegistry(4)
+    return Communicator(registry), registry
+
+
+class TestPayloadNbytes:
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_tuple_sums_members(self):
+        payload = (np.zeros(4), np.zeros(2, dtype=np.int64))
+        assert payload_nbytes(payload) == 32 + 16
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(3.5) == 8
+
+    def test_dict(self):
+        assert payload_nbytes({"a": np.zeros(2)}) > 16
+
+
+class TestCommunicatorGroups:
+    def test_world_size(self, comm4):
+        comm, _ = comm4
+        assert comm.size == 4
+        assert comm.group == [0, 1, 2, 3]
+
+    def test_empty_group_rejected(self):
+        registry = MetricsRegistry(2)
+        with pytest.raises(ValueError):
+            Communicator(registry, [])
+
+    def test_duplicate_group_rejected(self):
+        registry = MetricsRegistry(4)
+        with pytest.raises(ValueError):
+            Communicator(registry, [0, 0, 1])
+
+    def test_out_of_range_rank_rejected(self):
+        registry = MetricsRegistry(2)
+        with pytest.raises(ValueError):
+            Communicator(registry, [0, 5])
+
+    def test_split_by_parity(self, comm4):
+        comm, _ = comm4
+        subs = comm.split(lambda local: local % 2)
+        assert subs[0].group == [0, 2]
+        assert subs[1].group == [1, 3]
+
+    def test_subgroup_maps_local_indices(self, comm4):
+        comm, _ = comm4
+        sub = comm.subgroup([2, 3])
+        assert sub.group == [2, 3]
+        assert sub.global_rank(0) == 2
+
+
+class TestCollectives:
+    def test_bcast_returns_value_everywhere(self, comm4):
+        comm, registry = comm4
+        data = np.arange(5)
+        out = comm.bcast(data, root=0)
+        assert len(out) == 4
+        assert all(np.array_equal(o, data) for o in out)
+        # Non-root ranks each received the payload once.
+        for r in range(1, 4):
+            assert registry.rank(r).total().bytes_received == data.nbytes
+
+    def test_bcast_root_charged_for_sends(self, comm4):
+        comm, registry = comm4
+        data = np.arange(10, dtype=np.float64)
+        comm.bcast(data, root=1)
+        # Binomial-tree broadcast over 4 ranks: ceil(log2(4)) = 2 injections.
+        assert registry.rank(1).total().bytes_sent == data.nbytes * 2
+        assert registry.rank(1).total().messages_sent == 2
+
+    def test_gather_collects_in_rank_order(self, comm4):
+        comm, _ = comm4
+        values = [np.full(2, r) for r in range(4)]
+        out = comm.gather(values, root=0)
+        assert [int(v[0]) for v in out] == [0, 1, 2, 3]
+
+    def test_allgather_every_rank_sees_everything(self, comm4):
+        comm, registry = comm4
+        values = [np.full(3, r, dtype=np.float64) for r in range(4)]
+        out = comm.allgather(values)
+        assert len(out) == 4
+        for per_rank in out:
+            assert len(per_rank) == 4
+        # Each rank receives 3 other contributions of 24 bytes.
+        assert registry.rank(0).total().bytes_received == 3 * 24
+
+    def test_scatter_delivers_per_rank_item(self, comm4):
+        comm, _ = comm4
+        out = comm.scatter([10, 20, 30, 40], root=0)
+        assert out == [10, 20, 30, 40]
+
+    def test_scatter_requires_values(self, comm4):
+        comm, _ = comm4
+        with pytest.raises(ValueError):
+            comm.scatter(None, root=0)
+
+    def test_alltoall_transposes(self, comm4):
+        comm, _ = comm4
+        send = [[(src, dst) for dst in range(4)] for src in range(4)]
+        recv = comm.alltoall(send)
+        for dst in range(4):
+            for src in range(4):
+                assert recv[dst][src] == (src, dst)
+
+    def test_alltoall_empty_payloads_not_charged(self, comm4):
+        comm, registry = comm4
+        send = [[None for _ in range(4)] for _ in range(4)]
+        comm.alltoall(send)
+        assert registry.grand_total().messages_sent == 0
+
+    def test_alltoall_self_delivery_not_charged(self, comm4):
+        comm, registry = comm4
+        send = [[None for _ in range(4)] for _ in range(4)]
+        send[2][2] = np.zeros(100)
+        recv = comm.alltoall(send)
+        assert recv[2][2] is send[2][2]
+        assert registry.grand_total().bytes_sent == 0
+
+    def test_alltoall_wrong_shape_rejected(self, comm4):
+        comm, _ = comm4
+        with pytest.raises(ValueError):
+            comm.alltoall([[None] * 3 for _ in range(4)])
+        with pytest.raises(ValueError):
+            comm.alltoall([[None] * 4 for _ in range(3)])
+
+    def test_reduce_applies_operator(self, comm4):
+        comm, _ = comm4
+        result = comm.reduce([1, 2, 3, 4], op=lambda a, b: a + b, root=0)
+        assert result == 10
+
+    def test_allreduce_sum_arrays(self, comm4):
+        comm, _ = comm4
+        values = [np.full(3, float(r)) for r in range(4)]
+        out = comm.allreduce_sum(values)
+        assert len(out) == 4
+        assert np.allclose(out[0], 6.0)
+
+    def test_send_point_to_point_accounting(self, comm4):
+        comm, registry = comm4
+        payload = np.zeros(16)
+        comm.send(0, 3, payload)
+        assert registry.rank(0).total().bytes_sent == payload.nbytes
+        assert registry.rank(3).total().bytes_received == payload.nbytes
+
+    def test_send_to_self_free(self, comm4):
+        comm, registry = comm4
+        comm.send(1, 1, np.zeros(8))
+        assert registry.grand_total().bytes_sent == 0
+
+    def test_barrier_counts_synchronizations(self, comm4):
+        comm, registry = comm4
+        comm.barrier()
+        for r in range(4):
+            assert registry.rank(r).total().synchronizations == 1
+
+    def test_values_length_validated(self, comm4):
+        comm, _ = comm4
+        with pytest.raises(ValueError):
+            comm.allgather([1, 2])
+
+    def test_invalid_root_rejected(self, comm4):
+        comm, _ = comm4
+        with pytest.raises(ValueError):
+            comm.bcast(1, root=9)
+
+    def test_subgroup_accounting_uses_global_ranks(self):
+        registry = MetricsRegistry(4)
+        comm = Communicator(registry, [2, 3])
+        comm.bcast(np.zeros(10), root=0)  # local root 0 == global rank 2
+        assert registry.rank(2).total().bytes_sent == 80
+        assert registry.rank(3).total().bytes_received == 80
+        assert registry.rank(0).total().bytes_sent == 0

@@ -1,0 +1,147 @@
+"""Tests for the analytic cost model."""
+
+import pytest
+
+from repro.cluster.cost_model import CostModel, PhaseTime, TimeBreakdown
+from repro.cluster.machine import MachineSpec
+from repro.cluster.metrics import MetricsRegistry, PhaseCounters
+
+
+def _registry_with(phase: str, n_ranks: int = 2, **fields) -> MetricsRegistry:
+    registry = MetricsRegistry(n_ranks)
+    with registry.phase(phase):
+        for r in range(n_ranks):
+            counters = registry.for_phase(r)
+            for name, value in fields.items():
+                setattr(counters, name, value)
+    return registry
+
+
+class TestPhaseTime:
+    def test_total_without_overlap(self):
+        pt = PhaseTime(phase="p", compute_s=1.0, comm_s=0.5, overlap=False)
+        assert pt.nonoverlapped_comm_s == 0.5
+        assert pt.total_s == 1.5
+
+    def test_total_with_overlap_hides_comm(self):
+        pt = PhaseTime(phase="p", compute_s=1.0, comm_s=0.5, overlap=True)
+        assert pt.nonoverlapped_comm_s == 0.0
+        assert pt.total_s == 1.0
+
+    def test_overlap_exposes_excess_comm(self):
+        pt = PhaseTime(phase="p", compute_s=0.2, comm_s=0.5, overlap=True)
+        assert pt.nonoverlapped_comm_s == pytest.approx(0.3)
+
+    def test_as_dict_keys(self):
+        pt = PhaseTime(phase="p", compute_s=1.0, comm_s=0.5)
+        d = pt.as_dict()
+        assert d["phase"] == "p"
+        assert d["total_s"] == pytest.approx(1.5)
+
+
+class TestTimeBreakdown:
+    def test_total_sums_phases(self):
+        bd = TimeBreakdown(phases=[
+            PhaseTime("a", 1.0, 0.0),
+            PhaseTime("b", 2.0, 0.5),
+        ])
+        assert bd.total_s == pytest.approx(3.5)
+
+    def test_phase_lookup(self):
+        bd = TimeBreakdown(phases=[PhaseTime("a", 1.0, 0.0)])
+        assert bd.phase("a").compute_s == 1.0
+        with pytest.raises(KeyError):
+            bd.phase("missing")
+
+    def test_fractions_sum_to_one(self):
+        bd = TimeBreakdown(phases=[PhaseTime("a", 1.0, 0.0), PhaseTime("b", 3.0, 0.0)])
+        fractions = bd.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["b"] == pytest.approx(0.75)
+
+    def test_fractions_of_empty_breakdown(self):
+        bd = TimeBreakdown(phases=[PhaseTime("a", 0.0, 0.0)])
+        assert bd.fractions() == {"a": 0.0}
+
+
+class TestCostModel:
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(MachineSpec.edison(), parallel_efficiency=0.0)
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(MachineSpec.edison(), threads_per_rank=0)
+
+    def test_more_distance_work_costs_more(self):
+        model = CostModel(MachineSpec.edison())
+        small = PhaseCounters(distance_computations=1_000, distance_dims=3)
+        big = PhaseCounters(distance_computations=1_000_000, distance_dims=3)
+        assert model.compute_time(big) > model.compute_time(small)
+
+    def test_more_threads_reduce_compute_time(self):
+        model = CostModel(MachineSpec.edison())
+        counters = PhaseCounters(nodes_visited=1_000_000, distance_computations=100_000,
+                                 distance_dims=3)
+        assert model.compute_time(counters, threads=24) < model.compute_time(counters, threads=1)
+
+    def test_smt_helps_latency_bound_work(self):
+        model = CostModel(MachineSpec.edison())
+        counters = PhaseCounters(nodes_visited=10_000_000)
+        assert model.compute_time(counters, threads=48) < model.compute_time(counters, threads=24)
+
+    def test_comm_time_uses_alpha_beta(self):
+        model = CostModel(MachineSpec.edison())
+        counters = PhaseCounters(bytes_sent=10_000_000, messages_sent=10)
+        expected_min = 10_000_000 / MachineSpec.edison().interconnect.bandwidth_bytes_per_s
+        assert model.comm_time(counters) >= expected_min
+
+    def test_zero_counters_zero_time(self):
+        model = CostModel(MachineSpec.edison())
+        assert model.compute_time(PhaseCounters()) == pytest.approx(0.0)
+        assert model.comm_time(PhaseCounters()) == pytest.approx(0.0)
+
+    def test_evaluate_uses_slowest_rank(self):
+        registry = MetricsRegistry(2)
+        with registry.phase("p"):
+            registry.for_phase(0).distance_computations = 1_000
+            registry.for_phase(0).distance_dims = 3
+            registry.for_phase(1).distance_computations = 1_000_000
+            registry.for_phase(1).distance_dims = 3
+        model = CostModel(MachineSpec.edison())
+        breakdown = model.evaluate(registry, phases=["p"])
+        phase = breakdown.phase("p")
+        assert phase.compute_s == pytest.approx(max(phase.per_rank_compute_s))
+        assert phase.per_rank_compute_s[1] > phase.per_rank_compute_s[0]
+
+    def test_evaluate_defaults_to_recorded_phases(self):
+        registry = _registry_with("alpha", scalar_ops=1000)
+        model = CostModel(MachineSpec.edison())
+        breakdown = model.evaluate(registry)
+        assert [p.phase for p in breakdown.phases] == ["alpha"]
+
+    def test_overlap_phase_hides_comm(self):
+        registry = _registry_with("q", distance_computations=10_000_000, distance_dims=3,
+                                  bytes_sent=1000, messages_sent=10)
+        overlapped = CostModel(MachineSpec.edison(), overlap_phases=["q"])
+        plain = CostModel(MachineSpec.edison())
+        assert overlapped.evaluate(registry, ["q"]).total_s <= plain.evaluate(registry, ["q"]).total_s
+
+    def test_evaluate_phase_groups(self):
+        registry = MetricsRegistry(1)
+        with registry.phase("a"):
+            registry.for_phase(0).scalar_ops = 10_000
+        with registry.phase("b"):
+            registry.for_phase(0).scalar_ops = 20_000
+        model = CostModel(MachineSpec.edison())
+        groups = model.evaluate_phase_groups(registry, {"both": ["a", "b"], "only_a": ["a"]})
+        assert groups["both"] > groups["only_a"] > 0.0
+
+    def test_memory_bandwidth_caps_distance_rate(self):
+        # Huge distance counts in few dims should be bandwidth-limited and
+        # still produce a sensible positive time.
+        model = CostModel(MachineSpec.edison())
+        counters = PhaseCounters(distance_computations=10**9, distance_dims=3)
+        t = model.compute_time(counters)
+        bandwidth_bound = 10**9 * 3 * 8 / MachineSpec.edison().memory_bandwidth_bytes_per_s
+        assert t >= bandwidth_bound

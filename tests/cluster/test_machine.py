@@ -1,0 +1,84 @@
+"""Tests for the hardware descriptions (MachineSpec / InterconnectSpec)."""
+
+import pytest
+
+from repro.cluster.machine import InterconnectSpec, MachineSpec
+
+
+class TestInterconnectSpec:
+    def test_message_time_combines_latency_and_bandwidth(self):
+        net = InterconnectSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert net.message_time(0, 0) == 0.0
+        assert net.message_time(1_000_000, 1) == pytest.approx(1e-6 + 1e-3)
+
+    def test_message_time_scales_with_message_count(self):
+        net = InterconnectSpec(latency_s=2e-6, bandwidth_bytes_per_s=1e9)
+        assert net.message_time(0, 10) == pytest.approx(2e-5)
+
+    def test_negative_bytes_rejected(self):
+        net = InterconnectSpec()
+        with pytest.raises(ValueError):
+            net.message_time(-1, 1)
+
+    def test_negative_messages_rejected(self):
+        net = InterconnectSpec()
+        with pytest.raises(ValueError):
+            net.message_time(1, -1)
+
+
+class TestMachineSpec:
+    def test_edison_preset_matches_paper_platform(self):
+        spec = MachineSpec.edison()
+        assert spec.cores_per_node == 24
+        assert spec.frequency_hz == pytest.approx(2.4e9)
+        assert spec.interconnect.name == "cray-aries"
+
+    def test_knl_preset_has_wide_simd(self):
+        knl = MachineSpec.knl()
+        assert knl.cores_per_node == 68
+        assert knl.simd_width_doubles == 8
+
+    def test_peak_flops_scales_with_threads(self):
+        spec = MachineSpec.edison()
+        assert spec.peak_flops(24) == pytest.approx(2 * spec.peak_flops(12))
+
+    def test_peak_flops_capped_at_physical_cores(self):
+        spec = MachineSpec.edison()
+        assert spec.peak_flops(48) == pytest.approx(spec.peak_flops(24))
+
+    def test_smt_reduces_effective_memory_latency(self):
+        spec = MachineSpec.edison()
+        assert spec.effective_memory_latency(48) < spec.effective_memory_latency(24)
+
+    def test_effective_memory_latency_without_smt(self):
+        spec = MachineSpec.edison()
+        assert spec.effective_memory_latency(1) == pytest.approx(spec.memory_latency_s)
+
+    def test_total_threads(self):
+        spec = MachineSpec.edison()
+        assert spec.total_threads() == 48
+
+    def test_invalid_threads_rejected(self):
+        spec = MachineSpec.edison()
+        with pytest.raises(ValueError):
+            spec.peak_flops(0)
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cores_per_node=0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(frequency_hz=-1.0)
+
+    def test_with_interconnect_replaces_network_only(self):
+        spec = MachineSpec.edison()
+        new_net = InterconnectSpec(latency_s=9e-6, bandwidth_bytes_per_s=1e9, name="slow")
+        swapped = spec.with_interconnect(new_net)
+        assert swapped.interconnect.name == "slow"
+        assert swapped.cores_per_node == spec.cores_per_node
+
+    def test_scalar_rate_uses_physical_cores(self):
+        spec = MachineSpec.edison()
+        assert spec.scalar_rate(1) == pytest.approx(spec.frequency_hz)
+        assert spec.scalar_rate(24) == pytest.approx(24 * spec.frequency_hz)

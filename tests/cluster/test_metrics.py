@@ -1,0 +1,119 @@
+"""Tests for the per-rank, per-phase counter registry."""
+
+import pytest
+
+from repro.cluster.metrics import MetricsRegistry, PhaseCounters, RankCounters
+
+
+class TestPhaseCounters:
+    def test_merge_accumulates_counts(self):
+        a = PhaseCounters(bytes_sent=10, messages_sent=1, distance_computations=5)
+        b = PhaseCounters(bytes_sent=20, messages_sent=2, distance_computations=7)
+        a.merge(b)
+        assert a.bytes_sent == 30
+        assert a.messages_sent == 3
+        assert a.distance_computations == 12
+
+    def test_merge_keeps_max_dims(self):
+        a = PhaseCounters(distance_dims=3)
+        b = PhaseCounters(distance_dims=10)
+        a.merge(b)
+        assert a.distance_dims == 10
+
+    def test_copy_is_independent(self):
+        a = PhaseCounters(bytes_sent=5)
+        b = a.copy()
+        b.bytes_sent += 1
+        assert a.bytes_sent == 5
+
+    def test_total_bytes(self):
+        c = PhaseCounters(bytes_sent=3, bytes_received=4)
+        assert c.total_bytes() == 7
+
+    def test_as_dict_round_trips_all_fields(self):
+        c = PhaseCounters(bytes_sent=1, nodes_visited=2, histogram_ops=3)
+        d = c.as_dict()
+        assert d["bytes_sent"] == 1
+        assert d["nodes_visited"] == 2
+        assert d["histogram_ops"] == 3
+        assert set(d) >= {"messages_sent", "scalar_ops", "elements_moved"}
+
+
+class TestRankCounters:
+    def test_phase_creates_on_demand(self):
+        rc = RankCounters(rank=0)
+        rc.phase("build").bytes_sent += 7
+        assert rc.phases["build"].bytes_sent == 7
+
+    def test_total_aggregates_phases(self):
+        rc = RankCounters(rank=0)
+        rc.phase("a").scalar_ops = 5
+        rc.phase("b").scalar_ops = 6
+        assert rc.total().scalar_ops == 11
+
+
+class TestMetricsRegistry:
+    def test_requires_positive_rank_count(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(0)
+
+    def test_default_phase(self):
+        registry = MetricsRegistry(2)
+        assert registry.current_phase == MetricsRegistry.DEFAULT_PHASE
+
+    def test_phase_context_manager_nests(self):
+        registry = MetricsRegistry(1)
+        with registry.phase("outer"):
+            assert registry.current_phase == "outer"
+            with registry.phase("inner"):
+                assert registry.current_phase == "inner"
+            assert registry.current_phase == "outer"
+        assert registry.current_phase == MetricsRegistry.DEFAULT_PHASE
+
+    def test_phase_order_records_first_entry(self):
+        registry = MetricsRegistry(1)
+        with registry.phase("b"):
+            pass
+        with registry.phase("a"):
+            pass
+        with registry.phase("b"):
+            pass
+        assert registry.phase_order == ["b", "a"]
+
+    def test_for_phase_charges_current_phase(self):
+        registry = MetricsRegistry(2)
+        with registry.phase("work"):
+            registry.for_phase(1).scalar_ops += 3
+        assert registry.rank(1).phase("work").scalar_ops == 3
+        assert registry.rank(0).phase("work").scalar_ops == 0
+
+    def test_phase_total_sums_over_ranks(self):
+        registry = MetricsRegistry(3)
+        with registry.phase("p"):
+            for r in range(3):
+                registry.for_phase(r).bytes_sent += r + 1
+        assert registry.phase_total("p").bytes_sent == 6
+
+    def test_phase_max_takes_worst_rank(self):
+        registry = MetricsRegistry(3)
+        with registry.phase("p"):
+            for r in range(3):
+                registry.for_phase(r).bytes_sent += (r + 1) * 10
+        assert registry.phase_max("p").bytes_sent == 30
+
+    def test_grand_total(self):
+        registry = MetricsRegistry(2)
+        with registry.phase("a"):
+            registry.for_phase(0).scalar_ops += 1
+        with registry.phase("b"):
+            registry.for_phase(1).scalar_ops += 2
+        assert registry.grand_total().scalar_ops == 3
+
+    def test_reset_clears_counters_and_phases(self):
+        registry = MetricsRegistry(2)
+        with registry.phase("a"):
+            registry.for_phase(0).scalar_ops += 1
+        registry.reset()
+        assert registry.grand_total().scalar_ops == 0
+        assert registry.phase_order == []
+        assert registry.n_ranks == 2

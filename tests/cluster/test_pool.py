@@ -1,0 +1,74 @@
+"""Tests for the execution backends."""
+
+import pytest
+
+from repro.cluster.pool import ProcessBackend, SerialBackend, ThreadBackend, chunk_items
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerialBackend:
+    def test_map_preserves_order(self):
+        backend = SerialBackend()
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_map_empty(self):
+        assert SerialBackend().map(_square, []) == []
+
+    def test_close_is_noop(self):
+        SerialBackend().close()
+
+
+class TestThreadBackend:
+    def test_map_matches_serial(self):
+        with ThreadBackend(n_workers=4) as backend:
+            assert backend.map(_square, list(range(20))) == [x * x for x in range(20)]
+
+    def test_map_empty(self):
+        with ThreadBackend(n_workers=2) as backend:
+            assert backend.map(_square, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(n_workers=0)
+
+    def test_close_idempotent(self):
+        backend = ThreadBackend(n_workers=2)
+        backend.map(_square, [1])
+        backend.close()
+        backend.close()
+
+
+class TestProcessBackend:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(n_workers=-1)
+
+    def test_map_empty_does_not_spawn(self):
+        backend = ProcessBackend(n_workers=2)
+        assert backend.map(_square, []) == []
+        backend.close()
+
+    def test_map_matches_serial(self):
+        with ProcessBackend(n_workers=2) as backend:
+            assert backend.map(_square, [3, 4]) == [9, 16]
+
+
+class TestChunkItems:
+    def test_balanced_chunks(self):
+        chunks = chunk_items(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_items([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_empty_items(self):
+        assert chunk_items([], 3) == []
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_items([1], 0)

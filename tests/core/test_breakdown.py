@@ -1,0 +1,79 @@
+"""Tests for the Fig. 5(b)/(c) breakdown helpers."""
+
+import pytest
+
+from repro.core.breakdown import (
+    CONSTRUCTION_LABELS,
+    CONSTRUCTION_PHASES,
+    NON_OVERLAPPED_COMM_LABEL,
+    QUERY_LABELS,
+    construction_breakdown,
+    default_cost_model,
+    phase_times,
+    query_breakdown,
+)
+from repro.core.panda import PandaKNN
+from repro.core.query_engine import QUERY_PHASES
+
+
+@pytest.fixture(scope="module")
+def fitted_index(small_points, small_queries):
+    index = PandaKNN(n_ranks=4).fit(small_points)
+    index.query(small_queries, k=5)
+    return index
+
+
+class TestConstructionBreakdown:
+    def test_fractions_sum_to_one(self, fitted_index):
+        shares = construction_breakdown(fitted_index.cluster)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_all_labels_present(self, fitted_index):
+        shares = construction_breakdown(fitted_index.cluster)
+        assert set(shares) == set(CONSTRUCTION_LABELS.values())
+
+    def test_global_phases_dominate_for_3d_data(self, fitted_index):
+        """The paper: global tree + redistribution take the majority of time."""
+        shares = construction_breakdown(fitted_index.cluster)
+        global_share = (
+            shares["Global kd-tree construction"] + shares["Redistribute particles"]
+        )
+        assert global_share > 0.3
+
+    def test_absolute_seconds_mode(self, fitted_index):
+        seconds = construction_breakdown(fitted_index.cluster, as_fractions=False)
+        assert all(v >= 0.0 for v in seconds.values())
+        assert sum(seconds.values()) > 0.0
+
+
+class TestQueryBreakdown:
+    def test_fractions_sum_to_one(self, fitted_index):
+        shares = query_breakdown(fitted_index.cluster)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_labels_include_non_overlapped_comm(self, fitted_index):
+        shares = query_breakdown(fitted_index.cluster)
+        assert NON_OVERLAPPED_COMM_LABEL in shares
+        assert set(QUERY_LABELS.values()) <= set(shares)
+
+    def test_local_knn_is_largest_compute_component(self, fitted_index):
+        """The paper: local KNN takes the largest share of query compute."""
+        shares = query_breakdown(fitted_index.cluster)
+        compute_only = {k: v for k, v in shares.items() if k != NON_OVERLAPPED_COMM_LABEL}
+        assert max(compute_only, key=compute_only.get) == "Local KNN"
+
+    def test_empty_metrics_give_zero_shares(self, small_points):
+        index = PandaKNN(n_ranks=2).fit(small_points)  # no queries run
+        shares = query_breakdown(index.cluster)
+        assert sum(shares.values()) == pytest.approx(0.0)
+
+
+class TestHelpers:
+    def test_default_cost_model_overlaps_query_phases(self, fitted_index):
+        model = default_cost_model(fitted_index.cluster)
+        assert set(QUERY_PHASES) <= model.overlap_phases
+
+    def test_phase_times_returns_all_requested(self, fitted_index):
+        times = phase_times(fitted_index.cluster, CONSTRUCTION_PHASES)
+        assert set(times) == set(CONSTRUCTION_PHASES)
+        assert all(v >= 0.0 for v in times.values())

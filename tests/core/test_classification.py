@@ -1,0 +1,133 @@
+"""Tests for KNN classification and regression."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    KNNClassifier,
+    KNNRegressor,
+    LocalKNNClassifier,
+    train_test_split,
+)
+from repro.datasets.uniform import gaussian_blobs
+
+
+@pytest.fixture(scope="module")
+def blob_data():
+    points, labels = gaussian_blobs(3000, dims=3, n_blobs=3, spread=0.03, seed=1, return_labels=True)
+    return points, labels
+
+
+class TestKNNClassifier:
+    def test_high_accuracy_on_separable_blobs(self, blob_data):
+        points, labels = blob_data
+        tr_x, tr_y, te_x, te_y = train_test_split(points, labels, 0.25, np.random.default_rng(0))
+        clf = KNNClassifier(k=5, n_ranks=4).fit(tr_x, tr_y)
+        assert clf.score(te_x, te_y) > 0.95
+
+    def test_weighted_vote_also_works(self, blob_data):
+        points, labels = blob_data
+        tr_x, tr_y, te_x, te_y = train_test_split(points, labels, 0.25, np.random.default_rng(0))
+        clf = KNNClassifier(k=5, n_ranks=2, weighted=True).fit(tr_x, tr_y)
+        assert clf.score(te_x, te_y) > 0.95
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            KNNClassifier(k=3).predict(np.zeros((2, 3)))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+
+    def test_label_length_mismatch_rejected(self, blob_data):
+        points, labels = blob_data
+        with pytest.raises(ValueError):
+            KNNClassifier(k=3).fit(points, labels[:-5])
+
+    def test_negative_labels_rejected(self, blob_data):
+        points, _ = blob_data
+        with pytest.raises(ValueError):
+            KNNClassifier(k=3).fit(points, np.full(points.shape[0], -1))
+
+    def test_k1_predicts_training_labels_exactly(self, blob_data):
+        points, labels = blob_data
+        clf = KNNClassifier(k=1, n_ranks=2).fit(points, labels)
+        predictions = clf.predict(points[:200])
+        assert np.array_equal(predictions, labels[:200])
+
+    def test_score_length_mismatch_rejected(self, blob_data):
+        points, labels = blob_data
+        clf = KNNClassifier(k=3, n_ranks=2).fit(points, labels)
+        with pytest.raises(ValueError):
+            clf.score(points[:10], labels[:5])
+
+
+class TestKNNRegressor:
+    def test_recovers_smooth_function(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(-1, 1, size=(4000, 2))
+        values = points[:, 0] ** 2 + points[:, 1]
+        reg = KNNRegressor(k=8, n_ranks=4).fit(points, values)
+        test = rng.uniform(-0.8, 0.8, size=(100, 2))
+        predictions = reg.predict(test)
+        truth = test[:, 0] ** 2 + test[:, 1]
+        assert np.mean(np.abs(predictions - truth)) < 0.05
+
+    def test_weighted_regression(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-1, 1, size=(2000, 2))
+        values = 3.0 * points[:, 0]
+        reg = KNNRegressor(k=4, n_ranks=2, weighted=True).fit(points, values)
+        predictions = reg.predict(points[:50])
+        assert np.allclose(predictions, values[:50], atol=0.05)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            KNNRegressor(k=3).predict(np.zeros((2, 3)))
+
+    def test_value_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=3).fit(np.zeros((10, 2)), np.zeros(9))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=-2)
+
+
+class TestLocalKNNClassifier:
+    def test_matches_distributed_classifier(self, blob_data):
+        points, labels = blob_data
+        tr_x, tr_y, te_x, te_y = train_test_split(points, labels, 0.25, np.random.default_rng(4))
+        local = LocalKNNClassifier(k=5).fit(tr_x, tr_y)
+        distributed = KNNClassifier(k=5, n_ranks=4).fit(tr_x, tr_y)
+        assert np.array_equal(local.predict(te_x), distributed.predict(te_x))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LocalKNNClassifier(k=3).predict(np.zeros((1, 3)))
+
+    def test_score(self, blob_data):
+        points, labels = blob_data
+        clf = LocalKNNClassifier(k=3).fit(points, labels)
+        assert clf.score(points[:100], labels[:100]) > 0.99
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        points = np.zeros((100, 2))
+        labels = np.zeros(100, dtype=np.int64)
+        tr_x, tr_y, te_x, te_y = train_test_split(points, labels, 0.2)
+        assert te_x.shape[0] == 20
+        assert tr_x.shape[0] == 80
+        assert tr_y.shape[0] == 80
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 2)), np.zeros(10), 1.5)
+
+    def test_partition_is_disjoint_and_complete(self):
+        points = np.arange(50, dtype=np.float64).reshape(50, 1)
+        labels = np.arange(50)
+        tr_x, _, te_x, _ = train_test_split(points, labels, 0.3, np.random.default_rng(5))
+        combined = np.sort(np.concatenate([tr_x.ravel(), te_x.ravel()]))
+        assert np.array_equal(combined, np.arange(50, dtype=np.float64))

@@ -1,0 +1,38 @@
+"""Tests for PandaConfig validation and helpers."""
+
+import pytest
+
+from repro.core.config import PandaConfig
+from repro.kdtree.tree import KDTreeConfig
+
+
+class TestPandaConfig:
+    def test_defaults_match_paper(self):
+        config = PandaConfig.paper_defaults()
+        assert config.global_samples_per_rank == 256
+        assert config.local.median_samples == 1024
+        assert config.local.bucket_size == 32
+        assert config.k == 5
+
+    def test_with_k(self):
+        config = PandaConfig().with_k(11)
+        assert config.k == 11
+        assert PandaConfig().k == 5
+
+    def test_with_local(self):
+        config = PandaConfig().with_local(KDTreeConfig(bucket_size=64))
+        assert config.local.bucket_size == 64
+
+    @pytest.mark.parametrize("field,value", [
+        ("global_samples_per_rank", 0),
+        ("global_variance_samples", -1),
+        ("query_batch_size", 0),
+        ("k", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            PandaConfig(**{field: value})
+
+    def test_invalid_binning_rejected(self):
+        with pytest.raises(ValueError):
+            PandaConfig(binning="bogus")

@@ -1,0 +1,53 @@
+"""Tests for per-rank local tree construction."""
+
+import pytest
+
+from repro.cluster.simulator import Cluster
+from repro.core.config import PandaConfig
+from repro.core.local_phase import LOCAL_PHASES, LOCAL_TREE_KEY, build_local_trees, local_tree_of
+from repro.core.redistribution import build_global_tree
+from repro.kdtree.validate import check_tree_invariants
+
+
+@pytest.fixture()
+def prepared_cluster(small_points):
+    cluster = Cluster(n_ranks=4)
+    cluster.distribute_block(small_points)
+    build_global_tree(cluster, PandaConfig())
+    return cluster
+
+
+class TestBuildLocalTrees:
+    def test_every_rank_gets_a_tree(self, prepared_cluster):
+        trees = build_local_trees(prepared_cluster, PandaConfig())
+        assert len(trees) == 4
+        for rank, tree in zip(prepared_cluster.ranks, trees):
+            assert rank.store[LOCAL_TREE_KEY] is tree
+            assert tree.n_points == rank.n_points
+
+    def test_local_trees_are_valid(self, prepared_cluster):
+        for tree in build_local_trees(prepared_cluster, PandaConfig()):
+            check_tree_invariants(tree)
+
+    def test_local_tree_ids_are_global(self, prepared_cluster, small_points):
+        trees = build_local_trees(prepared_cluster, PandaConfig())
+        seen = set()
+        for tree in trees:
+            seen.update(int(i) for i in tree.ids)
+        assert seen == set(range(small_points.shape[0]))
+
+    def test_phase_counters_merged_into_cluster(self, prepared_cluster):
+        build_local_trees(prepared_cluster, PandaConfig())
+        order = prepared_cluster.metrics.phase_order
+        for phase in LOCAL_PHASES:
+            assert phase in order
+        packing = prepared_cluster.metrics.phase_total("local_simd_packing")
+        assert packing.bytes_streamed > 0
+
+    def test_local_tree_of_accessor(self, prepared_cluster):
+        build_local_trees(prepared_cluster, PandaConfig())
+        assert local_tree_of(prepared_cluster, 2).n_points == prepared_cluster.ranks[2].n_points
+
+    def test_local_tree_of_missing_raises(self, prepared_cluster):
+        with pytest.raises(KeyError):
+            local_tree_of(prepared_cluster, 0)

@@ -1,0 +1,164 @@
+"""Tests for the five-step distributed query protocol."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import Cluster
+from repro.core.config import PandaConfig
+from repro.core.local_phase import build_local_trees
+from repro.core.query_engine import QUERY_PHASES, DistributedQueryEngine
+from repro.core.redistribution import build_global_tree
+from repro.kdtree.query import brute_force_knn
+
+
+def _engine(points: np.ndarray, n_ranks: int, config: PandaConfig | None = None):
+    config = config or PandaConfig(query_batch_size=256)
+    cluster = Cluster(n_ranks=n_ranks)
+    cluster.distribute_block(points)
+    tree = build_global_tree(cluster, config)
+    build_local_trees(cluster, config)
+    return DistributedQueryEngine(cluster, tree, config)
+
+
+class TestDistributedQueryCorrectness:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4, 5])
+    def test_matches_brute_force(self, small_points, small_queries, n_ranks):
+        engine = _engine(small_points, n_ranks)
+        report = engine.query(small_queries, k=5)
+        bd, _ = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries, 5)
+        assert np.allclose(report.distances, bd, atol=1e-9)
+
+    def test_clustered_data_matches_brute_force(self, cosmo_points):
+        rng = np.random.default_rng(0)
+        queries = cosmo_points[rng.choice(cosmo_points.shape[0], 150, replace=False)]
+        engine = _engine(cosmo_points, 8)
+        report = engine.query(queries, k=7)
+        bd, _ = brute_force_knn(cosmo_points, np.arange(cosmo_points.shape[0]), queries, 7)
+        assert np.allclose(report.distances, bd, atol=1e-9)
+
+    def test_high_dimensional_data(self, dayabay_data):
+        points, _ = dayabay_data
+        rng = np.random.default_rng(1)
+        queries = points[rng.choice(points.shape[0], 60, replace=False)]
+        engine = _engine(points, 4)
+        report = engine.query(queries, k=5)
+        bd, _ = brute_force_knn(points, np.arange(points.shape[0]), queries, 5)
+        assert np.allclose(report.distances, bd, atol=1e-9)
+
+    def test_ids_match_distances(self, small_points, small_queries):
+        engine = _engine(small_points, 4)
+        report = engine.query(small_queries[:20], k=3)
+        for qi in range(20):
+            for slot in range(3):
+                pid = report.ids[qi, slot]
+                if pid < 0:
+                    continue
+                true_dist = np.linalg.norm(small_points[pid] - small_queries[qi])
+                assert true_dist == pytest.approx(report.distances[qi, slot], abs=1e-9)
+
+    def test_k_larger_than_dataset(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(40, 3))
+        engine = _engine(points, 4)
+        report = engine.query(points[:5], k=100)
+        found = (report.ids[0] >= 0).sum()
+        assert found == 40
+
+    def test_small_batches_still_correct(self, small_points, small_queries):
+        engine = _engine(small_points, 4, PandaConfig(query_batch_size=17))
+        report = engine.query(small_queries, k=4)
+        bd, _ = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries, 4)
+        assert np.allclose(report.distances, bd, atol=1e-9)
+        assert report.n_batches == int(np.ceil(small_queries.shape[0] / 17))
+
+
+class TestQueryReport:
+    def test_report_shapes(self, small_points, small_queries):
+        engine = _engine(small_points, 4)
+        report = engine.query(small_queries, k=5)
+        n = small_queries.shape[0]
+        assert report.distances.shape == (n, 5)
+        assert report.ids.shape == (n, 5)
+        assert report.owners.shape == (n,)
+        assert report.remote_fanout.shape == (n,)
+        assert report.n_queries == n
+
+    def test_owner_assignment_matches_global_tree(self, small_points, small_queries):
+        engine = _engine(small_points, 4)
+        report = engine.query(small_queries, k=5)
+        expected = engine.global_tree.owner_of(small_queries)
+        assert np.array_equal(report.owners, expected)
+
+    def test_remote_fanout_statistics(self, small_points, small_queries):
+        engine = _engine(small_points, 4)
+        report = engine.query(small_queries, k=5)
+        assert 0.0 <= report.fraction_sent_remote <= 1.0
+        assert report.mean_remote_fanout <= engine.cluster.n_ranks - 1
+        summary = report.summary()
+        assert summary["n_queries"] == small_queries.shape[0]
+
+    def test_single_rank_has_no_remote_queries(self, small_points, small_queries):
+        engine = _engine(small_points, 1)
+        report = engine.query(small_queries, k=5)
+        assert report.mean_remote_fanout == 0.0
+        assert report.fraction_sent_remote == 0.0
+
+    def test_colocated_records_increase_fanout(self, dayabay_data, cosmo_points):
+        """The dayabay-like data forces more remote lookups than cosmology."""
+        day_points, _ = dayabay_data
+        rng = np.random.default_rng(3)
+        day_queries = day_points[rng.choice(day_points.shape[0], 100, replace=False)]
+        cos_queries = cosmo_points[rng.choice(cosmo_points.shape[0], 100, replace=False)]
+        day_report = _engine(day_points, 8).query(day_queries, k=5)
+        cos_report = _engine(cosmo_points, 8).query(cos_queries, k=5)
+        assert day_report.mean_remote_fanout > cos_report.mean_remote_fanout
+
+    def test_phases_recorded(self, small_points, small_queries):
+        engine = _engine(small_points, 4)
+        engine.query(small_queries, k=5)
+        for phase in QUERY_PHASES:
+            assert phase in engine.cluster.metrics.phase_order
+
+    def test_remote_knn_work_less_than_local(self, cosmo_points):
+        rng = np.random.default_rng(4)
+        queries = cosmo_points[rng.choice(cosmo_points.shape[0], 200, replace=False)]
+        engine = _engine(cosmo_points, 4)
+        report = engine.query(queries, k=5)
+        # Remote searches are radius-bounded, so they do less work per query.
+        assert report.remote_stats.distance_computations < report.local_stats.distance_computations
+
+
+class TestValidation:
+    def test_invalid_k_rejected(self, small_points, small_queries):
+        engine = _engine(small_points, 2)
+        with pytest.raises(ValueError):
+            engine.query(small_queries, k=0)
+
+    def test_mismatched_origin_ranks_rejected(self, small_points, small_queries):
+        engine = _engine(small_points, 2)
+        with pytest.raises(ValueError):
+            engine.query(small_queries, k=3, origin_ranks=np.zeros(3, dtype=np.int64))
+
+    def test_invalid_origin_rank_value_rejected(self, small_points, small_queries):
+        engine = _engine(small_points, 2)
+        bad = np.full(small_queries.shape[0], 9, dtype=np.int64)
+        with pytest.raises(ValueError):
+            engine.query(small_queries, k=3, origin_ranks=bad)
+
+    def test_custom_origin_ranks_accepted(self, small_points, small_queries):
+        engine = _engine(small_points, 4)
+        origins = np.random.default_rng(5).integers(0, 4, size=small_queries.shape[0])
+        report = engine.query(small_queries, k=3, origin_ranks=origins)
+        bd, _ = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries, 3)
+        assert np.allclose(report.distances, bd, atol=1e-9)
+
+    def test_global_tree_rank_mismatch_rejected(self, small_points):
+        config = PandaConfig()
+        cluster = Cluster(n_ranks=4)
+        cluster.distribute_block(small_points)
+        tree = build_global_tree(cluster, config)
+        build_local_trees(cluster, config)
+        other = Cluster(n_ranks=2)
+        other.distribute_block(small_points)
+        with pytest.raises(ValueError):
+            DistributedQueryEngine(other, tree, config)

@@ -1,0 +1,121 @@
+"""Tests for distributed global-tree construction and point redistribution."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import Cluster
+from repro.core.config import PandaConfig
+from repro.core.redistribution import PHASE_GLOBAL_TREE, PHASE_REDISTRIBUTE, build_global_tree
+
+
+def _build(points: np.ndarray, n_ranks: int, config: PandaConfig | None = None):
+    cluster = Cluster(n_ranks=n_ranks)
+    cluster.distribute_block(points)
+    tree = build_global_tree(cluster, config or PandaConfig())
+    return cluster, tree
+
+
+class TestGlobalTreeConstruction:
+    def test_single_rank_shortcut(self, small_points):
+        cluster, tree = _build(small_points, 1)
+        assert tree.n_ranks == 1
+        assert cluster.ranks[0].n_points == small_points.shape[0]
+
+    @pytest.mark.parametrize("n_ranks", [2, 3, 4, 8])
+    def test_points_conserved(self, small_points, n_ranks):
+        cluster, _ = _build(small_points, n_ranks)
+        assert cluster.total_points() == small_points.shape[0]
+        ids = np.sort(cluster.gather_ids())
+        assert np.array_equal(ids, np.arange(small_points.shape[0]))
+
+    @pytest.mark.parametrize("n_ranks", [2, 4, 8])
+    def test_ranks_own_disjoint_regions(self, small_points, n_ranks):
+        cluster, tree = _build(small_points, n_ranks)
+        for rank in cluster.ranks:
+            if rank.n_points == 0:
+                continue
+            owners = tree.owner_of(rank.points)
+            assert np.all(owners == rank.rank)
+
+    def test_points_inside_their_box(self, small_points):
+        cluster, tree = _build(small_points, 4)
+        for rank in cluster.ranks:
+            lo = tree.box_lo[rank.rank]
+            hi = tree.box_hi[rank.rank]
+            assert np.all(rank.points >= lo - 1e-12)
+            assert np.all(rank.points <= hi + 1e-12)
+
+    def test_load_balance_reasonable(self, cosmo_points):
+        cluster, _ = _build(cosmo_points, 8)
+        assert cluster.load_imbalance() < 1.6
+
+    def test_depth_matches_log2_ranks(self, small_points):
+        _, tree = _build(small_points, 8)
+        assert tree.depth() == 3
+
+    def test_non_power_of_two_ranks(self, small_points):
+        cluster, tree = _build(small_points, 6)
+        assert tree.n_ranks == 6
+        assert cluster.total_points() == small_points.shape[0]
+        for rank in cluster.ranks:
+            if rank.n_points:
+                assert np.all(tree.owner_of(rank.points) == rank.rank)
+
+    def test_phases_recorded(self, small_points):
+        cluster, _ = _build(small_points, 4)
+        order = cluster.metrics.phase_order
+        assert PHASE_GLOBAL_TREE in order
+        assert PHASE_REDISTRIBUTE in order
+
+    def test_redistribution_moves_bytes(self, small_points):
+        cluster, _ = _build(small_points, 4)
+        total = cluster.metrics.phase_total(PHASE_REDISTRIBUTE)
+        assert total.bytes_sent > 0
+        assert total.messages_sent > 0
+
+    def test_global_phase_uses_histograms(self, small_points):
+        cluster, _ = _build(small_points, 4)
+        total = cluster.metrics.phase_total(PHASE_GLOBAL_TREE)
+        assert total.histogram_ops > 0
+
+    def test_empty_cluster_rejected(self):
+        cluster = Cluster(n_ranks=2)
+        with pytest.raises(ValueError):
+            build_global_tree(cluster)
+
+    def test_duplicate_heavy_data(self):
+        base = np.random.default_rng(0).normal(size=(10, 3))
+        points = np.repeat(base, 200, axis=0)
+        cluster, tree = _build(points, 4)
+        assert cluster.total_points() == points.shape[0]
+        # Every point must still be findable via the tree's boxes.
+        for rank in cluster.ranks:
+            if rank.n_points == 0:
+                continue
+            lo = tree.box_lo[rank.rank]
+            hi = tree.box_hi[rank.rank]
+            assert np.all(rank.points >= lo - 1e-12)
+            assert np.all(rank.points <= hi + 1e-12)
+
+    def test_identical_points_terminate(self):
+        points = np.ones((500, 3))
+        cluster, _ = _build(points, 4)
+        assert cluster.total_points() == 500
+
+    def test_deterministic_given_seed(self, small_points):
+        _, t1 = _build(small_points, 4, PandaConfig(seed=11))
+        _, t2 = _build(small_points, 4, PandaConfig(seed=11))
+        assert np.allclose(t1.split_val, t2.split_val, equal_nan=True)
+
+    def test_more_ranks_more_global_messages(self, small_points):
+        c2, _ = _build(small_points, 2)
+        c8, _ = _build(small_points, 8)
+        assert (
+            c8.metrics.phase_total(PHASE_GLOBAL_TREE).messages_sent
+            > c2.metrics.phase_total(PHASE_GLOBAL_TREE).messages_sent
+        )
+
+    def test_clustered_data_balance(self, plasma_points):
+        cluster, _ = _build(plasma_points, 8)
+        counts = cluster.points_per_rank()
+        assert min(counts) > 0

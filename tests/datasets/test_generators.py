@@ -1,0 +1,179 @@
+"""Tests for the synthetic science-dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cosmology import cosmology_particles
+from repro.datasets.dayabay import dayabay_records
+from repro.datasets.plasma import plasma_particles
+from repro.datasets.sdss import ALL_MAG_DIMS, PSF_MOD_MAG_DIMS, all_mag, psf_mod_mag, sdss_photometry
+from repro.datasets.uniform import gaussian_blobs, uniform_points
+
+
+class TestUniformGenerators:
+    def test_uniform_shape_and_bounds(self):
+        points = uniform_points(500, dims=4, low=-2.0, high=3.0, seed=1)
+        assert points.shape == (500, 4)
+        assert points.min() >= -2.0 and points.max() <= 3.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1)
+        with pytest.raises(ValueError):
+            uniform_points(10, dims=0)
+        with pytest.raises(ValueError):
+            uniform_points(10, low=1.0, high=0.0)
+
+    def test_gaussian_blobs_labels(self):
+        points, labels = gaussian_blobs(300, n_blobs=4, return_labels=True, seed=2)
+        assert points.shape == (300, 3)
+        assert set(np.unique(labels)) <= {0, 1, 2, 3}
+
+    def test_gaussian_blobs_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_blobs(-1)
+        with pytest.raises(ValueError):
+            gaussian_blobs(10, n_blobs=0)
+
+
+class TestCosmology:
+    def test_shape_and_box(self):
+        points = cosmology_particles(3000, box=2.0, seed=3)
+        assert points.shape == (3000, 3)
+        assert points.min() >= 0.0 and points.max() <= 2.0
+
+    def test_determinism(self):
+        a = cosmology_particles(1000, seed=5)
+        b = cosmology_particles(1000, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = cosmology_particles(1000, seed=5)
+        b = cosmology_particles(1000, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_clustering_is_stronger_than_uniform(self):
+        """Halo structure concentrates mass: nearest-neighbour distances are
+        much shorter than for a uniform distribution of the same density."""
+        n = 4000
+        clustered = cosmology_particles(n, seed=7)
+        uniform = uniform_points(n, dims=3, seed=7)
+        from repro.kdtree.query import brute_force_knn
+
+        rng = np.random.default_rng(0)
+        sample = rng.choice(n, 200, replace=False)
+        dc, _ = brute_force_knn(clustered, np.arange(n), clustered[sample], 2)
+        du, _ = brute_force_knn(uniform, np.arange(n), uniform[sample], 2)
+        assert np.median(dc[:, 1]) < np.median(du[:, 1])
+
+    def test_halo_labels(self):
+        points, halo_ids = cosmology_particles(2000, seed=8, return_halo_ids=True)
+        assert halo_ids.shape == (2000,)
+        assert (halo_ids >= -1).all()
+        assert (halo_ids >= 0).sum() > 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            cosmology_particles(100, halo_fraction=0.8, filament_fraction=0.5)
+        with pytest.raises(ValueError):
+            cosmology_particles(-5)
+
+
+class TestPlasma:
+    def test_shape_and_box(self):
+        points = plasma_particles(2000, box=(2.0, 2.0, 1.0), seed=9)
+        assert points.shape == (2000, 3)
+        assert points[:, 0].max() <= 2.0
+        assert points[:, 2].max() <= 1.0
+
+    def test_sheet_concentration(self):
+        """Most particles concentrate near the mid-plane in z."""
+        points = plasma_particles(5000, box=(1.0, 1.0, 1.0), seed=10)
+        near_sheet = np.abs(points[:, 2] - 0.5) < 0.1
+        assert near_sheet.mean() > 0.5
+
+    def test_energy_column(self):
+        points, energy = plasma_particles(1000, seed=11, return_energy=True)
+        assert energy.shape == (1000,)
+        assert energy.min() >= 1.1  # extraction threshold of the paper
+
+    def test_determinism(self):
+        assert np.array_equal(plasma_particles(500, seed=12), plasma_particles(500, seed=12))
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            plasma_particles(100, sheet_fraction=0.9, rope_fraction=0.5)
+
+
+class TestDayabay:
+    def test_shape_labels_and_range(self):
+        points, labels = dayabay_records(3000, seed=13)
+        assert points.shape == (3000, 10)
+        assert labels.shape == (3000,)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+        assert points.min() >= -1.0 and points.max() <= 1.0
+
+    def test_colocation_creates_duplicate_heavy_regions(self):
+        """A large fraction of records sit almost exactly on mode centres."""
+        points, _ = dayabay_records(4000, seed=14)
+        from repro.kdtree.query import brute_force_knn
+
+        rng = np.random.default_rng(0)
+        sample = rng.choice(points.shape[0], 300, replace=False)
+        d, _ = brute_force_knn(points, np.arange(points.shape[0]), points[sample], 2)
+        tiny = d[:, 1] < 1e-2
+        assert tiny.mean() > 0.15
+
+    def test_classes_are_learnable_but_not_trivial(self):
+        from repro.core.classification import LocalKNNClassifier, train_test_split
+
+        points, labels = dayabay_records(5000, seed=15)
+        tr_x, tr_y, te_x, te_y = train_test_split(points, labels, 0.2, np.random.default_rng(0))
+        acc = LocalKNNClassifier(k=5).fit(tr_x, tr_y).score(te_x, te_y)
+        assert 0.75 < acc < 0.97
+
+    def test_class_weights(self):
+        _, labels = dayabay_records(5000, class_weights=(0.8, 0.1, 0.1), seed=16)
+        counts = np.bincount(labels, minlength=3)
+        assert counts[0] > counts[1] and counts[0] > counts[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dayabay_records(-1)
+        with pytest.raises(ValueError):
+            dayabay_records(10, colocated_fraction=1.5)
+        with pytest.raises(ValueError):
+            dayabay_records(10, class_weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            dayabay_records(10, label_noise=2.0)
+
+    def test_determinism(self):
+        a, la = dayabay_records(500, seed=17)
+        b, lb = dayabay_records(500, seed=17)
+        assert np.array_equal(a, b)
+        assert np.array_equal(la, lb)
+
+
+class TestSdss:
+    def test_dims_presets(self):
+        assert psf_mod_mag(100).shape == (100, PSF_MOD_MAG_DIMS)
+        assert all_mag(100).shape == (100, ALL_MAG_DIMS)
+
+    def test_magnitude_range(self):
+        mags = sdss_photometry(2000, seed=18)
+        assert mags.min() >= 14.0 and mags.max() <= 28.0
+
+    def test_features_are_correlated(self):
+        """Magnitudes of the same object track each other across bands."""
+        mags = sdss_photometry(5000, seed=19)
+        corr = np.corrcoef(mags.T)
+        off_diag = corr[~np.eye(corr.shape[0], dtype=bool)]
+        assert np.abs(off_diag).mean() > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sdss_photometry(-1)
+        with pytest.raises(ValueError):
+            sdss_photometry(10, dims=0)
+        with pytest.raises(ValueError):
+            sdss_photometry(10, mag_range=(20.0, 10.0))

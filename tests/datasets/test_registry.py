@@ -1,0 +1,67 @@
+"""Tests for the dataset registry (Table I / Table II analogues)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS, list_datasets, load_dataset
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        expected = {
+            "cosmo_small", "cosmo_medium", "cosmo_large", "plasma_large", "dayabay_large",
+            "cosmo_thin", "plasma_thin", "dayabay_thin",
+            "psf_mod_mag", "all_mag", "knl_cosmo", "knl_plasma",
+        }
+        assert expected <= set(list_datasets())
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("not_a_dataset")
+
+    def test_generate_respects_requested_size(self):
+        spec = load_dataset("cosmo_thin")
+        points = spec.points(n_points=1234)
+        assert points.shape == (1234, 3)
+
+    def test_labelled_datasets_return_labels(self):
+        spec = load_dataset("dayabay_thin")
+        points, labels = spec.points_and_labels(n_points=500)
+        assert points.shape[0] == labels.shape[0] == 500
+
+    def test_unlabelled_dataset_rejects_label_request(self):
+        with pytest.raises(ValueError):
+            load_dataset("cosmo_thin").points_and_labels()
+
+    def test_query_fraction_subsampling(self):
+        spec = load_dataset("cosmo_thin")
+        points = spec.points(n_points=2000)
+        queries = spec.queries(points)
+        assert queries.shape[0] == int(round(2000 * spec.query_fraction))
+
+    def test_query_fraction_above_one_oversamples(self):
+        spec = load_dataset("psf_mod_mag")
+        points = spec.points(n_points=1000)
+        queries = spec.queries(points)
+        assert queries.shape[0] == 5000
+
+    def test_paper_attributes_recorded(self):
+        spec = load_dataset("plasma_large")
+        assert spec.paper.particles == pytest.approx(188.8e9)
+        assert spec.paper.construction_seconds == pytest.approx(47.8)
+        assert spec.paper.cores == 49152
+
+    def test_dims_match_generated_data(self):
+        for name, spec in DATASETS.items():
+            points = spec.points(n_points=200)
+            assert points.shape[1] == spec.dims, name
+
+    def test_thin_datasets_single_rank(self):
+        for name in ("cosmo_thin", "plasma_thin", "dayabay_thin"):
+            assert load_dataset(name).n_ranks == 1
+
+    def test_generation_deterministic(self):
+        spec = load_dataset("cosmo_small")
+        a = spec.points(seed=3, n_points=500)
+        b = spec.points(seed=3, n_points=500)
+        assert np.array_equal(a, b)

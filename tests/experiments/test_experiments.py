@@ -1,0 +1,185 @@
+"""Smoke + shape tests of the paper-reproduction experiment drivers.
+
+Each driver runs at a much smaller scale than the benchmarks; these tests
+assert the *qualitative* properties the paper reports rather than absolute
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_binning_ablation,
+    run_bucket_size_ablation,
+    run_split_dimension_ablation,
+    run_strategy_ablation,
+)
+from repro.experiments.common import (
+    geometric_rank_sweep,
+    paper_core_counts_to_ranks,
+    run_panda_on_dataset,
+    scaled_size,
+    subsample_queries,
+)
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8a, run_fig8b, run_fig8c
+from repro.experiments.science import run_science_accuracy
+from repro.experiments.table1 import run_table1
+
+
+class TestCommonHelpers:
+    def test_core_to_rank_translation(self):
+        assert paper_core_counts_to_ranks(49152) == 2048
+        assert paper_core_counts_to_ranks(24) == 1
+
+    def test_geometric_sweep(self):
+        assert geometric_rank_sweep(2, 16) == [2, 4, 8, 16]
+
+    def test_geometric_sweep_validation(self):
+        with pytest.raises(ValueError):
+            geometric_rank_sweep(4, 2)
+
+    def test_scaled_size_has_floor(self):
+        from repro.datasets.registry import load_dataset
+
+        assert scaled_size(load_dataset("cosmo_thin"), 0.0001) == 2_000
+
+    def test_subsample_queries(self):
+        points = np.random.default_rng(0).normal(size=(100, 3))
+        queries = subsample_queries(points, 0.1)
+        assert queries.shape == (10, 3)
+
+    def test_run_panda_on_dataset(self):
+        run = run_panda_on_dataset("cosmo_thin", scale=0.15, n_ranks=2)
+        assert run.construction_time > 0.0
+        assert run.query_time > 0.0
+        assert run.report.n_queries == run.n_queries
+
+
+class TestTable1:
+    def test_rows_and_text(self):
+        result = run_table1(datasets=("cosmo_thin", "plasma_thin"), scale=0.15)
+        assert len(result["rows"]) == 2
+        assert "Table I" in result["text"]
+        for row in result["rows"]:
+            assert row.construction_time > 0.0
+            assert row.query_time > 0.0
+
+
+class TestFig4:
+    def test_strong_scaling_shape(self):
+        result = run_fig4("cosmo_large", rank_counts=(2, 4, 8), scale=0.15)
+        assert len(result.construction_speedup) == 3
+        # Speedups relative to the first point start at 1 and grow.
+        assert result.construction_speedup[0] == pytest.approx(1.0)
+        assert result.construction_speedup[-1] > 1.0
+        assert result.query_speedup[-1] > 1.0
+        assert "strong scaling" in result.text
+
+
+class TestFig5:
+    def test_weak_scaling_growth_is_bounded(self):
+        result = run_fig5a(points_per_rank=1_200, rank_counts=(1, 2, 4))
+        assert result.construction_normalized[0] == pytest.approx(1.0)
+        # Far from the 4x growth of serialised work.
+        assert result.construction_normalized[-1] < 4.0
+
+    def test_construction_breakdown_shares(self):
+        result = run_fig5b(datasets=("cosmo_large",), scale=0.1)
+        shares = result.breakdowns["cosmo_large"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # Paper: global construction + redistribution dominate for 3-D data.
+        assert shares["Global kd-tree construction"] + shares["Redistribute particles"] > 0.3
+
+    def test_query_breakdown_shares(self):
+        result = run_fig5c(datasets=("cosmo_large",), scale=0.1)
+        shares = result.breakdowns["cosmo_large"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["Local KNN"] > 0.0
+
+
+class TestFig6:
+    def test_thread_scaling_shape(self):
+        result = run_fig6(datasets=("cosmo_thin",), thread_counts=(1, 8, 24, 48), scale=0.2)
+        speedups = result.construction_speedup["cosmo_thin"]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[2] > 4.0  # meaningful scaling at 24 threads
+        # SMT point (48 threads) does not hurt querying.
+        q = result.query_speedup["cosmo_thin"]
+        assert q[3] >= q[2]
+
+
+class TestFig7:
+    def test_comparison_structure(self):
+        result = run_fig7(datasets=("cosmo_thin",), scale=0.2)
+        rows = {r.library: r for r in result.per_dataset["cosmo_thin"]}
+        assert set(rows) == {"panda", "flann", "ann"}
+        # Querying: PANDA is the fastest of the three (paper's ordering).
+        assert result.speedup_vs("cosmo_thin", "flann", "query_1t") > 1.0
+        assert result.speedup_vs("cosmo_thin", "ann", "query_1t") > 1.0
+        # Construction on 24 threads: an order-of-magnitude class advantage,
+        # because neither library parallelises construction.
+        assert result.speedup_vs("cosmo_thin", "flann", "construction_24t") > 3.0
+        # ANN has no parallel querying implementation.
+        assert rows["ann"].query_24t is None
+
+    def test_ann_tree_deeper_on_dayabay(self):
+        result = run_fig7(datasets=("dayabay_thin",), scale=0.2)
+        rows = {r.library: r for r in result.per_dataset["dayabay_thin"]}
+        assert rows["ann"].tree_depth > rows["panda"].tree_depth
+
+
+class TestFig8:
+    def test_knl_beats_titanz(self):
+        result = run_fig8a(datasets=("psf_mod_mag",), scale=0.2)
+        assert result.knl_advantage("psf_mod_mag", 1) > 1.0
+        assert result.knl_advantage("psf_mod_mag", 4) > 1.0
+
+    def test_replicated_tree_scaling_near_linear(self):
+        result = run_fig8b(datasets=("psf_mod_mag",), node_counts=(1, 2, 4, 8), scale=0.1)
+        speedups = result.speedups["psf_mod_mag"]
+        assert speedups[-1] > 4.0  # >50% efficiency at 8 nodes
+
+    def test_distributed_tree_scaling(self):
+        result = run_fig8c(datasets=("knl_cosmo",), node_counts=(2, 4, 8), scale=0.1)
+        speedups = result.query_speedups["knl_cosmo"]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] > 1.5
+
+
+class TestScience:
+    def test_accuracy_in_paper_band(self):
+        result = run_science_accuracy(n_records=6_000, n_ranks=2)
+        assert 0.80 <= result.accuracy_majority <= 0.95
+        assert result.accuracy_weighted >= result.accuracy_majority - 0.05
+        assert "Daya Bay" in result.text
+
+
+class TestAblations:
+    def test_split_dimension_tradeoff(self):
+        result = run_split_dimension_ablation(datasets=("cosmo_thin",), scale=0.2)
+        assert "variance" in result.per_dataset["cosmo_thin"]
+        # The variance rule must not make queries slower.
+        assert result.query_improvement("cosmo_thin") >= -0.10
+
+    def test_bucket_size_sweep_has_interior_optimum(self):
+        result = run_bucket_size_ablation(bucket_sizes=(8, 32, 256), scale=0.2)
+        assert result.best_bucket_size in (8, 32, 256)
+        # Construction monotonically cheapens with bigger buckets...
+        assert result.construction[-1] <= result.construction[0]
+        # ...while querying eventually becomes more expensive.
+        assert result.query[-1] >= result.query[0]
+
+    def test_binning_ablation_counts_identical(self):
+        result = run_binning_ablation(scale=0.3)
+        assert result.counts_identical
+        assert result.improvement > 0.0
+
+    def test_strategy_ablation_traffic(self):
+        result = run_strategy_ablation(n_ranks=4, scale=0.2)
+        # Independent local trees move more candidate bytes per query.
+        assert result.query_traffic_ratio > 1.0
+        assert result.panda_query < result.local_only_query

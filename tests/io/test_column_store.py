@@ -1,0 +1,97 @@
+"""Tests for the chunked column store."""
+
+import numpy as np
+import pytest
+
+from repro.io.column_store import ColumnStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ColumnStore(tmp_path / "dataset", chunk_size=100)
+
+
+class TestWrite:
+    def test_write_and_manifest(self, store):
+        store.write({"x": np.arange(250.0), "y": np.arange(250.0) * 2})
+        assert store.n_rows == 250
+        assert store.column_names() == ["x", "y"]
+
+    def test_write_points_with_extra_columns(self, store):
+        points = np.random.default_rng(0).normal(size=(120, 3))
+        labels = np.arange(120)
+        store.write_points(points, extra={"label": labels})
+        assert set(store.column_names()) == {"dim0", "dim1", "dim2", "label"}
+
+    def test_mismatched_lengths_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write({"x": np.arange(10.0), "y": np.arange(5.0)})
+
+    def test_non_1d_column_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write({"x": np.zeros((5, 2))})
+
+    def test_empty_write_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write({})
+
+    def test_invalid_chunk_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            ColumnStore(tmp_path, chunk_size=0)
+
+    def test_custom_column_names_validated(self, store):
+        with pytest.raises(ValueError):
+            store.write_points(np.zeros((10, 3)), column_names=["a", "b"])
+
+
+class TestRead:
+    def test_full_column_round_trip(self, store):
+        data = np.random.default_rng(1).normal(size=350)
+        store.write({"x": data})
+        assert np.allclose(store.read_column("x"), data)
+
+    def test_slice_crossing_chunk_boundary(self, store):
+        data = np.arange(1000.0)
+        store.write({"x": data})
+        assert np.allclose(store.read_column("x", 95, 205), data[95:205])
+
+    def test_read_points_stacks_columns(self, store):
+        points = np.random.default_rng(2).normal(size=(180, 3))
+        store.write_points(points)
+        out = store.read_points(["dim0", "dim1", "dim2"], 50, 130)
+        assert np.allclose(out, points[50:130])
+
+    def test_rank_slabs_cover_dataset(self, store):
+        points = np.random.default_rng(3).normal(size=(333, 2))
+        store.write_points(points)
+        slabs = [store.read_rank_slab(["dim0", "dim1"], r, 4) for r in range(4)]
+        assert np.allclose(np.concatenate(slabs), points)
+
+    def test_empty_slice(self, store):
+        store.write({"x": np.arange(10.0)})
+        assert store.read_column("x", 5, 5).size == 0
+
+    def test_unknown_column_rejected(self, store):
+        store.write({"x": np.arange(10.0)})
+        with pytest.raises(KeyError):
+            store.read_column("z")
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ColumnStore(tmp_path / "absent").manifest()
+
+    def test_invalid_rank_rejected(self, store):
+        store.write({"x": np.arange(10.0)})
+        with pytest.raises(ValueError):
+            store.read_rank_slab(["x"], 4, 4)
+
+    def test_integration_with_cluster_distribution(self, store, small_points):
+        """Reading per-rank slabs mimics the paper's partitioned HDF5 reads."""
+        from repro.cluster.simulator import Cluster
+
+        store.write_points(small_points)
+        cluster = Cluster(n_ranks=4)
+        for rank in cluster.ranks:
+            slab = store.read_rank_slab(["dim0", "dim1", "dim2"], rank.rank, 4)
+            rank.set_points(slab)
+        assert cluster.total_points() == small_points.shape[0]

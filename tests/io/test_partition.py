@@ -1,0 +1,51 @@
+"""Tests for the dataset partition helpers."""
+
+import numpy as np
+import pytest
+
+from repro.io.partition import block_partition, partition_bounds, round_robin_partition
+
+
+class TestPartitionBounds:
+    def test_covers_everything_without_overlap(self):
+        bounds = partition_bounds(103, 4)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 103
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(bounds, bounds[1:]):
+            assert a_hi == b_lo
+
+    def test_balanced_sizes(self):
+        bounds = partition_bounds(10, 3)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_ranks_than_items(self):
+        bounds = partition_bounds(2, 5)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sum(sizes) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            partition_bounds(10, 0)
+
+
+class TestBlockPartition:
+    def test_round_trip(self):
+        data = np.arange(20).reshape(10, 2)
+        parts = block_partition(data, 3)
+        assert len(parts) == 3
+        assert np.array_equal(np.concatenate(parts), data)
+
+
+class TestRoundRobinPartition:
+    def test_interleaving(self):
+        data = np.arange(10)
+        parts = round_robin_partition(data, 3)
+        assert np.array_equal(parts[0], [0, 3, 6, 9])
+        assert np.array_equal(parts[1], [1, 4, 7])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_robin_partition(np.arange(5), 0)

@@ -1,0 +1,63 @@
+"""Tests for the packed leaf-bucket storage."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree.bucket import BucketStore
+
+
+@pytest.fixture()
+def store():
+    points = np.arange(24, dtype=np.float64).reshape(8, 3)
+    ids = np.arange(8, dtype=np.int64) + 100
+    starts = np.array([0, 3, 5])
+    counts = np.array([3, 2, 3])
+    return BucketStore(points, ids, starts, counts)
+
+
+class TestBucketStore:
+    def test_basic_properties(self, store):
+        assert store.n_points == 8
+        assert store.dims == 3
+        assert store.n_buckets == 3
+        assert list(store.bucket_sizes()) == [3, 2, 3]
+
+    def test_bucket_views(self, store):
+        pts, ids = store.bucket(1)
+        assert pts.shape == (2, 3)
+        assert list(ids) == [103, 104]
+
+    def test_counts_must_cover_points(self):
+        with pytest.raises(ValueError):
+            BucketStore(np.zeros((4, 2)), np.arange(4), np.array([0]), np.array([3]))
+
+    def test_ids_length_checked(self):
+        with pytest.raises(ValueError):
+            BucketStore(np.zeros((4, 2)), np.arange(3), np.array([0]), np.array([4]))
+
+    def test_starts_counts_shape_checked(self):
+        with pytest.raises(ValueError):
+            BucketStore(np.zeros((4, 2)), np.arange(4), np.array([0, 2]), np.array([4]))
+
+    def test_points_must_be_2d(self):
+        with pytest.raises(ValueError):
+            BucketStore(np.zeros(4), np.arange(4), np.array([0]), np.array([4]))
+
+    def test_bucket_sq_distances(self, store):
+        query = store.points[3]
+        dists, ids = store.bucket_sq_distances(1, query)
+        assert dists.shape == (2,)
+        assert dists[0] == pytest.approx(0.0)
+        assert ids[0] == 103
+
+    def test_bucket_sq_distances_bounded(self, store):
+        query = store.points[0]
+        dists, ids = store.bucket_sq_distances_bounded(0, query, radius_sq=1.0)
+        assert np.all(dists <= 1.0)
+        assert 100 in ids
+
+    def test_bounded_filter_can_be_empty(self, store):
+        query = store.points[0] + 1000.0
+        dists, ids = store.bucket_sq_distances_bounded(0, query, radius_sq=1.0)
+        assert dists.size == 0
+        assert ids.size == 0

@@ -1,0 +1,116 @@
+"""Tests for the bounded max-heap and top-k merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kdtree.heap import BoundedMaxHeap, merge_topk
+
+
+class TestBoundedMaxHeap:
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(0)
+
+    def test_worst_is_inf_until_full(self):
+        heap = BoundedMaxHeap(3)
+        heap.push(1.0, 1)
+        heap.push(2.0, 2)
+        assert heap.worst() == np.inf
+        heap.push(3.0, 3)
+        assert heap.worst() == 3.0
+
+    def test_push_replaces_farthest_when_full(self):
+        heap = BoundedMaxHeap(2)
+        heap.push(5.0, 1)
+        heap.push(3.0, 2)
+        assert heap.push(1.0, 3) is True
+        dists, ids = heap.sorted_items()
+        assert list(ids) == [3, 2]
+        assert list(dists) == [1.0, 3.0]
+
+    def test_push_rejects_farther_candidate_when_full(self):
+        heap = BoundedMaxHeap(2)
+        heap.push(1.0, 1)
+        heap.push(2.0, 2)
+        assert heap.push(5.0, 3) is False
+        assert heap.worst() == 2.0
+
+    def test_sorted_items_ascending(self):
+        heap = BoundedMaxHeap(4)
+        for d, i in [(4.0, 4), (1.0, 1), (3.0, 3), (2.0, 2)]:
+            heap.push(d, i)
+        dists, ids = heap.sorted_items()
+        assert list(dists) == [1.0, 2.0, 3.0, 4.0]
+        assert list(ids) == [1, 2, 3, 4]
+
+    def test_len_and_is_full(self):
+        heap = BoundedMaxHeap(2)
+        assert len(heap) == 0 and not heap.is_full
+        heap.push(1.0, 1)
+        heap.push(2.0, 2)
+        assert len(heap) == 2 and heap.is_full
+
+    def test_push_many(self):
+        heap = BoundedMaxHeap(3)
+        kept = heap.push_many(np.array([5.0, 1.0, 2.0, 9.0]), np.array([5, 1, 2, 9]))
+        assert kept >= 3
+        dists, _ = heap.sorted_items()
+        assert list(dists) == [1.0, 2.0, 5.0]
+
+    def test_max_distance_empty(self):
+        assert BoundedMaxHeap(3).max_distance() == np.inf
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=60),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_topk(self, values, k):
+        heap = BoundedMaxHeap(k)
+        for i, v in enumerate(values):
+            heap.push(v, i)
+        dists, _ = heap.sorted_items()
+        expected = np.sort(np.asarray(values))[: min(k, len(values))]
+        assert np.allclose(np.sort(dists), expected)
+
+
+class TestMergeTopk:
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            merge_topk(0, [], [], [], [])
+
+    def test_merges_and_sorts(self):
+        d, i = merge_topk(3, [1.0, 4.0], [1, 4], [2.0, 3.0], [2, 3])
+        assert list(d) == [1.0, 2.0, 3.0]
+        assert list(i) == [1, 2, 3]
+
+    def test_handles_empty_sides(self):
+        d, i = merge_topk(2, [], [], [1.0], [7])
+        assert list(i) == [7]
+        d, i = merge_topk(2, [1.0], [7], [], [])
+        assert list(i) == [7]
+
+    def test_deduplicates_by_id(self):
+        d, i = merge_topk(3, [1.0, 2.0], [10, 20], [1.0, 3.0], [10, 30])
+        assert sorted(i.tolist()) == [10, 20, 30]
+
+    def test_keeps_only_k(self):
+        d, i = merge_topk(2, [1.0, 2.0, 3.0], [1, 2, 3], [0.5], [4])
+        assert len(d) == 2
+        assert list(i) == [4, 1]
+
+    @given(
+        a=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=20),
+        b=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=20),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_sorted_and_bounded(self, a, b, k):
+        ids_a = np.arange(len(a))
+        ids_b = np.arange(1000, 1000 + len(b))
+        d, i = merge_topk(k, a, ids_a, b, ids_b)
+        assert len(d) <= k
+        assert np.all(np.diff(d) >= 0)
+        assert len(set(i.tolist())) == len(i)

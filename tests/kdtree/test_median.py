@@ -1,0 +1,178 @@
+"""Tests for the sampled-histogram approximate median."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster.metrics import PhaseCounters
+from repro.kdtree.median import (
+    HistogramMedianEstimator,
+    approximate_median,
+    sample_interval_points,
+    searchsorted_binning,
+    select_median_interval,
+    subinterval_binning,
+)
+
+
+class TestSampleIntervalPoints:
+    def test_returns_sorted_unique(self):
+        rng = np.random.default_rng(0)
+        values = np.array([3.0, 1.0, 2.0, 2.0, 1.0])
+        sample = sample_interval_points(values, 10, rng)
+        assert np.all(np.diff(sample) > 0)
+        assert set(sample) <= {1.0, 2.0, 3.0}
+
+    def test_respects_sample_budget(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=10_000)
+        sample = sample_interval_points(values, 128, rng)
+        assert sample.size <= 128
+
+    def test_empty_input(self):
+        assert sample_interval_points(np.empty(0), 10, np.random.default_rng(0)).size == 0
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            sample_interval_points(np.ones(5), 0, np.random.default_rng(0))
+
+
+class TestBinning:
+    def test_counts_sum_to_values(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=5000)
+        intervals = np.sort(rng.choice(values, size=100, replace=False))
+        counts, _ = searchsorted_binning(values, intervals)
+        assert counts.sum() == values.size
+        assert counts.shape[0] == intervals.size + 1
+
+    def test_subinterval_matches_searchsorted(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=3000)
+        intervals = np.unique(rng.choice(values, size=200, replace=False))
+        counts_a, _ = searchsorted_binning(values, intervals)
+        counts_b, _ = subinterval_binning(values, intervals)
+        assert np.array_equal(counts_a, counts_b)
+
+    def test_subinterval_matches_with_small_interval_count(self):
+        values = np.linspace(0, 1, 100)
+        intervals = np.array([0.25, 0.5, 0.75])
+        counts_a, _ = searchsorted_binning(values, intervals)
+        counts_b, _ = subinterval_binning(values, intervals)
+        assert np.array_equal(counts_a, counts_b)
+
+    def test_empty_values(self):
+        counts, ops = subinterval_binning(np.empty(0), np.array([1.0, 2.0]))
+        assert counts.sum() == 0
+        assert ops == 0
+
+    def test_empty_intervals(self):
+        counts, _ = subinterval_binning(np.ones(5), np.empty(0))
+        assert counts.tolist() == [5]
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            subinterval_binning(np.ones(5), np.array([1.0]), stride=0)
+
+    def test_op_models_differ(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=2000)
+        intervals = np.unique(rng.choice(values, size=512, replace=False))
+        _, ops_sub = subinterval_binning(values, intervals)
+        _, ops_bin = searchsorted_binning(values, intervals)
+        assert ops_sub > 0 and ops_bin > 0
+        assert ops_sub != ops_bin
+
+    @given(
+        values=hnp.arrays(np.float64, st.integers(10, 300),
+                          elements=st.floats(-1e6, 1e6, allow_nan=False)),
+        n_intervals=st.integers(1, 64),
+        stride=st.sampled_from([4, 8, 32]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_binning_equivalence_property(self, values, n_intervals, stride):
+        rng = np.random.default_rng(0)
+        intervals = np.unique(rng.choice(values, size=min(n_intervals, values.size), replace=False))
+        counts_a, _ = searchsorted_binning(values, intervals)
+        counts_b, _ = subinterval_binning(values, intervals, stride=stride)
+        assert np.array_equal(counts_a, counts_b)
+
+
+class TestSelectMedianInterval:
+    def test_picks_central_interval(self):
+        intervals = np.array([1.0, 2.0, 3.0, 4.0])
+        counts = np.array([10, 10, 10, 10, 10])
+        # cumulative fractions at intervals: .2 .4 .6 .8 -> closest to .5 is .4 or .6
+        assert select_median_interval(intervals, counts) in (2.0, 3.0)
+
+    def test_target_fraction(self):
+        intervals = np.array([1.0, 2.0, 3.0, 4.0])
+        counts = np.array([10, 10, 10, 10, 10])
+        assert select_median_interval(intervals, counts, target=0.2) == 1.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            select_median_interval(np.array([1.0]), np.array([1, 1]), target=0.0)
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            select_median_interval(np.empty(0), np.empty(0))
+
+
+class TestEstimator:
+    def test_estimate_close_to_true_median(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(loc=5.0, size=50_000)
+        estimator = HistogramMedianEstimator(n_samples=1024)
+        approx = estimator.estimate(values, rng)
+        true = float(np.median(values))
+        spread = float(values.std())
+        assert abs(approx - true) < 0.1 * spread
+
+    def test_estimate_charges_counters(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=5000)
+        counters = PhaseCounters()
+        HistogramMedianEstimator(n_samples=256).estimate(values, rng, counters)
+        assert counters.histogram_ops > 0
+
+    def test_estimate_on_skewed_data(self):
+        rng = np.random.default_rng(6)
+        values = rng.pareto(a=1.5, size=20_000)
+        approx = approximate_median(values, n_samples=1024, rng=rng)
+        true = float(np.median(values))
+        # Both sides of the approximate median should hold a sizable share.
+        frac_below = float(np.mean(values <= approx))
+        assert 0.3 < frac_below < 0.7
+        assert approx == pytest.approx(true, rel=1.0)
+
+    def test_invalid_binning_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramMedianEstimator(binning="other")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramMedianEstimator().estimate(np.empty(0), np.random.default_rng(0))
+
+    def test_searchsorted_variant(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=10_000)
+        approx = approximate_median(values, binning="searchsorted", rng=rng)
+        assert abs(approx - np.median(values)) < 0.1
+
+    @given(
+        values=hnp.arrays(np.float64, st.integers(50, 500),
+                          elements=st.floats(-1e3, 1e3, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_splits_data_nontrivially(self, values):
+        # A useful split point keeps both halves non-empty whenever the data
+        # has more than one distinct value.
+        if np.unique(values).size < 2:
+            return
+        rng = np.random.default_rng(0)
+        approx = approximate_median(values, n_samples=64, rng=rng)
+        below = int(np.count_nonzero(values <= approx))
+        assert 0 < below <= values.size

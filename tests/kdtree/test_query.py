@@ -1,0 +1,197 @@
+"""Tests for Algorithm 1: local k-nearest-neighbour search."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.query import KNNResult, QueryStats, batch_knn, brute_force_knn, knn_search
+from repro.kdtree.tree import KDTreeConfig
+
+
+@pytest.fixture(scope="module")
+def tree_and_points():
+    rng = np.random.default_rng(42)
+    points = rng.normal(size=(3000, 3)) * np.array([2.0, 1.0, 0.5])
+    tree = build_kdtree(points)
+    return tree, points
+
+
+class TestKnnSearch:
+    def test_matches_brute_force(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(100, 3))
+        d, i, _ = batch_knn(tree, queries, 5)
+        bd, bi = brute_force_knn(points, np.arange(points.shape[0]), queries, 5)
+        assert np.allclose(d, bd)
+
+    def test_nearest_of_indexed_point_is_itself(self, tree_and_points):
+        tree, points = tree_and_points
+        result = knn_search(tree, points[17], 1)
+        assert result.distances[0] == pytest.approx(0.0)
+        assert result.ids[0] == 17
+
+    def test_k_larger_than_points(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(10, 3))
+        tree = build_kdtree(points)
+        result = knn_search(tree, points[0], 50)
+        assert result.k_found == 10
+
+    def test_invalid_k_rejected(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError):
+            knn_search(tree, np.zeros(3), 0)
+
+    def test_wrong_query_dims_rejected(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError):
+            knn_search(tree, np.zeros(5), 3)
+
+    def test_empty_tree_returns_nothing(self):
+        tree = build_kdtree(np.empty((0, 3)))
+        result = knn_search(tree, np.zeros(3), 4)
+        assert result.k_found == 0
+
+    def test_distances_sorted_ascending(self, tree_and_points):
+        tree, _ = tree_and_points
+        result = knn_search(tree, np.array([0.3, -0.2, 0.1]), 10)
+        assert np.all(np.diff(result.distances) >= 0)
+
+    def test_stats_counted(self, tree_and_points):
+        tree, _ = tree_and_points
+        result = knn_search(tree, np.zeros(3), 5)
+        assert result.stats.nodes_visited > 0
+        assert result.stats.distance_computations > 0
+        assert result.stats.leaves_scanned >= 1
+
+    def test_pruning_visits_fraction_of_tree(self, tree_and_points):
+        tree, _ = tree_and_points
+        result = knn_search(tree, np.zeros(3), 5)
+        assert result.stats.nodes_visited < tree.n_nodes / 2
+
+    def test_external_stats_accumulate(self, tree_and_points):
+        tree, _ = tree_and_points
+        agg = QueryStats()
+        knn_search(tree, np.zeros(3), 3, stats=agg)
+        knn_search(tree, np.ones(3), 3, stats=agg)
+        assert agg.queries == 2
+
+    def test_result_type(self, tree_and_points):
+        tree, _ = tree_and_points
+        result = knn_search(tree, np.zeros(3), 3)
+        assert isinstance(result, KNNResult)
+        assert result.distances.shape == result.ids.shape
+
+
+class TestRadiusBoundedSearch:
+    def test_radius_limits_results(self, tree_and_points):
+        tree, points = tree_and_points
+        query = points[5]
+        unbounded = knn_search(tree, query, 10)
+        radius = float(unbounded.distances[4])
+        bounded = knn_search(tree, query, 10, radius=radius)
+        assert bounded.k_found <= 10
+        assert np.all(bounded.distances <= radius + 1e-12)
+
+    def test_zero_radius_returns_only_exact_matches(self, tree_and_points):
+        tree, points = tree_and_points
+        bounded = knn_search(tree, points[3] + 100.0, 5, radius=1e-9)
+        assert bounded.k_found == 0
+
+    def test_bounded_matches_filtered_brute_force(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = np.random.default_rng(3)
+        queries = rng.normal(size=(30, 3))
+        radius = 0.3
+        bd, bi = brute_force_knn(points, np.arange(points.shape[0]), queries, 5)
+        for qi in range(queries.shape[0]):
+            result = knn_search(tree, queries[qi], 5, radius=radius)
+            expected_mask = bd[qi] <= radius
+            expected = bd[qi][expected_mask & np.isfinite(bd[qi])]
+            assert np.allclose(np.sort(result.distances), np.sort(expected))
+
+    def test_bounded_search_does_less_work(self, tree_and_points):
+        tree, _ = tree_and_points
+        query = np.array([0.1, 0.2, 0.3])
+        full = knn_search(tree, query, 5)
+        bounded = knn_search(tree, query, 5, radius=float(full.distances[-1]) * 0.5)
+        assert bounded.stats.nodes_visited <= full.stats.nodes_visited
+
+
+class TestBatchKnn:
+    def test_shapes_and_padding(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(8, 3))
+        tree = build_kdtree(points)
+        d, i, _ = batch_knn(tree, rng.normal(size=(5, 3)), 20)
+        assert d.shape == (5, 20)
+        assert i.shape == (5, 20)
+        assert np.all(np.isinf(d[:, 8:]))
+        assert np.all(i[:, 8:] == -1)
+
+    def test_per_query_radii(self, tree_and_points):
+        tree, points = tree_and_points
+        queries = points[:4]
+        radii = np.array([np.inf, 1e-9, np.inf, 1e-9])
+        d, i, _ = batch_knn(tree, queries, 3, radii=radii)
+        assert np.isfinite(d[0]).all()
+        assert np.isfinite(d[1, 1:]).sum() == 0
+
+    def test_stats_aggregate(self, tree_and_points):
+        tree, _ = tree_and_points
+        stats = QueryStats()
+        batch_knn(tree, np.zeros((7, 3)), 2, stats=stats)
+        assert stats.queries == 7
+
+    def test_single_query_vector(self, tree_and_points):
+        tree, _ = tree_and_points
+        d, i, _ = batch_knn(tree, np.zeros(3), 4)
+        assert d.shape == (1, 4)
+
+
+class TestBruteForce:
+    def test_empty_points(self):
+        d, i = brute_force_knn(np.empty((0, 3)), np.empty(0, dtype=np.int64), np.zeros((2, 3)), 3)
+        assert np.all(np.isinf(d))
+        assert np.all(i == -1)
+
+    def test_self_query(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(50, 4))
+        d, i = brute_force_knn(points, np.arange(50), points, 1)
+        assert np.allclose(d[:, 0], 0.0)
+        assert np.array_equal(i[:, 0], np.arange(50))
+
+    def test_respects_custom_ids(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        ids = np.array([42, 77])
+        d, i = brute_force_knn(points, ids, np.array([[0.1, 0.0]]), 2)
+        assert list(i[0]) == [42, 77]
+
+
+class TestQueryAcrossConfigurations:
+    @pytest.mark.parametrize("config", [
+        KDTreeConfig.flann_like(),
+        KDTreeConfig.ann_like(),
+        KDTreeConfig(bucket_size=8),
+        KDTreeConfig(bucket_size=256),
+        KDTreeConfig(split_dim_strategy="round_robin", split_value_strategy="exact_median"),
+    ])
+    def test_all_tree_variants_are_exact(self, config):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(1500, 3))
+        queries = rng.normal(size=(50, 3))
+        tree = build_kdtree(points, config=config)
+        d, _, _ = batch_knn(tree, queries, 4)
+        bd, _ = brute_force_knn(points, np.arange(points.shape[0]), queries, 4)
+        assert np.allclose(d, bd)
+
+    def test_high_dimensional_queries(self, dayabay_data):
+        points, _ = dayabay_data
+        rng = np.random.default_rng(7)
+        queries = points[rng.choice(points.shape[0], size=40, replace=False)]
+        tree = build_kdtree(points)
+        d, _, _ = batch_knn(tree, queries, 5)
+        bd, _ = brute_force_knn(points, np.arange(points.shape[0]), queries, 5)
+        assert np.allclose(d, bd)

@@ -1,0 +1,95 @@
+"""Tests for split-dimension and split-value strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import PhaseCounters
+from repro.kdtree.splitters import (
+    SPLIT_DIM_STRATEGIES,
+    SPLIT_VALUE_STRATEGIES,
+    SplitContext,
+    choose_split_dimension,
+    choose_split_value,
+)
+
+
+@pytest.fixture()
+def anisotropic_points():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(2000, 3)) * np.array([10.0, 1.0, 0.1])
+
+
+class TestSplitDimension:
+    def test_variance_picks_widest_dimension(self, anisotropic_points):
+        ctx = SplitContext(rng=np.random.default_rng(1), sample_size=500)
+        assert choose_split_dimension(anisotropic_points, "variance", ctx) == 0
+
+    def test_full_variance_picks_widest_dimension(self, anisotropic_points):
+        ctx = SplitContext()
+        assert choose_split_dimension(anisotropic_points, "full_variance", ctx) == 0
+
+    def test_max_extent_picks_widest_dimension(self, anisotropic_points):
+        ctx = SplitContext()
+        assert choose_split_dimension(anisotropic_points, "max_extent", ctx) == 0
+
+    def test_round_robin_cycles_with_depth(self, anisotropic_points):
+        ctx = SplitContext()
+        dims = [choose_split_dimension(anisotropic_points, "round_robin", ctx, depth=d) for d in range(6)]
+        assert dims == [0, 1, 2, 0, 1, 2]
+
+    def test_unknown_strategy_rejected(self, anisotropic_points):
+        with pytest.raises(ValueError):
+            choose_split_dimension(anisotropic_points, "nope", SplitContext())
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            choose_split_dimension(np.empty((0, 3)), "variance", SplitContext())
+
+    def test_counters_charged(self, anisotropic_points):
+        counters = PhaseCounters()
+        ctx = SplitContext(counters=counters)
+        choose_split_dimension(anisotropic_points, "variance", ctx)
+        assert counters.scalar_ops > 0
+
+    def test_registry_contains_expected_strategies(self):
+        assert {"variance", "max_extent", "round_robin", "full_variance"} <= set(SPLIT_DIM_STRATEGIES)
+
+
+class TestSplitValue:
+    def test_exact_median(self):
+        values = np.array([5.0, 1.0, 3.0])
+        assert choose_split_value(values, "exact_median", SplitContext()) == 3.0
+
+    def test_midpoint(self):
+        values = np.array([0.0, 10.0, 4.0])
+        assert choose_split_value(values, "midpoint", SplitContext()) == 5.0
+
+    def test_mean_first_100_uses_prefix(self):
+        values = np.concatenate([np.zeros(100), np.full(1000, 100.0)])
+        assert choose_split_value(values, "mean_first_100", SplitContext()) == 0.0
+
+    def test_histogram_median_close_to_true(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=20_000)
+        ctx = SplitContext(rng=rng, median_samples=1024)
+        estimate = choose_split_value(values, "histogram_median", ctx)
+        assert abs(estimate - np.median(values)) < 0.1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            choose_split_value(np.ones(10), "nope", SplitContext())
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            choose_split_value(np.empty(0), "midpoint", SplitContext())
+
+    def test_registry_contains_expected_strategies(self):
+        assert {"histogram_median", "exact_median", "mean_first_100", "midpoint"} <= set(
+            SPLIT_VALUE_STRATEGIES
+        )
+
+    def test_counters_charged_for_histogram(self):
+        counters = PhaseCounters()
+        ctx = SplitContext(rng=np.random.default_rng(0), counters=counters)
+        choose_split_value(np.random.default_rng(0).normal(size=5000), "histogram_median", ctx)
+        assert counters.histogram_ops > 0

@@ -1,0 +1,95 @@
+"""Tests for the KDTree container itself."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.tree import KDTreeConfig
+
+
+class TestKDTreeContainer:
+    def test_shapes_consistent(self, small_points):
+        tree = build_kdtree(small_points)
+        assert tree.split_dim.shape[0] == tree.n_nodes
+        assert tree.left.shape[0] == tree.n_nodes
+        assert tree.points.shape == small_points.shape
+
+    def test_leaf_count_matches_leaf_nodes(self, small_points):
+        tree = build_kdtree(small_points)
+        assert tree.n_leaves == tree.leaf_nodes().shape[0]
+        # A binary tree has one more leaf than internal node.
+        assert tree.n_leaves == (tree.n_nodes + 1) // 2
+
+    def test_bounds_cover_points(self, small_points):
+        tree = build_kdtree(small_points)
+        lo, hi = tree.bounds
+        assert np.all(lo <= small_points.min(axis=0) + 1e-12)
+        assert np.all(hi >= small_points.max(axis=0) - 1e-12)
+
+    def test_depth_positive_for_multi_leaf_tree(self, small_points):
+        tree = build_kdtree(small_points)
+        assert tree.depth() >= 1
+
+    def test_leaf_points_view(self, small_points):
+        tree = build_kdtree(small_points)
+        leaf = int(tree.leaf_nodes()[0])
+        pts, ids = tree.leaf_points(leaf)
+        assert pts.shape[0] == int(tree.count[leaf])
+        assert ids.shape[0] == pts.shape[0]
+
+    def test_leaf_points_rejects_internal_node(self, small_points):
+        tree = build_kdtree(small_points)
+        internal = int(np.flatnonzero(tree.split_dim >= 0)[0])
+        with pytest.raises(ValueError):
+            tree.leaf_points(internal)
+
+    def test_bucket_store_round_trip(self, small_points):
+        tree = build_kdtree(small_points)
+        store = tree.bucket_store()
+        assert store.n_points == tree.n_points
+        assert store.n_buckets == tree.n_leaves
+
+    def test_memory_bytes_positive(self, small_points):
+        tree = build_kdtree(small_points)
+        assert tree.memory_bytes() > small_points.nbytes
+
+    def test_config_presets(self):
+        assert KDTreeConfig.panda().split_value_strategy == "histogram_median"
+        assert KDTreeConfig.flann_like().split_value_strategy == "mean_first_100"
+        assert KDTreeConfig.ann_like().split_dim_strategy == "max_extent"
+
+    def test_mismatched_node_arrays_rejected(self, small_points):
+        tree = build_kdtree(small_points)
+        from repro.kdtree.tree import KDTree
+
+        with pytest.raises(ValueError):
+            KDTree(
+                points=tree.points,
+                ids=tree.ids,
+                split_dim=tree.split_dim,
+                split_val=tree.split_val[:-1],
+                left=tree.left,
+                right=tree.right,
+                start=tree.start,
+                count=tree.count,
+                config=tree.config,
+                stats=tree.stats,
+            )
+
+    def test_ids_length_checked(self, small_points):
+        tree = build_kdtree(small_points)
+        from repro.kdtree.tree import KDTree
+
+        with pytest.raises(ValueError):
+            KDTree(
+                points=tree.points,
+                ids=tree.ids[:-1],
+                split_dim=tree.split_dim,
+                split_val=tree.split_val,
+                left=tree.left,
+                right=tree.right,
+                start=tree.start,
+                count=tree.count,
+                config=tree.config,
+                stats=tree.stats,
+            )

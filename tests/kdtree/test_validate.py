@@ -1,0 +1,57 @@
+"""Tests for the structural invariant checker."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.tree import KDTreeConfig
+from repro.kdtree.validate import TreeInvariantError, check_tree_invariants
+
+
+class TestCheckTreeInvariants:
+    def test_valid_tree_passes(self, small_points):
+        check_tree_invariants(build_kdtree(small_points))
+
+    def test_detects_corrupted_split_value(self, small_points):
+        tree = build_kdtree(small_points)
+        internal = np.flatnonzero(tree.split_dim >= 0)
+        if internal.size == 0:
+            pytest.skip("tree has no internal nodes")
+        # Push the split value below the left subtree's minimum.
+        tree.split_val[internal[0]] = -1e12
+        with pytest.raises(TreeInvariantError):
+            check_tree_invariants(tree)
+
+    def test_detects_corrupted_leaf_slice(self, small_points):
+        tree = build_kdtree(small_points)
+        leaves = tree.leaf_nodes()
+        tree.count[leaves[0]] += 1
+        with pytest.raises(TreeInvariantError):
+            check_tree_invariants(tree)
+
+    def test_detects_corrupted_child_pointer(self, small_points):
+        tree = build_kdtree(small_points)
+        internal = np.flatnonzero(tree.split_dim >= 0)
+        if internal.size == 0:
+            pytest.skip("tree has no internal nodes")
+        tree.left[internal[0]] = -1
+        with pytest.raises(TreeInvariantError):
+            check_tree_invariants(tree)
+
+    def test_detects_invalid_split_dimension(self, small_points):
+        tree = build_kdtree(small_points)
+        internal = np.flatnonzero(tree.split_dim >= 0)
+        tree.split_dim[internal[0]] = 99
+        with pytest.raises(TreeInvariantError):
+            check_tree_invariants(tree)
+
+    def test_strict_bucket_size_flags_forced_leaves(self):
+        points = np.ones((200, 3))
+        tree = build_kdtree(points, config=KDTreeConfig(bucket_size=32))
+        check_tree_invariants(tree)  # lenient mode accepts forced leaves
+        with pytest.raises(TreeInvariantError):
+            check_tree_invariants(tree, strict_bucket_size=True)
+
+    def test_empty_tree_passes(self):
+        tree = build_kdtree(np.empty((0, 2)))
+        check_tree_invariants(tree)

@@ -1,0 +1,121 @@
+"""Tests for the strong/weak/thread scaling runners."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cosmology import cosmology_particles
+from repro.perf.scaling import (
+    ScalingPoint,
+    ScalingResult,
+    modeled_group_times,
+    run_strong_scaling,
+    run_thread_scaling,
+    run_weak_scaling,
+)
+
+
+from repro.cluster.machine import MachineSpec
+
+#: Machine used for the scaling tests: the reduced-scale datasets need the
+#: per-message latency scaled down to sit in the paper's operating regime
+#: (see repro.experiments.common.DEFAULT_LATENCY_SCALE).
+SCALED_EDISON = MachineSpec.edison().with_scaled_latency(1e-3)
+
+
+@pytest.fixture(scope="module")
+def scaling_inputs():
+    points = cosmology_particles(12_000, seed=1)
+    rng = np.random.default_rng(2)
+    queries = points[rng.choice(points.shape[0], 600, replace=False)]
+    return points, queries
+
+
+class TestScalingResult:
+    def test_accessors(self):
+        result = ScalingResult(label="demo", points=[
+            ScalingPoint(resources=1, construction_time=4.0, query_time=2.0),
+            ScalingPoint(resources=2, construction_time=2.0, query_time=1.0),
+        ])
+        assert result.resources() == [1, 2]
+        assert np.allclose(result.construction_speedup(), [1.0, 2.0])
+        assert np.allclose(result.query_speedup(), [1.0, 2.0])
+
+
+class TestStrongScaling:
+    def test_speedups_increase_with_ranks(self, scaling_inputs):
+        points, queries = scaling_inputs
+        result = run_strong_scaling(points, queries, rank_counts=[2, 4, 8], k=5,
+                                    machine=SCALED_EDISON)
+        construction = result.construction_speedup()
+        query = result.query_speedup()
+        assert construction[-1] > 1.0
+        assert query[-1] > 1.0
+
+    def test_querying_scales_at_least_as_well_as_construction(self, scaling_inputs):
+        """The paper's headline observation in Fig. 4."""
+        points, queries = scaling_inputs
+        result = run_strong_scaling(points, queries, rank_counts=[2, 8], k=5,
+                                    machine=SCALED_EDISON)
+        assert result.query_speedup()[-1] >= result.construction_speedup()[-1] * 0.8
+
+    def test_extra_metrics_recorded(self, scaling_inputs):
+        points, queries = scaling_inputs
+        result = run_strong_scaling(points, queries, rank_counts=[2], k=3,
+                                    machine=SCALED_EDISON)
+        assert "load_imbalance" in result.points[0].extra
+
+    def test_empty_rank_counts_rejected(self, scaling_inputs):
+        points, queries = scaling_inputs
+        with pytest.raises(ValueError):
+            run_strong_scaling(points, queries, rank_counts=[])
+
+
+class TestWeakScaling:
+    def test_runtime_grows_slowly(self):
+        result = run_weak_scaling(
+            generator=lambda n, s: cosmology_particles(n, seed=s),
+            points_per_rank=3_000,
+            rank_counts=[2, 4, 8],
+            query_fraction=0.05,
+            machine=SCALED_EDISON,
+        )
+        times = result.construction_times()
+        # Ideal weak scaling is flat; the total work grows 4x across the
+        # sweep, so anything well below 4x demonstrates weak scaling.
+        assert times[-1] < times[0] * 3.0
+        assert result.points[-1].extra["n_points"] == 24_000
+
+    def test_invalid_points_per_rank(self):
+        with pytest.raises(ValueError):
+            run_weak_scaling(lambda n, s: np.zeros((n, 3)), 0, [1, 2])
+
+
+class TestThreadScaling:
+    def test_speedup_grows_with_threads(self, scaling_inputs):
+        points, queries = scaling_inputs
+        result = run_thread_scaling(points, queries, thread_counts=[1, 4, 16], k=5)
+        assert result.construction_speedup()[-1] > 2.0
+        assert result.query_speedup()[-1] > 1.5
+
+    def test_smt_point_adds_speedup_for_querying(self, scaling_inputs):
+        """Beyond the physical cores, SMT still helps the latency-bound queries."""
+        points, queries = scaling_inputs
+        result = run_thread_scaling(points, queries, thread_counts=[24, 48], k=5)
+        assert result.query_times()[1] < result.query_times()[0]
+
+    def test_empty_thread_counts_rejected(self, scaling_inputs):
+        points, queries = scaling_inputs
+        with pytest.raises(ValueError):
+            run_thread_scaling(points, queries, thread_counts=[])
+
+
+class TestModeledGroupTimes:
+    def test_groups_present(self, scaling_inputs):
+        from repro.core.panda import PandaKNN
+
+        points, queries = scaling_inputs
+        index = PandaKNN(n_ranks=2).fit(points)
+        index.query(queries, k=5)
+        groups = modeled_group_times(index)
+        assert groups["construction"] > 0.0
+        assert groups["query"] > 0.0

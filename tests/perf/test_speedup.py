@@ -1,0 +1,58 @@
+"""Tests for speedup/efficiency arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.perf.speedup import normalized_times, parallel_efficiency, scaling_summary, speedup_series
+
+
+class TestSpeedupSeries:
+    def test_basic(self):
+        speedups = speedup_series([10.0, 5.0, 2.5])
+        assert np.allclose(speedups, [1.0, 2.0, 4.0])
+
+    def test_custom_baseline(self):
+        speedups = speedup_series([10.0, 5.0], baseline_index=1)
+        assert np.allclose(speedups, [0.5, 1.0])
+
+    def test_empty(self):
+        assert speedup_series([]).size == 0
+
+    def test_invalid_baseline_index(self):
+        with pytest.raises(ValueError):
+            speedup_series([1.0], baseline_index=5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_series([0.0, 1.0])
+
+
+class TestParallelEfficiency:
+    def test_ideal_scaling_is_one(self):
+        eff = parallel_efficiency([8.0, 4.0, 2.0], [1, 2, 4])
+        assert np.allclose(eff, 1.0)
+
+    def test_sublinear_scaling_below_one(self):
+        eff = parallel_efficiency([8.0, 5.0], [1, 2])
+        assert eff[1] < 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency([1.0, 2.0], [1])
+
+
+class TestNormalizedTimes:
+    def test_normalization(self):
+        assert np.allclose(normalized_times([2.0, 4.0]), [1.0, 2.0])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_times([0.0, 1.0])
+
+
+class TestScalingSummary:
+    def test_bundle(self):
+        summary = scaling_summary([1, 2, 4], [8.0, 4.5, 2.5])
+        assert summary["resources"] == [1, 2, 4]
+        assert summary["speedup"][0] == pytest.approx(1.0)
+        assert len(summary["efficiency"]) == 3

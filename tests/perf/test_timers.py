@@ -1,0 +1,55 @@
+"""Tests for the wall-clock timing helpers."""
+
+import time
+
+from repro.perf.timers import Stopwatch, WallTimer
+
+
+class TestWallTimer:
+    def test_measures_elapsed(self):
+        with WallTimer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_zero_before_use(self):
+        assert WallTimer().elapsed == 0.0
+
+
+class TestStopwatch:
+    def test_accumulates_named_laps(self):
+        watch = Stopwatch()
+        watch.start("a")
+        time.sleep(0.005)
+        watch.start("b")
+        time.sleep(0.005)
+        watch.stop()
+        laps = watch.laps()
+        assert set(laps) == {"a", "b"}
+        assert laps["a"] > 0.0 and laps["b"] > 0.0
+
+    def test_resume_accumulates(self):
+        watch = Stopwatch()
+        watch.start("a")
+        watch.stop()
+        first = watch.laps()["a"]
+        watch.start("a")
+        time.sleep(0.003)
+        watch.stop()
+        assert watch.laps()["a"] >= first
+
+    def test_total(self):
+        watch = Stopwatch()
+        watch.start("only")
+        time.sleep(0.002)
+        watch.stop()
+        assert watch.total() == sum(watch.laps().values())
+
+    def test_stop_without_start_is_noop(self):
+        Stopwatch().stop()
+
+    def test_laps_preserve_order(self):
+        watch = Stopwatch()
+        for name in ("z", "a", "m"):
+            watch.start(name)
+        watch.stop()
+        assert list(watch.laps()) == ["z", "a", "m"]
