@@ -1,0 +1,98 @@
+"""Microbenchmark: vectorised batched KNN traversal vs the scalar path.
+
+Times :func:`repro.kdtree.query.batch_knn` (lockstep array traversal)
+against :func:`repro.kdtree.query.batch_knn_scalar` (one Python recursion
+per query) on the same tree and verifies they return identical neighbours.
+The scalar side is measured on a query subsample and extrapolated, since at
+full scale it is the slow path being replaced.
+
+Run under the pytest-benchmark harness like the figure benchmarks, or
+directly for a quick reading::
+
+    PYTHONPATH=src python benchmarks/bench_query_vectorized.py          # full size
+    PYTHONPATH=src python benchmarks/bench_query_vectorized.py --smoke  # CI size
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.query import batch_knn, batch_knn_scalar
+
+#: Acceptance-scale problem (paper-style single-node query workload).
+FULL_SIZE = dict(n_points=50_000, n_queries=10_000, k=8, scalar_sample=1_000)
+#: Small configuration for CI smoke runs.
+SMOKE_SIZE = dict(n_points=5_000, n_queries=1_000, k=8, scalar_sample=250)
+
+
+def run_comparison(n_points: int, n_queries: int, k: int, scalar_sample: int, seed: int = 1):
+    """Build, query both ways, and return a result dict with timings."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n_points, 3))
+    queries = rng.normal(size=(n_queries, 3))
+    tree = build_kdtree(points)
+
+    t0 = time.perf_counter()
+    d_vec, i_vec, stats_vec = batch_knn(tree, queries, k)
+    vectorized_s = time.perf_counter() - t0
+
+    sample = min(scalar_sample, n_queries)
+    t0 = time.perf_counter()
+    d_ref, i_ref, stats_ref = batch_knn_scalar(tree, queries[:sample], k)
+    scalar_s = (time.perf_counter() - t0) * (n_queries / sample)
+
+    assert np.array_equal(d_vec[:sample], d_ref), "vectorized distances diverge from scalar"
+    assert np.array_equal(i_vec[:sample], i_ref), "vectorized ids diverge from scalar"
+    assert stats_vec.queries == n_queries
+
+    speedup = scalar_s / vectorized_s
+    text = "\n".join(
+        [
+            f"batched KNN query: {n_points} points, {n_queries} queries, k={k}",
+            f"  vectorized batch_knn     : {vectorized_s * 1e6 / n_queries:9.2f} us/query  ({vectorized_s:.3f} s)",
+            f"  scalar reference (extrap): {scalar_s * 1e6 / n_queries:9.2f} us/query  ({scalar_s:.3f} s)",
+            f"  speedup                  : {speedup:9.1f} x",
+            f"  nodes visited/query      : {stats_vec.nodes_visited / n_queries:9.1f}",
+            f"  distance comps/query     : {stats_vec.distance_computations / n_queries:9.1f}",
+        ]
+    )
+    return {"speedup": speedup, "vectorized_s": vectorized_s, "scalar_s": scalar_s, "text": text}
+
+
+def test_query_vectorized_speedup(benchmark, record_result):
+    from conftest import run_once
+
+    result = run_once(benchmark, run_comparison, **FULL_SIZE)
+    record_result("query_vectorized", result["text"])
+    assert result["speedup"] >= 5.0
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="run the small CI configuration")
+    parser.add_argument("--n-points", type=int, default=None)
+    parser.add_argument("--n-queries", type=int, default=None)
+    parser.add_argument("--k", type=int, default=None)
+    args = parser.parse_args()
+
+    size = dict(SMOKE_SIZE if args.smoke else FULL_SIZE)
+    if args.n_points is not None:
+        size["n_points"] = args.n_points
+    if args.n_queries is not None:
+        size["n_queries"] = args.n_queries
+    if args.k is not None:
+        size["k"] = args.k
+
+    result = run_comparison(**size)
+    print(result["text"])
+    if not args.smoke and result["speedup"] < 5.0:
+        raise SystemExit(f"speedup {result['speedup']:.1f}x below the 5x acceptance floor")
+
+
+if __name__ == "__main__":
+    main()

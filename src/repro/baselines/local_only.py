@@ -85,7 +85,6 @@ class LocalTreesKNN:
         with metrics.phase(PHASE_SEARCH):
             for rank in self.cluster.ranks:
                 tree: KDTree = rank.store["local_tree"]
-                stats = QueryStats()
                 d, i, stats = batch_knn(tree, queries, k)
                 stats.charge(metrics.for_phase(rank.rank), tree.dims)
                 total_stats.merge(stats)

@@ -36,6 +36,10 @@ def build_local_trees(cluster: Cluster, config: PandaConfig | None = None) -> Li
     ``local_simd_packing``.
     """
     config = config or PandaConfig()
+    # Register the phases once, in paper order, before any rank charges them.
+    for phase_name in LOCAL_PHASES:
+        with cluster.metrics.phase(phase_name):
+            pass
     trees: List[KDTree] = []
     for rank in cluster.ranks:
         tree = build_kdtree(
@@ -46,10 +50,7 @@ def build_local_trees(cluster: Cluster, config: PandaConfig | None = None) -> Li
         )
         rank.store[LOCAL_TREE_KEY] = tree
         trees.append(tree)
-        # Register the phases in paper order and merge this rank's counters.
         for phase_name in LOCAL_PHASES:
-            with cluster.metrics.phase(phase_name):
-                pass
             if phase_name in tree.stats.phase_counters:
                 cluster.metrics.rank(rank.rank).phase(phase_name).merge(
                     tree.stats.phase_counters[phase_name]

@@ -232,7 +232,6 @@ class ReplicatedKNN:
                 lo, hi = int(boundaries[rank.rank]), int(boundaries[rank.rank + 1])
                 if hi <= lo:
                     continue
-                stats = QueryStats()
                 d, i, stats = batch_knn(self.tree, queries[lo:hi], k)
                 out_d[lo:hi] = d
                 out_i[lo:hi] = i

@@ -33,7 +33,6 @@ from repro.cluster.simulator import Cluster
 from repro.core.config import PandaConfig
 from repro.core.global_tree import GlobalTree
 from repro.core.local_phase import local_tree_of
-from repro.kdtree.heap import merge_topk
 from repro.kdtree.query import QueryStats, batch_knn
 
 #: Phase names charged by the query engine (Fig. 5c categories).
@@ -50,6 +49,65 @@ QUERY_PHASES = (
     PHASE_REMOTE_KNN,
     PHASE_MERGE,
 )
+
+
+def _merge_reply_blocks(
+    k: int,
+    base_d: np.ndarray,
+    base_i: np.ndarray,
+    rows: np.ndarray,
+    reply_d: np.ndarray,
+    reply_i: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold remote reply blocks into the owner's per-query top-k (step 5).
+
+    Vectorised equivalent of one ``merge_topk`` call per reply row: duplicate
+    point ids keep their smaller distance (a remote rank may return a point
+    the owner already found) and each query keeps its k closest candidates
+    sorted by (distance, id).  ``rows`` maps each ``(k,)`` reply block to a
+    row of ``base_d``/``base_i`` and may repeat when several remote ranks
+    answered the same query; ``inf`` / ``-1`` padding is ignored.
+    """
+    nq = base_d.shape[0]
+    n_rep = rows.shape[0]
+    # Occurrence index of each reply block within its target row, so blocks
+    # answering the same query land in disjoint column slices.
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    first_of_group = np.concatenate([[True], sorted_rows[1:] != sorted_rows[:-1]])
+    group_start = np.flatnonzero(first_of_group)
+    group_len = np.diff(np.append(group_start, n_rep))
+    occ = np.empty(n_rep, dtype=np.int64)
+    occ[order] = np.arange(n_rep) - np.repeat(group_start, group_len)
+
+    wmax = int(group_len.max())
+    cand_d = np.full((nq, wmax * k), np.inf, dtype=np.float64)
+    cand_i = np.full((nq, wmax * k), -1, dtype=np.int64)
+    cols = occ[:, None] * k + np.arange(k)[None, :]
+    cand_d[rows[:, None], cols] = reply_d
+    cand_i[rows[:, None], cols] = reply_i
+    cand_d = np.where(cand_i >= 0, cand_d, np.inf)
+
+    all_d = np.concatenate([np.where(base_i >= 0, base_d, np.inf), cand_d], axis=1)
+    all_i = np.concatenate([base_i, cand_i], axis=1)
+    width = all_d.shape[1]
+    flat_d = all_d.ravel()
+    flat_i = all_i.ravel()
+    row_of = np.repeat(np.arange(nq), width)
+    # Sort by (row, id, distance) and invalidate every copy of an id but its
+    # closest, so duplicates resolve to the smaller distance.
+    by_id = np.lexsort((flat_d, flat_i, row_of))
+    si = flat_i[by_id]
+    sr = row_of[by_id]
+    dup = np.zeros(flat_i.size, dtype=bool)
+    dup[1:] = (sr[1:] == sr[:-1]) & (si[1:] == si[:-1]) & (si[1:] >= 0)
+    kill = by_id[dup]
+    flat_d[kill] = np.inf
+    flat_i[kill] = -1
+    # Per-row top-k by (distance, id): the row index is the lexsort's major
+    # key, so reshaping groups each row's sorted entries together.
+    by_dist = np.lexsort((flat_i, flat_d, row_of)).reshape(nq, width)[:, :k]
+    return flat_d[by_dist], flat_i[by_dist]
 
 
 @dataclass
@@ -239,10 +297,10 @@ class DistributedQueryEngine:
             owners = self.global_tree.owner_of(queries)
             owners_all[qids] = owners
             for r in range(n_ranks):
-                mine = origin_ranks == r
+                n_mine = int(np.count_nonzero(origin_ranks == r))
                 counters = metrics.for_phase(r)
-                counters.nodes_visited += int(np.count_nonzero(mine)) * tree_depth
-                counters.scalar_ops += int(np.count_nonzero(mine))
+                counters.nodes_visited += n_mine * tree_depth
+                counters.scalar_ops += n_mine
             send = [[None for _ in range(n_ranks)] for _ in range(n_ranks)]
             for src in range(n_ranks):
                 src_mask = origin_ranks == src
@@ -281,8 +339,7 @@ class DistributedQueryEngine:
                     radii.append(np.empty(0))
                     continue
                 tree = local_tree_of(cluster, r)
-                stats = QueryStats()
-                d, i, stats = batch_knn(tree, owner_queries[r], k, stats=None)
+                d, i, stats = batch_knn(tree, owner_queries[r], k)
                 d_kth = d[:, k - 1]
                 local_dists.append(d)
                 local_ids.append(i)
@@ -336,7 +393,6 @@ class DistributedQueryEngine:
                 rqid = np.concatenate([p[1] for p in pieces])
                 rrad = np.concatenate([p[2] for p in pieces])
                 rowner = np.concatenate([p[3] for p in pieces])
-                stats = QueryStats()
                 d, i, stats = batch_knn(tree, rq, k, radii=rrad)
                 stats.charge(metrics.for_phase(r), tree.dims)
                 remote_stats.merge(stats)
@@ -355,30 +411,24 @@ class DistributedQueryEngine:
                 if nq == 0:
                     continue
                 counters = metrics.for_phase(r)
-                merged_d = local_dists[r].copy()
-                merged_i = local_ids[r].copy()
-                # Index of each query id within this owner's batch.
-                position = {int(qid): idx for idx, qid in enumerate(owner_qids[r])}
-                for piece in replies[r]:
-                    if piece is None:
-                        continue
-                    rqid, rd, ri = piece
-                    for row in range(rqid.shape[0]):
-                        idx = position[int(rqid[row])]
-                        valid = ri[row] >= 0
-                        d_new, i_new = merge_topk(
-                            k, merged_d[idx], merged_i[idx], rd[row][valid], ri[row][valid]
-                        )
-                        merged_d[idx, :] = np.inf
-                        merged_i[idx, :] = -1
-                        merged_d[idx, : d_new.shape[0]] = d_new
-                        merged_i[idx, : i_new.shape[0]] = i_new
-                        counters.scalar_ops += int(k * np.log2(max(k, 2)))
+                merged_d = local_dists[r]
+                merged_i = local_ids[r]
+                pieces = [piece for piece in replies[r] if piece is not None]
+                if pieces:
+                    rqid = np.concatenate([p[0] for p in pieces])
+                    rd = np.concatenate([p[1] for p in pieces], axis=0)
+                    ri = np.concatenate([p[2] for p in pieces], axis=0)
+                    # Map each reply row to its query's position in this
+                    # owner's batch.
+                    sorter = np.argsort(owner_qids[r], kind="stable")
+                    rows = sorter[np.searchsorted(owner_qids[r], rqid, sorter=sorter)]
+                    merged_d, merged_i = _merge_reply_blocks(k, merged_d, merged_i, rows, rd, ri)
+                    counters.scalar_ops += int(rqid.shape[0]) * int(k * np.log2(max(k, 2)))
                 # Count neighbours that did not come from the owner itself.
-                for idx in range(nq):
-                    final_ids = set(int(x) for x in merged_i[idx] if x >= 0)
-                    local_set = set(int(x) for x in local_ids[r][idx] if x >= 0)
-                    remote_used_all[owner_qids[r][idx]] = len(final_ids - local_set)
+                from_local = (merged_i[:, :, None] == local_ids[r][:, None, :]).any(axis=2)
+                remote_used_all[owner_qids[r]] = np.count_nonzero(
+                    (merged_i >= 0) & ~from_local, axis=1
+                )
                 # Return results to the rank that originally held the query.
                 for origin in np.unique(owner_origins[r]):
                     sel = owner_origins[r] == origin

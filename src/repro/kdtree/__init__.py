@@ -12,14 +12,15 @@ This package implements the single-node building blocks of PANDA:
   depth-first ("thread parallel") construction with leaf buckets packed
   contiguously ("SIMD packing");
 * :mod:`~repro.kdtree.query` — Algorithm 1: bounded-radius k-nearest
-  neighbour search with a bounded max-heap and distance-based pruning;
+  neighbour search with distance-based pruning, as a scalar single-query
+  traversal and as a vectorised lockstep traversal of whole query batches;
 * :mod:`~repro.kdtree.tree` — the flat array representation shared by all
   of the above;
 * :mod:`~repro.kdtree.validate` — structural invariants used by tests.
 """
 
 from repro.kdtree.bucket import BucketStore
-from repro.kdtree.heap import BoundedMaxHeap, merge_topk
+from repro.kdtree.heap import BatchTopK, BoundedMaxHeap, merge_topk
 from repro.kdtree.median import (
     HistogramMedianEstimator,
     approximate_median,
@@ -39,6 +40,7 @@ from repro.kdtree.query import (
     KNNResult,
     QueryStats,
     batch_knn,
+    batch_knn_scalar,
     brute_force_knn,
     knn_search,
 )
@@ -46,6 +48,7 @@ from repro.kdtree.validate import check_tree_invariants
 
 __all__ = [
     "BucketStore",
+    "BatchTopK",
     "BoundedMaxHeap",
     "merge_topk",
     "HistogramMedianEstimator",
@@ -64,6 +67,7 @@ __all__ = [
     "KNNResult",
     "QueryStats",
     "batch_knn",
+    "batch_knn_scalar",
     "brute_force_knn",
     "knn_search",
     "check_tree_invariants",

@@ -1,11 +1,16 @@
-"""Bounded max-heap used to track the k nearest neighbours found so far.
+"""Top-k candidate tracking for the k nearest neighbours found so far.
 
 Algorithm 1 of the paper maintains a heap ``H`` of at most ``k`` candidates
 ordered by distance to the query; its maximum is the pruning radius ``r'``.
-The implementation below is a classic binary max-heap over parallel arrays
-(distances and point ids) so pushes and replacements are O(log k) without
-any Python object churn, plus a vectorised helper for merging candidate sets
-coming back from remote ranks.
+Three implementations live here:
+
+* :class:`BoundedMaxHeap` — a classic binary max-heap over parallel arrays
+  (distances and point ids) used by the scalar single-query search;
+* :class:`BatchTopK` — one ``(n_queries, k)`` pair of sorted arrays holding
+  the candidate sets of a whole query batch at once, used by the vectorised
+  batched traversal (the k-th column *is* the per-query pruning bound);
+* :func:`merge_topk` — a vectorised helper for merging candidate sets
+  coming back from remote ranks.
 """
 
 from __future__ import annotations
@@ -133,6 +138,73 @@ class BoundedMaxHeap:
             i = largest
 
 
+class BatchTopK:
+    """Sorted top-k candidate lists for a whole batch of queries.
+
+    The vectorised batched traversal replaces one :class:`BoundedMaxHeap`
+    per query with a single ``(n_queries, k)`` pair of arrays kept sorted
+    ascending by (squared) distance and padded with ``inf`` distances /
+    ``-1`` ids.  Because rows are sorted and padded, the k-th column is
+    exactly the pruning bound r'^2 of Algorithm 1: ``inf`` until a query
+    holds k candidates, the squared k-th distance afterwards.
+
+    :meth:`update` replicates the sequential push rule of the scalar heap
+    (candidates are accepted while the set is not full, then only on a
+    strictly smaller distance than the current worst), so the number of
+    accepted candidates it reports equals the scalar ``heap_updates`` count.
+    """
+
+    def __init__(self, n_queries: int, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if n_queries < 0:
+            raise ValueError(f"n_queries must be non-negative, got {n_queries}")
+        self.n_queries = n_queries
+        self.k = k
+        self.dists = np.full((n_queries, k), np.inf, dtype=np.float64)
+        self.ids = np.full((n_queries, k), -1, dtype=np.int64)
+
+    def bounds(self) -> np.ndarray:
+        """Per-query pruning bound r'^2 (a live view of the k-th column)."""
+        return self.dists[:, self.k - 1]
+
+    def update(self, rows: np.ndarray, cand_dists: np.ndarray, cand_ids: np.ndarray) -> np.ndarray:
+        """Offer one block of candidates to each selected row.
+
+        Parameters
+        ----------
+        rows:
+            ``(m,)`` unique row indices receiving candidates.
+        cand_dists, cand_ids:
+            ``(m, c)`` candidate blocks in scan order; invalid slots must be
+            padded with ``inf`` distance and id ``-1``.
+
+        Returns
+        -------
+        np.ndarray
+            ``(m,)`` number of candidates accepted into each row, matching
+            what sequential strict-< pushes into a :class:`BoundedMaxHeap`
+            would have accepted.
+        """
+        k = self.k
+        # Old entries go first so the stable sort resolves distance ties in
+        # their favour — a candidate equal to the current k-th distance is
+        # rejected, exactly like the scalar heap's strict-< push.
+        all_d = np.concatenate([self.dists[rows], cand_dists], axis=1)
+        all_i = np.concatenate([self.ids[rows], cand_ids], axis=1)
+        order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+        new_d = np.take_along_axis(all_d, order, axis=1)
+        new_i = np.take_along_axis(all_i, order, axis=1)
+        accepted = np.count_nonzero((order >= k) & np.isfinite(new_d), axis=1)
+        self.dists[rows] = new_d
+        self.ids[rows] = new_i
+        return accepted
+
+    def sorted_results(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return copies of the (squared distances, ids) result arrays."""
+        return self.dists.copy(), self.ids.copy()
+
+
 def merge_topk(
     k: int,
     dists_a: np.ndarray,
@@ -145,11 +217,18 @@ def merge_topk(
     Duplicate point ids are removed keeping the smaller distance, which makes
     the merge idempotent when a remote rank happens to return a point the
     owner already found (possible for points exactly on a domain boundary).
+    Padding entries (id ``-1`` or non-finite distance), as produced by
+    :func:`repro.kdtree.query.batch_knn` for queries with fewer than k
+    in-range neighbours, are dropped rather than merged.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     dists = np.concatenate([np.asarray(dists_a, dtype=np.float64), np.asarray(dists_b, dtype=np.float64)])
     ids = np.concatenate([np.asarray(ids_a, dtype=np.int64), np.asarray(ids_b, dtype=np.int64)])
+    valid = (ids >= 0) & np.isfinite(dists)
+    if not np.all(valid):
+        dists = dists[valid]
+        ids = ids[valid]
     if dists.size == 0:
         return dists, ids
     order = np.lexsort((dists, ids))

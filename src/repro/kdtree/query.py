@@ -1,12 +1,31 @@
 """k-nearest-neighbour search over a local kd-tree (paper Algorithm 1).
 
-The traversal keeps a stack of ``(node, lower_bound)`` pairs where the lower
-bound is the accumulated squared distance from the query to the node's
-region along already-crossed splitting planes.  A bounded max-heap holds the
-best k candidates; its maximum is the pruning radius r', progressively
-shrunk as closer candidates are found.  Leaf buckets are scanned exhaustively
-with a vectorised distance kernel (the packed layout makes this one
-contiguous NumPy operation).
+Two engines implement the same search semantics:
+
+* :func:`knn_search` — the scalar single-query traversal.  A stack of
+  ``(node, lower_bound)`` pairs drives a depth-first descent (closer child
+  first); a bounded max-heap holds the best k candidates and its maximum is
+  the pruning radius r', progressively shrunk as closer candidates are
+  found.  Leaf buckets are scanned with one vectorised distance kernel.
+* :func:`batch_knn` — the vectorised batched traversal.  All queries of a
+  batch advance in lockstep: per-query DFS stacks live in one
+  ``(n_queries, stack_cap)`` array pair, the per-query pruning bounds are
+  one vector (the k-th column of a :class:`~repro.kdtree.heap.BatchTopK`),
+  and every iteration pops one node per active query.  Queries sitting at
+  leaf buckets are scanned together with a single padded gather + einsum
+  over the packed points; their candidate sets are folded into the batch
+  top-k with one sorted merge.  Because every query performs exactly the
+  node visits of its own scalar DFS, distances *and* ``QueryStats``
+  counters match :func:`knn_search` query for query while the Python
+  interpreter cost is amortised over the whole batch.  (Which of several
+  points tied exactly at the k-th distance is kept is unspecified in both
+  engines and may differ between them.)
+
+Radius semantics are **inclusive** everywhere: a point at exactly the
+search radius is returned.  This matters for step 4 of the distributed
+protocol, where a remote point lying exactly at the owner's k-th distance
+r' must not be dropped.  The heap-pruning bound itself stays strict
+(a candidate tied with the current k-th distance cannot improve the heap).
 
 The search accepts an initial radius bound so that *remote* queries (step 4
 of the distributed protocol) start already pruned by the owner's local
@@ -21,7 +40,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.cluster.metrics import PhaseCounters
-from repro.kdtree.heap import BoundedMaxHeap
+from repro.kdtree.heap import BatchTopK, BoundedMaxHeap
 from repro.kdtree.tree import KDTree
 
 
@@ -83,10 +102,13 @@ def knn_search(
     k:
         Number of neighbours requested.
     radius:
-        Initial search radius r (Euclidean, not squared).  Defaults to
-        infinity; remote queries pass the owner's current k-th distance.
+        Initial search radius r (Euclidean, not squared), inclusive: a
+        point at exactly distance r is returned.  Defaults to infinity;
+        remote queries pass the owner's current k-th distance.
     stats:
-        Optional external stats accumulator (merged into the result).
+        Optional external stats accumulator; this query's work is merged
+        into it.  ``result.stats`` always holds the work of this query
+        alone, so callers merging ``result.stats`` never double-count.
 
     Returns
     -------
@@ -101,9 +123,9 @@ def knn_search(
     local_stats = QueryStats(queries=1)
     heap = BoundedMaxHeap(k)
     if tree.n_points == 0:
-        result_stats = stats or QueryStats()
-        result_stats.merge(local_stats)
-        return KNNResult(distances=np.empty(0), ids=np.empty(0, dtype=np.int64), stats=result_stats)
+        if stats is not None:
+            stats.merge(local_stats)
+        return KNNResult(distances=np.empty(0), ids=np.empty(0, dtype=np.int64), stats=local_stats)
 
     radius_sq = radius * radius if np.isfinite(radius) else np.inf
     points = tree.points
@@ -119,8 +141,9 @@ def knn_search(
     stack: List[Tuple[int, float]] = [(0, 0.0)]
     while stack:
         node, lower_bound = stack.pop()
-        r_prime_sq = min(heap.worst(), radius_sq)
-        if lower_bound >= r_prime_sq:
+        # Heap pruning is strict (a tie cannot improve the heap) while the
+        # radius bound is inclusive (a point exactly at r must be kept).
+        if lower_bound >= heap.worst() or lower_bound > radius_sq:
             continue
         local_stats.nodes_visited += 1
         dim = int(split_dim[node])
@@ -133,14 +156,13 @@ def knn_search(
             dists = np.einsum("ij,ij->i", diff, diff)
             local_stats.leaves_scanned += 1
             local_stats.distance_computations += c
-            bound = min(heap.worst(), radius_sq)
-            candidate_mask = dists < bound
+            candidate_mask = (dists < heap.worst()) & (dists <= radius_sq)
             if np.any(candidate_mask):
                 cand_dists = dists[candidate_mask]
                 cand_ids = ids[s : s + c][candidate_mask]
                 order = np.argsort(cand_dists, kind="stable")
                 for d, pid in zip(cand_dists[order], cand_ids[order]):
-                    if d < min(heap.worst(), radius_sq):
+                    if d < heap.worst():
                         heap.push(float(d), int(pid))
                         local_stats.heap_updates += 1
             continue
@@ -152,18 +174,13 @@ def knn_search(
             closer, farther = int(left[node]), int(right[node])
         else:
             closer, farther = int(right[node]), int(left[node])
-        r_prime_sq = min(heap.worst(), radius_sq)
-        if plane_sq < r_prime_sq:
+        if plane_sq < heap.worst() and plane_sq <= radius_sq:
             stack.append((farther, plane_sq))
         stack.append((closer, lower_bound))
 
     dists_sq, result_ids = heap.sorted_items()
-    if np.isfinite(radius_sq):
-        keep = dists_sq <= radius_sq
-        dists_sq = dists_sq[keep]
-        result_ids = result_ids[keep]
-    result_stats = stats if stats is not None else QueryStats()
-    result_stats.merge(local_stats)
+    if stats is not None:
+        stats.merge(local_stats)
     return KNNResult(distances=np.sqrt(dists_sq), ids=result_ids, stats=local_stats)
 
 
@@ -174,11 +191,146 @@ def batch_knn(
     radii: np.ndarray | float = np.inf,
     stats: QueryStats | None = None,
 ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
-    """Run :func:`knn_search` for every row of ``queries``.
+    """Vectorised batched KNN: all queries traverse the tree in lockstep.
+
+    Semantically equivalent to running :func:`knn_search` on every row of
+    ``queries``: identical neighbour distances and identical ``QueryStats``
+    counters (which of several points tied exactly at the k-th distance is
+    kept is unspecified in both engines).  The traversal state of the whole
+    batch is held in flat arrays so each iteration is a handful of NumPy
+    operations instead of thousands of Python-level heap pushes.
 
     Returns ``(distances, ids, stats)`` where the arrays have shape
     ``(n_queries, k)``; missing neighbours (fewer than k in range) are padded
     with ``inf`` distances and id ``-1``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n_queries = queries.shape[0]
+    agg = QueryStats(queries=n_queries)
+    if tree.n_points == 0 or n_queries == 0:
+        if stats is not None:
+            stats.merge(agg)
+        return (
+            np.full((n_queries, k), np.inf, dtype=np.float64),
+            np.full((n_queries, k), -1, dtype=np.int64),
+            agg,
+        )
+    if queries.shape[1] != tree.dims:
+        raise ValueError(f"queries have {queries.shape[1]} dims, tree has {tree.dims}")
+    radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (n_queries,))
+    radius_sq = np.where(np.isfinite(radii_arr), radii_arr * radii_arr, np.inf)
+
+    points = tree.points
+    ids = tree.ids
+    split_dim = tree.split_dim
+    split_val = tree.split_val
+    left = tree.left
+    right = tree.right
+    start = tree.start
+    count = tree.count
+
+    topk = BatchTopK(n_queries, k)
+    bounds = topk.bounds()  # live view: shrinks as candidates are accepted
+
+    # Per-query DFS stacks in one array pair.  A DFS stack never exceeds
+    # depth+1 entries (each internal pop removes one entry and pushes at
+    # most two), but the arrays grow on demand should a tree violate that.
+    depth = tree.stats.max_depth if tree.stats.max_depth > 0 else tree.depth()
+    stack_cap = depth + 3
+    stack_node = np.zeros((n_queries, stack_cap), dtype=np.int64)
+    stack_lb = np.zeros((n_queries, stack_cap), dtype=np.float64)
+    stack_len = np.ones(n_queries, dtype=np.int64)  # every stack starts at the root
+
+    active = np.arange(n_queries)
+    while active.size:
+        top = stack_len[active] - 1
+        nodes = stack_node[active, top]
+        lbs = stack_lb[active, top]
+        stack_len[active] = top
+        # Pop-time prune: strict against the heap bound, inclusive radius.
+        visit = (lbs < bounds[active]) & (lbs <= radius_sq[active])
+        vq = active[visit]
+        if vq.size:
+            vnodes = nodes[visit]
+            agg.nodes_visited += int(vq.size)
+            dims_v = split_dim[vnodes]
+            leaf_mask = dims_v < 0
+
+            lq = vq[leaf_mask]
+            if lq.size:
+                # One padded gather + einsum scans every leaf visited this
+                # iteration; candidate sets merge into the batch top-k.
+                lnodes = vnodes[leaf_mask]
+                starts = start[lnodes]
+                counts = count[lnodes]
+                cmax = int(counts.max())
+                agg.leaves_scanned += int(lq.size)
+                agg.distance_computations += int(counts.sum())
+                if cmax > 0:
+                    offs = np.arange(cmax)
+                    valid = offs[None, :] < counts[:, None]
+                    idx = np.where(valid, starts[:, None] + offs[None, :], 0)
+                    bucket = points[idx]
+                    diff = bucket - queries[lq, None, :]
+                    d2 = np.einsum("mcd,mcd->mc", diff, diff)
+                    within = valid & (d2 <= radius_sq[lq, None])
+                    cand_d = np.where(within, d2, np.inf)
+                    cand_i = np.where(within, ids[idx], -1)
+                    accepted = topk.update(lq, cand_d, cand_i)
+                    agg.heap_updates += int(accepted.sum())
+
+            iq = vq[~leaf_mask]
+            if iq.size:
+                inodes = vnodes[~leaf_mask]
+                ilbs = lbs[visit][~leaf_mask]
+                dim = dims_v[~leaf_mask]
+                delta = queries[iq, dim] - split_val[inodes]
+                go_left = delta <= 0.0
+                closer = np.where(go_left, left[inodes], right[inodes])
+                farther = np.where(go_left, right[inodes], left[inodes])
+                plane = ilbs + delta * delta
+                push_far = (plane < bounds[iq]) & (plane <= radius_sq[iq])
+
+                need = int(stack_len[iq].max()) + 2
+                if need > stack_cap:
+                    extra = need - stack_cap
+                    stack_node = np.pad(stack_node, ((0, 0), (0, extra)))
+                    stack_lb = np.pad(stack_lb, ((0, 0), (0, extra)))
+                    stack_cap = need
+
+                # Farther child below the closer one, so the closer subtree
+                # is explored first — same order as the scalar DFS.
+                fq = iq[push_far]
+                pos = stack_len[fq]
+                stack_node[fq, pos] = farther[push_far]
+                stack_lb[fq, pos] = plane[push_far]
+                stack_len[fq] = pos + 1
+                pos = stack_len[iq]
+                stack_node[iq, pos] = closer
+                stack_lb[iq, pos] = ilbs
+                stack_len[iq] = pos + 1
+        active = np.flatnonzero(stack_len > 0)
+
+    out_d_sq, out_i = topk.sorted_results()
+    if stats is not None:
+        stats.merge(agg)
+    return np.sqrt(out_d_sq), out_i, agg
+
+
+def batch_knn_scalar(
+    tree: KDTree,
+    queries: np.ndarray,
+    k: int,
+    radii: np.ndarray | float = np.inf,
+    stats: QueryStats | None = None,
+) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+    """Reference batch path: one scalar :func:`knn_search` per query row.
+
+    Kept as the A/B baseline for :func:`batch_knn` — both must return the
+    same neighbour distances and the same aggregated ``QueryStats`` (tie
+    identity at the k-th distance excepted).
     """
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     n_queries = queries.shape[0]

@@ -128,6 +128,45 @@ class TestQueryReport:
         assert report.remote_stats.distance_computations < report.local_stats.distance_computations
 
 
+class TestMergeAccounting:
+    def test_ids_match_brute_force_exactly(self, small_points, small_queries):
+        """The vectorised step-5 merge returns the exact neighbour ids."""
+        engine = _engine(small_points, 4)
+        report = engine.query(small_queries, k=5)
+        bd, bi = brute_force_knn(small_points, np.arange(small_points.shape[0]), small_queries, 5)
+        assert np.allclose(report.distances, bd, atol=1e-9)
+        assert np.array_equal(report.ids, bi)
+
+    def test_remote_neighbors_used_bounds(self, small_points, small_queries):
+        engine = _engine(small_points, 4)
+        report = engine.query(small_queries, k=5)
+        assert np.all(report.remote_neighbors_used >= 0)
+        assert np.all(report.remote_neighbors_used <= 5)
+        # A neighbour can only come from a remote rank if the query was
+        # actually forwarded to at least one.
+        assert np.all(report.remote_neighbors_used[report.remote_fanout == 0] == 0)
+
+    def test_remote_neighbors_counted_against_owner(self, small_points, small_queries):
+        """remote_neighbors_used equals the final ids not held by the owner."""
+        engine = _engine(small_points, 4)
+        report = engine.query(small_queries, k=5)
+        # Recover each rank's point ids from the cluster.
+        rank_ids = [set(r.ids.tolist()) for r in engine.cluster.ranks]
+        for qi in range(small_queries.shape[0]):
+            owner = int(report.owners[qi])
+            final = [int(x) for x in report.ids[qi] if x >= 0]
+            expected = sum(1 for pid in final if pid not in rank_ids[owner])
+            assert report.remote_neighbors_used[qi] == expected
+
+    def test_duplicate_points_across_batch(self, small_points):
+        """Queries duplicated across batch boundaries merge independently."""
+        queries = np.repeat(small_points[:10], 3, axis=0)
+        engine = _engine(small_points, 4, PandaConfig(query_batch_size=7))
+        report = engine.query(queries, k=4)
+        for rep in range(3):
+            assert np.array_equal(report.ids[rep::3][:10], report.ids[0::3][:10])
+
+
 class TestValidation:
     def test_invalid_k_rejected(self, small_points, small_queries):
         engine = _engine(small_points, 2)

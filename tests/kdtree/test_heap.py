@@ -1,11 +1,11 @@
-"""Tests for the bounded max-heap and top-k merge."""
+"""Tests for the bounded max-heap, the batched top-k and the top-k merge."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kdtree.heap import BoundedMaxHeap, merge_topk
+from repro.kdtree.heap import BatchTopK, BoundedMaxHeap, merge_topk
 
 
 class TestBoundedMaxHeap:
@@ -76,6 +76,87 @@ class TestBoundedMaxHeap:
         assert np.allclose(np.sort(dists), expected)
 
 
+class TestBatchTopK:
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            BatchTopK(4, 0)
+
+    def test_starts_padded(self):
+        topk = BatchTopK(3, 2)
+        assert np.all(np.isinf(topk.dists))
+        assert np.all(topk.ids == -1)
+        assert np.all(np.isinf(topk.bounds()))
+
+    def test_bounds_is_inf_until_full(self):
+        topk = BatchTopK(1, 3)
+        topk.update(np.array([0]), np.array([[1.0, 2.0]]), np.array([[1, 2]]))
+        assert topk.bounds()[0] == np.inf
+        topk.update(np.array([0]), np.array([[3.0]]), np.array([[3]]))
+        assert topk.bounds()[0] == 3.0
+
+    def test_bounds_is_live_view(self):
+        topk = BatchTopK(1, 2)
+        bounds = topk.bounds()
+        topk.update(np.array([0]), np.array([[2.0, 1.0]]), np.array([[2, 1]]))
+        assert bounds[0] == 2.0
+
+    def test_rows_kept_sorted_with_padding(self):
+        topk = BatchTopK(2, 3)
+        topk.update(
+            np.array([0, 1]),
+            np.array([[4.0, 1.0], [2.0, np.inf]]),
+            np.array([[4, 1], [2, -1]]),
+        )
+        assert list(topk.dists[0][:2]) == [1.0, 4.0]
+        assert np.isinf(topk.dists[0][2])
+        assert list(topk.ids[1]) == [2, -1, -1]
+
+    def test_tie_with_worst_is_rejected(self):
+        topk = BatchTopK(1, 2)
+        topk.update(np.array([0]), np.array([[1.0, 2.0]]), np.array([[1, 2]]))
+        accepted = topk.update(np.array([0]), np.array([[2.0]]), np.array([[9]]))
+        assert accepted[0] == 0
+        assert list(topk.ids[0]) == [1, 2]
+
+    @given(
+        batches=st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=12),
+            min_size=1,
+            max_size=6,
+        ),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sequential_heap_and_counts(self, batches, k):
+        """Accepted counts and final contents replicate BoundedMaxHeap pushes."""
+        topk = BatchTopK(1, k)
+        heap = BoundedMaxHeap(k)
+        next_id = 0
+        for batch in batches:
+            ids = np.arange(next_id, next_id + len(batch))
+            next_id += len(batch)
+            # Scalar reference: strict-< pushes in ascending distance order.
+            pushes = 0
+            order = np.argsort(np.asarray(batch), kind="stable")
+            for j in order:
+                if batch[j] < heap.worst():
+                    heap.push(float(batch[j]), int(ids[j]))
+                    pushes += 1
+            accepted = topk.update(
+                np.array([0]), np.asarray([batch], dtype=np.float64), ids[None, :]
+            )
+            assert accepted[0] == pushes
+        heap_d, heap_i = heap.sorted_items()
+        found = int(np.isfinite(topk.dists[0]).sum())
+        assert np.array_equal(topk.dists[0][:found], heap_d)
+        # Which of several candidates tied at the k-th distance survives is
+        # unspecified (the heap evicts in heap order, the batch merge in
+        # stored order), so ids are only compared when all distances differ.
+        all_values = [v for batch in batches for v in batch]
+        if len(set(all_values)) == len(all_values):
+            assert sorted(topk.ids[0][:found].tolist()) == sorted(heap_i.tolist())
+
+
 class TestMergeTopk:
     def test_requires_positive_k(self):
         with pytest.raises(ValueError):
@@ -100,6 +181,34 @@ class TestMergeTopk:
         d, i = merge_topk(2, [1.0, 2.0, 3.0], [1, 2, 3], [0.5], [4])
         assert len(d) == 2
         assert list(i) == [4, 1]
+
+    def test_ignores_inf_minus_one_padding(self):
+        """Padded rows from batch_knn can be merged without spurious entries."""
+        d, i = merge_topk(
+            4,
+            [0.5, np.inf, np.inf],
+            [3, -1, -1],
+            [1.5, np.inf],
+            [8, -1],
+        )
+        assert list(i) == [3, 8]
+        assert list(d) == [0.5, 1.5]
+
+    def test_all_padding_yields_empty(self):
+        d, i = merge_topk(3, [np.inf, np.inf], [-1, -1], [np.inf], [-1])
+        assert d.size == 0
+        assert i.size == 0
+
+    def test_duplicate_ids_keep_min_distance_with_padding(self):
+        d, i = merge_topk(
+            3,
+            [1.0, 2.0, np.inf],
+            [10, 20, -1],
+            [0.5, 2.0, np.inf],
+            [20, 30, -1],
+        )
+        assert list(i) == [20, 10, 30]
+        assert list(d) == [0.5, 1.0, 2.0]
 
     @given(
         a=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=20),
