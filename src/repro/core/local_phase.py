@@ -50,11 +50,12 @@ def build_local_trees(cluster: Cluster, config: PandaConfig | None = None) -> Li
         )
         rank.store[LOCAL_TREE_KEY] = tree
         trees.append(tree)
+        # The builder registers all three phases unconditionally (even for
+        # an empty rank), so the merge never silently skips one.
         for phase_name in LOCAL_PHASES:
-            if phase_name in tree.stats.phase_counters:
-                cluster.metrics.rank(rank.rank).phase(phase_name).merge(
-                    tree.stats.phase_counters[phase_name]
-                )
+            cluster.metrics.rank(rank.rank).phase(phase_name).merge(
+                tree.stats.phase_counters[phase_name]
+            )
     return trees
 
 

@@ -10,7 +10,9 @@ This package implements the single-node building blocks of PANDA:
   32-stride sub-interval accelerated binning described in Section III-A1;
 * :mod:`~repro.kdtree.build` — breadth-first ("data parallel") +
   depth-first ("thread parallel") construction with leaf buckets packed
-  contiguously ("SIMD packing");
+  contiguously ("SIMD packing"), as a level-synchronous vectorised build
+  and a per-node scalar reference that produce identical trees under
+  deterministic strategies;
 * :mod:`~repro.kdtree.query` — Algorithm 1: bounded-radius k-nearest
   neighbour search with distance-based pruning, as a scalar single-query
   traversal and as a vectorised lockstep traversal of whole query batches;
@@ -24,18 +26,22 @@ from repro.kdtree.heap import BatchTopK, BoundedMaxHeap, merge_topk
 from repro.kdtree.median import (
     HistogramMedianEstimator,
     approximate_median,
+    batched_histogram_median,
     searchsorted_binning,
+    sorted_segment_matrix,
     subinterval_binning,
 )
 from repro.kdtree.splitters import (
     SplitContext,
+    batched_choose_split_dimensions,
+    batched_choose_split_values,
     choose_split_dimension,
     choose_split_value,
     SPLIT_DIM_STRATEGIES,
     SPLIT_VALUE_STRATEGIES,
 )
 from repro.kdtree.tree import KDTree, KDTreeConfig, TreeBuildStats
-from repro.kdtree.build import build_kdtree
+from repro.kdtree.build import build_kdtree, build_kdtree_scalar
 from repro.kdtree.query import (
     KNNResult,
     QueryStats,
@@ -53,9 +59,13 @@ __all__ = [
     "merge_topk",
     "HistogramMedianEstimator",
     "approximate_median",
+    "batched_histogram_median",
     "searchsorted_binning",
+    "sorted_segment_matrix",
     "subinterval_binning",
     "SplitContext",
+    "batched_choose_split_dimensions",
+    "batched_choose_split_values",
     "choose_split_dimension",
     "choose_split_value",
     "SPLIT_DIM_STRATEGIES",
@@ -64,6 +74,7 @@ __all__ = [
     "KDTreeConfig",
     "TreeBuildStats",
     "build_kdtree",
+    "build_kdtree_scalar",
     "KNNResult",
     "QueryStats",
     "batch_knn",

@@ -25,7 +25,16 @@ from typing import Callable, Dict
 import numpy as np
 
 from repro.cluster.metrics import PhaseCounters
-from repro.kdtree.median import HistogramMedianEstimator
+from repro.kdtree.median import (
+    HistogramMedianEstimator,
+    batched_histogram_median,
+    sorted_segment_matrix,
+)
+
+#: Segments larger than this take a per-segment loop instead of the padded
+#: row-sort used by the batched split-value kernels (pathological padding
+#: guard; by the pigeonhole there are at most ``n / limit`` such segments).
+PAD_SORT_LIMIT = 1024
 
 
 @dataclass
@@ -60,6 +69,55 @@ class SplitContext:
 
 
 # ---------------------------------------------------------------------------
+# Segment helpers shared by the scalar rules and their batched counterparts
+# ---------------------------------------------------------------------------
+def segment_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate the ranges ``[starts[i], starts[i] + lengths[i])``.
+
+    Every length must be positive.  This is the vectorised equivalent of
+    ``np.concatenate([np.arange(s, s + l) for s, l in zip(starts, lengths)])``
+    and is used to gather a whole kd-tree level with one fancy index.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    step = np.ones(total, dtype=np.int64)
+    step[0] = starts[0]
+    boundaries = np.cumsum(lengths)[:-1]
+    step[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1]) + 1
+    return np.cumsum(step)
+
+
+def segment_variances(points: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Two-pass per-segment, per-dimension variance of ``points`` rows.
+
+    Segment ``i`` is ``points[offsets[i]:offsets[i+1]]``; returns an
+    ``(n_segments, dims)`` array.  Both the scalar variance rules and the
+    batched builder route through this kernel so their variances (and hence
+    the chosen split dimensions) are bit-identical.
+    """
+    starts = np.asarray(offsets[:-1], dtype=np.int64)
+    counts = np.diff(offsets).astype(np.float64)[:, None]
+    sums = np.add.reduceat(points, starts, axis=0)
+    means = sums / counts
+    group = np.repeat(np.arange(starts.size), np.diff(offsets))
+    centered = points - means[group]
+    centered *= centered
+    return np.add.reduceat(centered, starts, axis=0) / counts
+
+
+def sequential_segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sums with ``np.add.reduceat``'s sequential accumulation.
+
+    Used instead of ``np.sum``/``np.mean`` (pairwise accumulation) wherever
+    the scalar and batched paths must produce bit-identical results.
+    """
+    return np.add.reduceat(values, np.asarray(offsets[:-1], dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
 # Split-dimension rules
 # ---------------------------------------------------------------------------
 def _sample_rows(points: np.ndarray, ctx: SplitContext) -> np.ndarray:
@@ -74,7 +132,7 @@ def variance_dimension(points: np.ndarray, ctx: SplitContext) -> int:
     sample = _sample_rows(points, ctx)
     if ctx.counters is not None:
         ctx.counters.scalar_ops += int(sample.size)
-    variances = sample.var(axis=0)
+    variances = segment_variances(sample, np.array([0, sample.shape[0]]))[0]
     return int(np.argmax(variances))
 
 
@@ -82,7 +140,8 @@ def full_variance_dimension(points: np.ndarray, ctx: SplitContext) -> int:
     """Dimension with maximum variance computed over all points."""
     if ctx.counters is not None:
         ctx.counters.scalar_ops += int(points.size)
-    return int(np.argmax(points.var(axis=0)))
+    variances = segment_variances(points, np.array([0, points.shape[0]]))[0]
+    return int(np.argmax(variances))
 
 
 def max_extent_dimension(points: np.ndarray, ctx: SplitContext) -> int:
@@ -141,7 +200,8 @@ def mean_first_100_value(values: np.ndarray, ctx: SplitContext) -> float:
     head = values[: min(100, values.size)]
     if ctx.counters is not None:
         ctx.counters.scalar_ops += int(head.size)
-    return float(head.mean())
+    total = sequential_segment_sums(head, np.array([0, head.size]))[0]
+    return float(total / head.size)
 
 
 def midpoint_value(values: np.ndarray, ctx: SplitContext) -> float:
@@ -169,3 +229,145 @@ def choose_split_value(values: np.ndarray, strategy: str, ctx: SplitContext) -> 
     if values.size == 0:
         raise ValueError("cannot choose a split value from an empty array")
     return SPLIT_VALUE_STRATEGIES[strategy](values, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Batched (whole-frontier) variants used by the level-synchronous builder
+# ---------------------------------------------------------------------------
+def batched_choose_split_dimensions(
+    points: np.ndarray,
+    offsets: np.ndarray,
+    strategy: str,
+    ctx: SplitContext,
+    depth: int = 0,
+    extents: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-segment split dimensions for one whole kd-tree level.
+
+    ``points`` holds the level's gathered rows, segment ``i`` being
+    ``points[offsets[i]:offsets[i+1]]`` (every segment non-empty).  Charges
+    the same per-segment operation counts as calling
+    :func:`choose_split_dimension` segment by segment, and returns identical
+    dimensions for the deterministic rules.  ``extents`` may pass
+    precomputed per-segment ``max - min`` ranges to avoid a re-reduction.
+    """
+    if strategy not in SPLIT_DIM_STRATEGIES:
+        raise ValueError(
+            f"unknown split-dimension strategy {strategy!r}; options: {sorted(SPLIT_DIM_STRATEGIES)}"
+        )
+    counts = np.diff(offsets)
+    if counts.size == 0 or (counts <= 0).any():
+        raise ValueError("every segment must be non-empty")
+    n_seg = counts.size
+    dims = points.shape[1]
+    if strategy == "round_robin":
+        return np.full(n_seg, depth % dims, dtype=np.int64)
+    if strategy == "max_extent":
+        if extents is None:
+            mn = np.minimum.reduceat(points, offsets[:-1], axis=0)
+            mx = np.maximum.reduceat(points, offsets[:-1], axis=0)
+            extents = mx - mn
+        if ctx.counters is not None:
+            ctx.counters.scalar_ops += int((counts * dims).sum())
+        return np.argmax(extents, axis=1).astype(np.int64)
+    if strategy == "full_variance":
+        if ctx.counters is not None:
+            ctx.counters.scalar_ops += int((counts * dims).sum())
+        return np.argmax(segment_variances(points, offsets), axis=1).astype(np.int64)
+
+    # "variance": sampled estimate.  Segments small enough to be used whole
+    # go through one segment reduction; the few larger ones (top levels)
+    # reuse the scalar sampling rule, charging themselves.
+    result = np.empty(n_seg, dtype=np.int64)
+    small = counts <= ctx.sample_size
+    if small.any():
+        if ctx.counters is not None:
+            ctx.counters.scalar_ops += int((counts[small] * dims).sum())
+        if small.all():
+            sub_points, sub_offsets = points, offsets
+        else:
+            keep = small[np.repeat(np.arange(n_seg), counts)]
+            sub_points = points[keep]
+            sub_offsets = np.concatenate(([0], np.cumsum(counts[small])))
+        variances = segment_variances(sub_points, sub_offsets)
+        result[small] = np.argmax(variances, axis=1)
+    for i in np.flatnonzero(~small):
+        result[i] = variance_dimension(points[offsets[i]:offsets[i + 1]], ctx)
+    return result
+
+
+def batched_choose_split_values(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    strategy: str,
+    ctx: SplitContext,
+) -> np.ndarray:
+    """Per-segment split values for one whole kd-tree level.
+
+    ``values`` holds the level's coordinates along each segment's chosen
+    dimension, segment ``i`` being ``values[offsets[i]:offsets[i+1]]``.
+    Returns the same values (bit-identical) as calling
+    :func:`choose_split_value` per segment for the deterministic rules, and
+    charges the same per-segment operation counts.
+    """
+    if strategy not in SPLIT_VALUE_STRATEGIES:
+        raise ValueError(
+            f"unknown split-value strategy {strategy!r}; options: {sorted(SPLIT_VALUE_STRATEGIES)}"
+        )
+    counts = np.diff(offsets)
+    if counts.size == 0 or (counts <= 0).any():
+        raise ValueError("every segment must be non-empty")
+    starts = np.asarray(offsets[:-1], dtype=np.int64)
+    if strategy == "histogram_median":
+        return batched_histogram_median(
+            values,
+            offsets,
+            n_samples=ctx.median_samples,
+            rng=ctx.rng,
+            binning=ctx.binning,
+            counters=ctx.counters,
+        )
+    if strategy == "exact_median":
+        return _batched_exact_median(values, offsets, counts, ctx)
+    if strategy == "mean_first_100":
+        heads = np.minimum(counts, 100)
+        if ctx.counters is not None:
+            ctx.counters.scalar_ops += int(heads.sum())
+        head_vals = values[segment_indices(starts, heads)]
+        head_offsets = np.concatenate(([0], np.cumsum(heads)))
+        return sequential_segment_sums(head_vals, head_offsets) / heads
+    # "midpoint"
+    if ctx.counters is not None:
+        ctx.counters.scalar_ops += int(counts.sum())
+    mn = np.minimum.reduceat(values, starts)
+    mx = np.maximum.reduceat(values, starts)
+    return (mn + mx) / 2.0
+
+
+def _batched_exact_median(
+    values: np.ndarray, offsets: np.ndarray, counts: np.ndarray, ctx: SplitContext
+) -> np.ndarray:
+    """Exact per-segment medians (matches ``np.median`` bit-for-bit)."""
+    if ctx.counters is not None:
+        per_segment = (counts * np.log2(np.maximum(counts, 2))).astype(np.int64)
+        ctx.counters.scalar_ops += int(per_segment.sum())
+    n_seg = counts.size
+    medians = np.empty(n_seg, dtype=np.float64)
+    small = counts <= PAD_SORT_LIMIT
+    if small.any():
+        if small.all():
+            sub_values, sub_counts = values, counts
+            sub_offsets = offsets
+        else:
+            keep = small[np.repeat(np.arange(n_seg), counts)]
+            sub_values = values[keep]
+            sub_counts = counts[small]
+            sub_offsets = np.concatenate(([0], np.cumsum(sub_counts)))
+        matrix, _ = sorted_segment_matrix(sub_values, sub_offsets)
+        rows = np.arange(sub_counts.size)
+        lo = matrix[rows, (sub_counts - 1) // 2]
+        hi = matrix[rows, sub_counts // 2]
+        medians[small] = (lo + hi) / 2.0
+    for i in np.flatnonzero(~small):
+        medians[i] = float(np.median(values[offsets[i]:offsets[i + 1]]))
+    return medians

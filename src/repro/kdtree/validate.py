@@ -39,6 +39,16 @@ def check_tree_invariants(tree: KDTree, strict_bucket_size: bool = False) -> Non
     n = tree.n_points
     if tree.n_nodes == 0:
         raise TreeInvariantError("tree has no nodes")
+    if tree.stats.n_nodes != tree.n_nodes:
+        raise TreeInvariantError(
+            f"stats.n_nodes {tree.stats.n_nodes} disagrees with the "
+            f"{tree.n_nodes} stored nodes"
+        )
+    if tree.stats.n_leaves != tree.n_leaves:
+        raise TreeInvariantError(
+            f"stats.n_leaves {tree.stats.n_leaves} disagrees with the "
+            f"{tree.n_leaves} stored leaves"
+        )
 
     covered = np.zeros(n, dtype=bool)
     # Stack entries: (node, start, end) expected slice for that node.

@@ -36,6 +36,25 @@ class TestFullPipeline:
         assert np.allclose(panda_d, bf_d, atol=1e-9)
         assert np.allclose(panda_d, lo_d, atol=1e-9)
 
+    def test_empty_rank_still_charges_local_phases(self, small_points):
+        """A rank left empty after redistribution must still register (and
+        merge) all three local construction phases into the cluster metrics."""
+        from repro.cluster.simulator import Cluster
+        from repro.core.local_phase import LOCAL_PHASES, build_local_trees
+
+        cluster = Cluster(n_ranks=3)
+        cluster.ranks[0].set_points(small_points[:100])
+        cluster.ranks[1].set_points(np.empty((0, 3)))
+        cluster.ranks[2].set_points(small_points[100:250])
+        trees = build_local_trees(cluster)
+        assert trees[1].n_points == 0
+        for rank in range(3):
+            for phase in LOCAL_PHASES:
+                assert phase in cluster.metrics.rank(rank).phases, (rank, phase)
+        # The empty rank streamed nothing but the phases exist with zeros.
+        empty_total = cluster.metrics.rank(1).total()
+        assert empty_total.elements_moved == 0
+
     def test_column_store_to_distributed_index(self, tmp_path):
         """Write points to the column store, read per-rank slabs, build, query."""
         points = cosmology_particles(3_000, seed=23)

@@ -1,0 +1,314 @@
+"""A/B equivalence suite: vectorised vs scalar kd-tree construction.
+
+The level-synchronous build (``build_kdtree``) must be *array-identical* to
+the per-node reference (``build_kdtree_scalar``) under deterministic split
+strategies — node numbering, split values, permutation, leaf contents and
+phase counters included.  Sampled strategies consume the RNG in a different
+order, so for those the contract is a validate-clean tree whose KNN answers
+match brute force exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kdtree.build import (
+    PHASE_DATA_PARALLEL,
+    PHASE_SIMD_PACKING,
+    PHASE_THREAD_PARALLEL,
+    build_kdtree,
+    build_kdtree_scalar,
+)
+from repro.kdtree.median import (
+    batched_histogram_median,
+    median_interval_from_values,
+    sample_interval_points,
+    searchsorted_binning,
+    select_median_interval,
+    sorted_segment_matrix,
+)
+from repro.kdtree.query import batch_knn, brute_force_knn
+from repro.kdtree.splitters import (
+    SplitContext,
+    batched_choose_split_dimensions,
+    batched_choose_split_values,
+    choose_split_dimension,
+    choose_split_value,
+    segment_indices,
+)
+from repro.kdtree.tree import KDTreeConfig
+from repro.kdtree.validate import check_tree_invariants
+
+#: Strategy combinations that never touch the RNG: both builders must
+#: produce byte-identical trees.
+DETERMINISTIC_CONFIGS = [
+    pytest.param(KDTreeConfig(split_dim_strategy="full_variance",
+                              split_value_strategy="exact_median"), id="exact"),
+    pytest.param(KDTreeConfig.ann_like(), id="ann_like"),
+    pytest.param(KDTreeConfig(split_dim_strategy="round_robin",
+                              split_value_strategy="mean_first_100"), id="rr+mean100"),
+    pytest.param(KDTreeConfig(split_dim_strategy="round_robin",
+                              split_value_strategy="midpoint"), id="rr+midpoint"),
+    pytest.param(KDTreeConfig(split_dim_strategy="max_extent",
+                              split_value_strategy="exact_median"), id="extent+median"),
+]
+
+#: The four named presets of the paper comparison (PANDA / FLANN / ANN /
+#: exact); the first two sample, so they get the brute-force contract.
+PRESET_CONFIGS = [
+    pytest.param(KDTreeConfig.panda(), id="panda"),
+    pytest.param(KDTreeConfig.flann_like(), id="flann_like"),
+    pytest.param(KDTreeConfig.ann_like(), id="ann_like"),
+    pytest.param(KDTreeConfig(split_dim_strategy="full_variance",
+                              split_value_strategy="exact_median"), id="exact"),
+]
+
+
+@pytest.fixture(scope="module")
+def duplicate_points() -> np.ndarray:
+    rng = np.random.default_rng(13)
+    return np.repeat(rng.normal(size=(25, 3)), 80, axis=0)
+
+
+def assert_identical_trees(vec, ref):
+    assert np.array_equal(vec.split_dim, ref.split_dim)
+    assert np.array_equal(vec.split_val, ref.split_val, equal_nan=True)
+    assert np.array_equal(vec.left, ref.left)
+    assert np.array_equal(vec.right, ref.right)
+    assert np.array_equal(vec.start, ref.start)
+    assert np.array_equal(vec.count, ref.count)
+    assert np.array_equal(vec.ids, ref.ids)
+    assert np.array_equal(vec.points, ref.points)
+    for field in ("n_points", "n_nodes", "n_leaves", "max_depth",
+                  "data_parallel_levels", "thread_parallel_subtrees", "forced_leaves"):
+        assert getattr(vec.stats, field) == getattr(ref.stats, field), field
+    assert set(vec.stats.phase_counters) == set(ref.stats.phase_counters)
+    for phase, counters in ref.stats.phase_counters.items():
+        assert vec.stats.phase_counters[phase].as_dict() == counters.as_dict(), phase
+
+
+class TestDeterministicIdentity:
+    @pytest.mark.parametrize("config", DETERMINISTIC_CONFIGS)
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_identical_on_gaussian(self, small_points, config, threads):
+        vec = build_kdtree(small_points, config=config, threads=threads)
+        ref = build_kdtree_scalar(small_points, config=config, threads=threads)
+        check_tree_invariants(vec)
+        assert_identical_trees(vec, ref)
+
+    @pytest.mark.parametrize("config", DETERMINISTIC_CONFIGS)
+    def test_identical_on_clustered(self, cosmo_points, config):
+        vec = build_kdtree(cosmo_points, config=config, threads=4)
+        ref = build_kdtree_scalar(cosmo_points, config=config, threads=4)
+        check_tree_invariants(vec)
+        assert_identical_trees(vec, ref)
+
+    @pytest.mark.parametrize("config", DETERMINISTIC_CONFIGS)
+    def test_identical_on_duplicates(self, duplicate_points, config):
+        vec = build_kdtree(duplicate_points, config=config, threads=2)
+        ref = build_kdtree_scalar(duplicate_points, config=config, threads=2)
+        check_tree_invariants(vec)
+        assert_identical_trees(vec, ref)
+
+    @pytest.mark.parametrize("bucket", [8, 128])
+    def test_identical_across_bucket_sizes(self, small_points, bucket):
+        config = KDTreeConfig(split_dim_strategy="max_extent",
+                              split_value_strategy="exact_median", bucket_size=bucket)
+        vec = build_kdtree(small_points, config=config)
+        ref = build_kdtree_scalar(small_points, config=config)
+        assert_identical_trees(vec, ref)
+
+    def test_identical_on_1d_points(self):
+        points = np.random.default_rng(5).normal(size=(700, 1))
+        config = KDTreeConfig(split_value_strategy="exact_median",
+                              split_dim_strategy="round_robin")
+        assert_identical_trees(build_kdtree(points, config=config),
+                               build_kdtree_scalar(points, config=config))
+
+
+class TestSampledEquivalence:
+    @pytest.mark.parametrize("config", PRESET_CONFIGS)
+    def test_valid_tree_and_exact_knn(self, small_points, config):
+        tree = build_kdtree(small_points, config=config, threads=4)
+        check_tree_invariants(tree)
+        queries = small_points[::17]
+        dist, _, _ = batch_knn(tree, queries, 6)
+        ref_dist, _ = brute_force_knn(
+            small_points, np.arange(small_points.shape[0]), queries, 6
+        )
+        assert np.allclose(dist, ref_dist, atol=1e-12)
+
+    @pytest.mark.parametrize("config", PRESET_CONFIGS)
+    def test_valid_tree_on_clustered_and_duplicates(self, cosmo_points, duplicate_points, config):
+        for data in (cosmo_points, duplicate_points):
+            tree = build_kdtree(data, config=config, threads=4)
+            check_tree_invariants(tree)
+            assert np.array_equal(np.sort(tree.ids), np.arange(data.shape[0]))
+
+    def test_binning_variant_does_not_change_the_tree(self, small_points):
+        """Sub-interval vs binary-search binning alters modeled cost only."""
+        sub = build_kdtree(small_points, config=KDTreeConfig(binning="subinterval"))
+        sea = build_kdtree(small_points, config=KDTreeConfig(binning="searchsorted"))
+        assert np.array_equal(sub.split_val, sea.split_val, equal_nan=True)
+        assert np.array_equal(sub.ids, sea.ids)
+        ops_sub = sum(c.histogram_ops for c in sub.stats.phase_counters.values())
+        ops_sea = sum(c.histogram_ops for c in sea.stats.phase_counters.values())
+        assert ops_sub != ops_sea
+
+    def test_scalar_binning_variant_agrees(self, small_points):
+        sub = build_kdtree_scalar(small_points, config=KDTreeConfig(binning="subinterval"))
+        sea = build_kdtree_scalar(small_points, config=KDTreeConfig(binning="searchsorted"))
+        assert np.array_equal(sub.split_val, sea.split_val, equal_nan=True)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("builder", [build_kdtree, build_kdtree_scalar])
+    def test_empty_build_registers_all_phases(self, builder):
+        tree = builder(np.empty((0, 3)))
+        assert tree.n_nodes == 1 and tree.n_leaves == 1
+        for phase in (PHASE_DATA_PARALLEL, PHASE_THREAD_PARALLEL, PHASE_SIMD_PACKING):
+            assert phase in tree.stats.phase_counters
+        check_tree_invariants(tree)
+
+    @pytest.mark.parametrize("n", [1, 5, 32])
+    def test_tiny_inputs_identical(self, n):
+        points = np.random.default_rng(n).normal(size=(n, 2))
+        assert_identical_trees(build_kdtree(points), build_kdtree_scalar(points))
+
+    def test_identical_points_forced_leaf(self):
+        points = np.ones((257, 3))
+        vec = build_kdtree(points)
+        ref = build_kdtree_scalar(points)
+        assert_identical_trees(vec, ref)
+        assert vec.stats.forced_leaves == 1
+        check_tree_invariants(vec)
+
+    def test_single_discriminating_dimension(self):
+        points = np.zeros((2_000, 4))
+        points[:, 2] = np.random.default_rng(9).normal(size=2_000)
+        vec = build_kdtree(points)
+        check_tree_invariants(vec)
+        internal = vec.split_dim[vec.split_dim >= 0]
+        assert np.all(internal == 2)
+
+    def test_explicit_rng_and_ids(self):
+        points = np.random.default_rng(3).normal(size=(4_000, 3))
+        ids = np.arange(4_000) * 3 + 11
+        tree = build_kdtree(points, ids=ids, rng=np.random.default_rng(99))
+        check_tree_invariants(tree)
+        assert np.array_equal(np.sort(tree.ids), np.sort(ids))
+
+
+class TestCounterAttribution:
+    """Satellite bugfix: counters reflect the work actually performed."""
+
+    @pytest.mark.parametrize("builder", [build_kdtree, build_kdtree_scalar])
+    def test_forced_leaves_move_nothing(self, builder):
+        tree = builder(np.ones((500, 3)))
+        moved = sum(
+            tree.stats.phase_counters[p].elements_moved
+            for p in (PHASE_DATA_PARALLEL, PHASE_THREAD_PARALLEL)
+        )
+        assert moved == 0
+
+    @pytest.mark.parametrize("builder", [build_kdtree, build_kdtree_scalar])
+    def test_elements_moved_equals_partitioned_sizes(self, small_points, builder):
+        """Every successful partition moves exactly its node's elements."""
+        tree = builder(small_points, threads=4)
+        moved = sum(
+            tree.stats.phase_counters[p].elements_moved
+            for p in (PHASE_DATA_PARALLEL, PHASE_THREAD_PARALLEL)
+        )
+        internal_sizes = int(tree.count[tree.split_dim >= 0].sum())
+        assert moved == internal_sizes
+
+
+class TestBatchedKernels:
+    """Batched split kernels vs their per-segment scalar counterparts."""
+
+    def _random_segments(self, rng, dims=3):
+        sizes = rng.integers(2, 60, size=rng.integers(2, 12))
+        values = rng.normal(size=(int(sizes.sum()), dims))
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        return values, offsets
+
+    @pytest.mark.parametrize("strategy", ["full_variance", "max_extent", "round_robin"])
+    def test_batched_dimensions_match_scalar(self, strategy):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            points, offsets = self._random_segments(rng)
+            ctx = SplitContext()
+            got = batched_choose_split_dimensions(points, offsets, strategy, ctx, depth=2)
+            for i in range(offsets.size - 1):
+                seg = points[offsets[i]:offsets[i + 1]]
+                assert got[i] == choose_split_dimension(seg, strategy, SplitContext(), 2)
+
+    @pytest.mark.parametrize("strategy", ["exact_median", "mean_first_100", "midpoint"])
+    def test_batched_values_match_scalar(self, strategy):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            points, offsets = self._random_segments(rng, dims=1)
+            values = points[:, 0]
+            ctx = SplitContext()
+            got = batched_choose_split_values(values, offsets, strategy, ctx)
+            for i in range(offsets.size - 1):
+                seg = values[offsets[i]:offsets[i + 1]]
+                assert got[i] == choose_split_value(seg, strategy, SplitContext())
+
+    def test_batched_histogram_median_matches_small_segments(self):
+        """Segments <= n_samples are deterministic: all values are interval
+        points, so batched and scalar estimates must agree exactly."""
+        rng = np.random.default_rng(2)
+        sizes = rng.integers(2, 40, size=8)
+        values = np.round(rng.normal(size=int(sizes.sum())), 1)  # force duplicates
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        got = batched_histogram_median(values, offsets, n_samples=64,
+                                       rng=np.random.default_rng(0))
+        for i in range(sizes.size):
+            seg = values[offsets[i]:offsets[i + 1]]
+            interval_points = np.unique(seg)
+            counts, _ = searchsorted_binning(seg, interval_points)
+            assert got[i] == select_median_interval(interval_points, counts)
+
+    def test_median_interval_from_values_matches_reference(self):
+        rng = np.random.default_rng(3)
+        for trial in range(200):
+            m = int(rng.integers(2, 300))
+            if trial % 2:
+                values = rng.integers(0, 6, m).astype(float)
+            else:
+                values = rng.normal(size=m)
+            interval_points = sample_interval_points(values, int(rng.integers(1, 48)), rng)
+            counts, _ = searchsorted_binning(values, interval_points)
+            assert median_interval_from_values(interval_points, values) == \
+                select_median_interval(interval_points, counts)
+
+    def test_sorted_segment_matrix(self):
+        values = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+        offsets = np.array([0, 3, 5])
+        matrix, counts = sorted_segment_matrix(values, offsets)
+        assert np.array_equal(counts, [3, 2])
+        assert np.array_equal(matrix[0], [1.0, 2.0, 3.0])
+        assert np.array_equal(matrix[1][:2], [4.0, 5.0])
+        assert np.isinf(matrix[1][2])
+
+    def test_segment_indices(self):
+        starts = np.array([2, 10, 11])
+        lengths = np.array([3, 1, 2])
+        assert np.array_equal(segment_indices(starts, lengths), [2, 3, 4, 10, 11, 12])
+        assert segment_indices(np.empty(0, np.int64), np.empty(0, np.int64)).size == 0
+
+    def test_batched_rejects_empty_segments(self):
+        with pytest.raises(ValueError):
+            batched_choose_split_values(np.arange(3.0), np.array([0, 0, 3]),
+                                        "midpoint", SplitContext())
+        with pytest.raises(ValueError):
+            batched_choose_split_dimensions(np.zeros((3, 2)), np.array([0, 3, 3]),
+                                            "max_extent", SplitContext())
+
+    def test_batched_rejects_unknown_strategies(self):
+        with pytest.raises(ValueError):
+            batched_choose_split_dimensions(np.zeros((3, 2)), np.array([0, 3]),
+                                            "nope", SplitContext())
+        with pytest.raises(ValueError):
+            batched_choose_split_values(np.arange(3.0), np.array([0, 3]),
+                                        "nope", SplitContext())

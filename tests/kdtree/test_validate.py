@@ -55,3 +55,15 @@ class TestCheckTreeInvariants:
     def test_empty_tree_passes(self):
         tree = build_kdtree(np.empty((0, 2)))
         check_tree_invariants(tree)
+
+    def test_detects_stale_stats_node_count(self, small_points):
+        tree = build_kdtree(small_points)
+        tree.stats.n_nodes += 1
+        with pytest.raises(TreeInvariantError):
+            check_tree_invariants(tree)
+
+    def test_detects_stale_stats_leaf_count(self, small_points):
+        tree = build_kdtree(small_points)
+        tree.stats.n_leaves -= 1
+        with pytest.raises(TreeInvariantError):
+            check_tree_invariants(tree)
