@@ -36,6 +36,7 @@ from repro.core import (
     ReplicatedKNN,
 )
 from repro.kdtree import KDTree, KDTreeConfig, batch_knn, brute_force_knn, build_kdtree, knn_search
+from repro.service import KNNService, LocalTreeBackend, MicroBatchPolicy, PandaBackend, RebuildPolicy
 
 __version__ = "1.0.0"
 
@@ -55,4 +56,9 @@ __all__ = [
     "knn_search",
     "batch_knn",
     "brute_force_knn",
+    "KNNService",
+    "MicroBatchPolicy",
+    "RebuildPolicy",
+    "LocalTreeBackend",
+    "PandaBackend",
 ]

@@ -161,9 +161,12 @@ class BufferedKDTreeKNN:
         bound_sq = current_kth * current_kth if np.isfinite(current_kth) else np.inf
         best_leaf = None
         best_bound = np.inf
-        stack: List[Tuple[int, float]] = [(0, 0.0)]
+        # (node, squared box bound, per-dimension offsets): crossing a split
+        # replaces that dimension's previous offset so the bound stays the
+        # exact region distance (same incremental rule as knn_search).
+        stack: List[Tuple[int, float, np.ndarray]] = [(0, 0.0, np.zeros(tree.dims))]
         while stack:
-            node, lower = stack.pop()
+            node, lower, offsets = stack.pop()
             if lower >= bound_sq or lower >= best_bound:
                 continue
             dim = int(tree.split_dim[node])
@@ -176,11 +179,14 @@ class BufferedKDTreeKNN:
                     best_leaf = leaf_idx
                 continue
             delta = query[dim] - tree.split_val[node]
-            plane_sq = lower + delta * delta
+            old_offset = offsets[dim]
+            plane_sq = lower - old_offset * old_offset + delta * delta
             if delta <= 0.0:
                 closer, farther = int(tree.left[node]), int(tree.right[node])
             else:
                 closer, farther = int(tree.right[node]), int(tree.left[node])
-            stack.append((farther, plane_sq))
-            stack.append((closer, lower))
+            far_offsets = offsets.copy()
+            far_offsets[dim] = delta
+            stack.append((farther, plane_sq, far_offsets))
+            stack.append((closer, lower, offsets))
         return best_leaf

@@ -108,6 +108,35 @@ class PandaKNN:
         return index
 
     # ------------------------------------------------------------------
+    # Snapshot persistence
+    # ------------------------------------------------------------------
+    def snapshot(self, path) -> "PandaKNN":
+        """Write the fitted index to directory ``path`` (warm-start snapshot).
+
+        Persists the config, cluster shape, global tree and every rank's
+        local tree so :meth:`restore` can rebuild the index without
+        re-running construction; restored indices answer queries
+        byte-identically.  Returns ``self`` for chaining.
+        """
+        from repro.core.snapshot import write_snapshot
+
+        self._require_fitted()
+        write_snapshot(self, path)
+        return self
+
+    @classmethod
+    def restore(cls, path, machine: MachineSpec | None = None) -> "PandaKNN":
+        """Load an index previously written by :meth:`snapshot`.
+
+        The restored index starts with fresh metrics: query counters
+        accumulate normally but construction counters are zero (a warm
+        start performs no construction).
+        """
+        from repro.core.snapshot import read_snapshot
+
+        return read_snapshot(path, machine=machine)
+
+    # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
     def query(self, queries: np.ndarray, k: int | None = None) -> QueryReport:

@@ -1,0 +1,162 @@
+"""Snapshot persistence of a fitted distributed PANDA index.
+
+A fitted :class:`~repro.core.panda.PandaKNN` is fully described by its
+configuration, the cluster shape (rank count, modeled machine and thread
+count), the global kd-tree arrays and one local kd-tree per rank — the
+redistributed per-rank point sets are exactly the local trees' packed
+points.  A snapshot is therefore a directory::
+
+    snapshot/
+        panda_meta.json        # version, config, cluster shape, machine
+        global_tree.npz        # flat GlobalTree arrays
+        local_tree_0000.npz    # per-rank KDTree snapshots (npz backend)
+        local_tree_0001.npz
+        ...
+
+Restoring rebuilds the in-memory index without re-running construction:
+local trees and the global tree load byte-identically, so a restored index
+answers every query batch byte-identically to the original.  Construction
+phase counters are *not* persisted — a restored index starts with fresh
+metrics (query counters accumulate normally; the modeled construction time
+of a warm start is zero, which is the point of warm-starting).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.machine import InterconnectSpec, MachineSpec
+from repro.core.config import PandaConfig
+from repro.core.global_tree import GlobalTree
+from repro.core.local_phase import LOCAL_TREE_KEY
+from repro.kdtree.serialize import (
+    SNAPSHOT_VERSION,
+    config_from_dict,
+    config_to_dict,
+    load_kdtree,
+    save_kdtree,
+)
+
+_META_FILE = "panda_meta.json"
+_GLOBAL_FILE = "global_tree.npz"
+
+_GLOBAL_ARRAYS = ("split_dim", "split_val", "left", "right", "rank", "box_lo", "box_hi", "depth_of_rank")
+
+
+def _local_tree_file(rank: int) -> str:
+    return f"local_tree_{rank:04d}.npz"
+
+
+# ----------------------------------------------------------------------
+# Config / machine <-> JSON
+# ----------------------------------------------------------------------
+def panda_config_to_dict(config: PandaConfig) -> dict:
+    """Plain-JSON representation of a :class:`PandaConfig`."""
+    data = asdict(config)
+    data["local"] = config_to_dict(config.local)
+    return data
+
+
+def panda_config_from_dict(data: dict) -> PandaConfig:
+    """Inverse of :func:`panda_config_to_dict`."""
+    data = dict(data)
+    local = config_from_dict(data.pop("local"))
+    return PandaConfig(local=local, **data)
+
+
+def machine_to_dict(machine: MachineSpec) -> dict:
+    """Plain-JSON representation of a :class:`MachineSpec`."""
+    return asdict(machine)
+
+
+def machine_from_dict(data: dict) -> MachineSpec:
+    """Inverse of :func:`machine_to_dict`."""
+    data = dict(data)
+    interconnect = InterconnectSpec(**data.pop("interconnect"))
+    return MachineSpec(interconnect=interconnect, **data)
+
+
+# ----------------------------------------------------------------------
+# GlobalTree <-> npz
+# ----------------------------------------------------------------------
+def save_global_tree(tree: GlobalTree, path: str | Path) -> None:
+    """Write the flat global-tree arrays to an ``.npz`` file."""
+    arrays = {name: getattr(tree, name) for name in _GLOBAL_ARRAYS}
+    np.savez(Path(path), dims=np.int64(tree.dims), **arrays)
+
+
+def load_global_tree(path: str | Path) -> GlobalTree:
+    """Load a global tree written by :func:`save_global_tree`."""
+    with np.load(Path(path)) as data:
+        arrays = {name: data[name] for name in _GLOBAL_ARRAYS}
+        dims = int(data["dims"])
+    return GlobalTree(dims=dims, **arrays)
+
+
+# ----------------------------------------------------------------------
+# PandaKNN snapshot directory
+# ----------------------------------------------------------------------
+def write_snapshot(index, path: str | Path) -> Path:
+    """Write a fitted :class:`~repro.core.panda.PandaKNN` to directory ``path``."""
+    if not index.is_fitted:
+        raise RuntimeError("cannot snapshot an unfitted index; call fit(points) first")
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "n_ranks": index.n_ranks,
+        "threads_per_rank": index.cluster.threads_per_rank,
+        "machine": machine_to_dict(index.cluster.machine),
+        "config": panda_config_to_dict(index.config),
+    }
+    (root / _META_FILE).write_text(json.dumps(meta, indent=2))
+    save_global_tree(index.global_tree, root / _GLOBAL_FILE)
+    for rank in index.cluster.ranks:
+        save_kdtree(rank.store[LOCAL_TREE_KEY], root / _local_tree_file(rank.rank))
+    return root
+
+
+def read_snapshot(path: str | Path, machine: MachineSpec | None = None):
+    """Restore a :class:`~repro.core.panda.PandaKNN` from a snapshot directory.
+
+    ``machine`` overrides the persisted machine description (e.g. to model
+    the same index on different hardware); the algorithmic state is loaded
+    unchanged either way.
+    """
+    from repro.cluster.simulator import Cluster
+    from repro.core.panda import PandaKNN
+    from repro.core.query_engine import DistributedQueryEngine
+
+    root = Path(path)
+    meta_path = root / _META_FILE
+    if not meta_path.exists():
+        raise FileNotFoundError(f"no PANDA snapshot at {root} (missing {_META_FILE})")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot {root} has version {meta.get('version')!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+
+    index = PandaKNN.__new__(PandaKNN)
+    index.config = panda_config_from_dict(meta["config"])
+    index.cluster = Cluster(
+        n_ranks=int(meta["n_ranks"]),
+        machine=machine or machine_from_dict(meta["machine"]),
+        threads_per_rank=int(meta["threads_per_rank"]),
+    )
+    index.global_tree = load_global_tree(root / _GLOBAL_FILE)
+    for rank in index.cluster.ranks:
+        tree = load_kdtree(root / _local_tree_file(rank.rank))
+        rank.store[LOCAL_TREE_KEY] = tree
+        # The redistributed per-rank point set is the local tree's packed
+        # points (same set, leaf order); restore it for introspection
+        # helpers like load_imbalance and gather_points.
+        rank.set_points(tree.points, tree.ids)
+    index._engine = DistributedQueryEngine(index.cluster, index.global_tree, index.config)
+    index._fitted = True
+    return index

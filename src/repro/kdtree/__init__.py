@@ -50,7 +50,8 @@ from repro.kdtree.query import (
     brute_force_knn,
     knn_search,
 )
-from repro.kdtree.validate import check_tree_invariants
+from repro.kdtree.serialize import load_kdtree, save_kdtree
+from repro.kdtree.validate import check_snapshot_roundtrip, check_tree_invariants
 
 __all__ = [
     "BucketStore",
@@ -82,4 +83,7 @@ __all__ = [
     "brute_force_knn",
     "knn_search",
     "check_tree_invariants",
+    "check_snapshot_roundtrip",
+    "save_kdtree",
+    "load_kdtree",
 ]

@@ -3,10 +3,15 @@
 Two engines implement the same search semantics:
 
 * :func:`knn_search` — the scalar single-query traversal.  A stack of
-  ``(node, lower_bound)`` pairs drives a depth-first descent (closer child
-  first); a bounded max-heap holds the best k candidates and its maximum is
-  the pruning radius r', progressively shrunk as closer candidates are
-  found.  Leaf buckets are scanned with one vectorised distance kernel.
+  ``(node, lower_bound, offsets)`` entries drives a depth-first descent
+  (closer child first); the bound is the exact squared distance from the
+  query to the node's region, maintained incrementally by *replacing* the
+  crossed dimension's offset (ANN-style incremental distance computation —
+  summing plane distances would double-count repeated split dimensions and
+  prune subtrees that hold true neighbours).  A bounded max-heap holds the
+  best k candidates and its maximum is the pruning radius r', progressively
+  shrunk as closer candidates are found.  Leaf buckets are scanned with one
+  vectorised distance kernel.
 * :func:`batch_knn` — the vectorised batched traversal.  All queries of a
   batch advance in lockstep: per-query DFS stacks live in one
   ``(n_queries, stack_cap)`` array pair, the per-query pruning bounds are
@@ -137,10 +142,16 @@ def knn_search(
     start = tree.start
     count = tree.count
 
-    # Stack of (node index, accumulated squared lower bound).
-    stack: List[Tuple[int, float]] = [(0, 0.0)]
+    # Stack of (node, squared box lower bound, per-dimension offsets).  The
+    # bound is the exact squared distance from the query to the node's
+    # region; the offsets vector holds the query-to-region offset along
+    # every dimension so that crossing a split plane on a dimension an
+    # ancestor already split on *replaces* that dimension's contribution
+    # instead of double-counting it (naive accumulation overestimates the
+    # bound and wrongly prunes subtrees that contain true neighbours).
+    stack: List[Tuple[int, float, np.ndarray]] = [(0, 0.0, np.zeros(tree.dims))]
     while stack:
-        node, lower_bound = stack.pop()
+        node, lower_bound, offsets = stack.pop()
         # Heap pruning is strict (a tie cannot improve the heap) while the
         # radius bound is inclusive (a point exactly at r must be kept).
         if lower_bound >= heap.worst() or lower_bound > radius_sq:
@@ -167,16 +178,21 @@ def knn_search(
                         local_stats.heap_updates += 1
             continue
 
-        # Internal node: descend towards the closer child first.
+        # Internal node: descend towards the closer child first.  The
+        # farther child's bound replaces this dimension's previous offset
+        # with the (necessarily larger) distance to the new split plane.
         delta = query[dim] - split_val[node]
-        plane_sq = lower_bound + delta * delta
+        old_offset = offsets[dim]
+        plane_sq = lower_bound - old_offset * old_offset + delta * delta
         if delta <= 0.0:
             closer, farther = int(left[node]), int(right[node])
         else:
             closer, farther = int(right[node]), int(left[node])
         if plane_sq < heap.worst() and plane_sq <= radius_sq:
-            stack.append((farther, plane_sq))
-        stack.append((closer, lower_bound))
+            far_offsets = offsets.copy()
+            far_offsets[dim] = delta
+            stack.append((farther, plane_sq, far_offsets))
+        stack.append((closer, lower_bound, offsets))
 
     dists_sq, result_ids = heap.sorted_items()
     if stats is not None:
@@ -234,13 +250,19 @@ def batch_knn(
     topk = BatchTopK(n_queries, k)
     bounds = topk.bounds()  # live view: shrinks as candidates are accepted
 
-    # Per-query DFS stacks in one array pair.  A DFS stack never exceeds
+    # Per-query DFS stacks in one array set.  A DFS stack never exceeds
     # depth+1 entries (each internal pop removes one entry and pushes at
     # most two), but the arrays grow on demand should a tree violate that.
+    # Each entry carries the node, its exact squared box lower bound and
+    # the per-dimension query-to-region offsets behind that bound, so a
+    # repeated split dimension replaces its previous contribution exactly
+    # as in the scalar traversal.
     depth = tree.stats.max_depth if tree.stats.max_depth > 0 else tree.depth()
+    n_dims = tree.dims
     stack_cap = depth + 3
     stack_node = np.zeros((n_queries, stack_cap), dtype=np.int64)
     stack_lb = np.zeros((n_queries, stack_cap), dtype=np.float64)
+    stack_off = np.zeros((n_queries, stack_cap, n_dims), dtype=np.float64)
     stack_len = np.ones(n_queries, dtype=np.int64)  # every stack starts at the root
 
     active = np.arange(n_queries)
@@ -248,6 +270,7 @@ def batch_knn(
         top = stack_len[active] - 1
         nodes = stack_node[active, top]
         lbs = stack_lb[active, top]
+        pop_off = stack_off[active, top]
         stack_len[active] = top
         # Pop-time prune: strict against the heap bound, inclusive radius.
         visit = (lbs < bounds[active]) & (lbs <= radius_sq[active])
@@ -285,12 +308,14 @@ def batch_knn(
             if iq.size:
                 inodes = vnodes[~leaf_mask]
                 ilbs = lbs[visit][~leaf_mask]
+                ioffs = pop_off[visit][~leaf_mask]
                 dim = dims_v[~leaf_mask]
                 delta = queries[iq, dim] - split_val[inodes]
                 go_left = delta <= 0.0
                 closer = np.where(go_left, left[inodes], right[inodes])
                 farther = np.where(go_left, right[inodes], left[inodes])
-                plane = ilbs + delta * delta
+                old_offset = ioffs[np.arange(iq.size), dim]
+                plane = ilbs - old_offset * old_offset + delta * delta
                 push_far = (plane < bounds[iq]) & (plane <= radius_sq[iq])
 
                 need = int(stack_len[iq].max()) + 2
@@ -298,18 +323,23 @@ def batch_knn(
                     extra = need - stack_cap
                     stack_node = np.pad(stack_node, ((0, 0), (0, extra)))
                     stack_lb = np.pad(stack_lb, ((0, 0), (0, extra)))
+                    stack_off = np.pad(stack_off, ((0, 0), (0, extra), (0, 0)))
                     stack_cap = need
 
                 # Farther child below the closer one, so the closer subtree
                 # is explored first — same order as the scalar DFS.
                 fq = iq[push_far]
+                far_offs = ioffs[push_far]  # fancy indexing: already a fresh array
+                far_offs[np.arange(fq.size), dim[push_far]] = delta[push_far]
                 pos = stack_len[fq]
                 stack_node[fq, pos] = farther[push_far]
                 stack_lb[fq, pos] = plane[push_far]
+                stack_off[fq, pos] = far_offs
                 stack_len[fq] = pos + 1
                 pos = stack_len[iq]
                 stack_node[iq, pos] = closer
                 stack_lb[iq, pos] = ilbs
+                stack_off[iq, pos] = ioffs
                 stack_len[iq] = pos + 1
         active = np.flatnonzero(stack_len > 0)
 

@@ -238,6 +238,28 @@ class KDTree:
         c = int(self.count[node])
         return self.points[s : s + c], self.ids[s : s + c]
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence
+    # ------------------------------------------------------------------
+    def save(self, path, backend: str = "npz", chunk_size: int = 65536):
+        """Write this tree to ``path``; see :func:`repro.kdtree.serialize.save_kdtree`.
+
+        Returns the path actually written (the ``npz`` backend appends a
+        ``.npz`` suffix when missing).  The snapshot round-trips the node
+        arrays byte-identically, so a loaded tree answers every query batch
+        exactly as this one does.
+        """
+        from repro.kdtree.serialize import save_kdtree
+
+        return save_kdtree(self, path, backend=backend, chunk_size=chunk_size)
+
+    @staticmethod
+    def load(path) -> "KDTree":
+        """Load a tree snapshot written by :meth:`save` (either backend)."""
+        from repro.kdtree.serialize import load_kdtree
+
+        return load_kdtree(path)
+
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the tree structure and points."""
         arrays = (

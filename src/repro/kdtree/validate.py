@@ -123,3 +123,32 @@ def check_tree_invariants(tree: KDTree, strict_bucket_size: bool = False) -> Non
         raise TreeInvariantError(
             f"visited {visited_nodes} nodes but the tree stores {tree.n_nodes}"
         )
+
+
+def check_snapshot_roundtrip(original: KDTree, restored: KDTree) -> None:
+    """Certify that ``restored`` is a faithful snapshot round-trip of ``original``.
+
+    Beyond the structural invariants, a restored tree must reproduce the
+    original *bit for bit*: every flat array byte-identical (dtype, shape
+    and raw buffer), the construction config equal, and the build stats
+    (including per-phase counters) equal.  Byte-identity of the arrays is
+    what guarantees the deterministic query engines answer identically on
+    both trees.
+    """
+    from repro.kdtree.serialize import arrays_byte_identical, stats_to_dict, tree_arrays
+
+    for name in tree_arrays(original):
+        a = getattr(original, name)
+        b = getattr(restored, name)
+        if not arrays_byte_identical(a, b):
+            raise TreeInvariantError(
+                f"array {name!r} did not round-trip byte-identically: "
+                f"{a.dtype}{a.shape} vs {b.dtype}{b.shape}"
+            )
+    if original.config != restored.config:
+        raise TreeInvariantError(
+            f"config did not round-trip: {original.config} vs {restored.config}"
+        )
+    if stats_to_dict(original.stats) != stats_to_dict(restored.stats):
+        raise TreeInvariantError("build stats did not round-trip")
+    check_tree_invariants(restored)

@@ -1,0 +1,50 @@
+"""Online KNN serving on top of the PANDA index.
+
+The batch pipeline of the paper builds an index once and answers one big
+query set; this package turns it into a *service*:
+
+* :mod:`~repro.service.backends` — the indices the service can front: one
+  local kd-tree or a distributed :class:`~repro.core.panda.PandaKNN`, both
+  behind the same four-method protocol;
+* :mod:`~repro.service.service` — :class:`~repro.service.service.KNNService`
+  itself: adaptive size-or-deadline micro-batching through the vectorised
+  batch query path, an LRU result cache, per-request latency accounting,
+  and streaming inserts/deletes with a policy-driven rebuild;
+* :mod:`~repro.service.delta` — the brute-force delta buffer and tombstone
+  set that make streaming updates exact between rebuilds;
+* :mod:`~repro.service.cache` — the LRU result cache;
+* :mod:`~repro.service.trace` — open-loop arrival traces (uniform, bursty,
+  hot-key) for the throughput benchmark and the exactness tests.
+
+Snapshots (:meth:`repro.kdtree.tree.KDTree.save`,
+:meth:`repro.core.panda.PandaKNN.snapshot`) warm-start either backend, so a
+service can come up without rebuilding its index.
+"""
+
+from repro.service.backends import LocalTreeBackend, PandaBackend
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.delta import DeltaBuffer
+from repro.service.service import (
+    KNNService,
+    MicroBatchPolicy,
+    RebuildPolicy,
+    RequestRecord,
+    summarize_records,
+)
+from repro.service.trace import bursty_trace, hotkey_trace, uniform_trace
+
+__all__ = [
+    "KNNService",
+    "MicroBatchPolicy",
+    "RebuildPolicy",
+    "RequestRecord",
+    "summarize_records",
+    "LocalTreeBackend",
+    "PandaBackend",
+    "DeltaBuffer",
+    "LRUCache",
+    "CacheStats",
+    "uniform_trace",
+    "bursty_trace",
+    "hotkey_trace",
+]

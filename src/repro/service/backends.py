@@ -1,0 +1,134 @@
+"""Index backends the online service can sit on top of.
+
+:class:`~repro.service.service.KNNService` only needs four things from an
+index: answer a query batch, enumerate its points (for rebuilds), refit
+itself over a new point set, and round-trip through a snapshot.  Two
+backends provide them:
+
+* :class:`LocalTreeBackend` — one in-process kd-tree queried through the
+  vectorised :func:`~repro.kdtree.query.batch_knn`; the single-node serving
+  configuration.
+* :class:`PandaBackend` — a fitted :class:`~repro.core.panda.PandaKNN`
+  queried through the five-step distributed protocol; the scale-out
+  configuration (micro-batches become the protocol's query batches).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.panda import PandaKNN
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.query import batch_knn
+from repro.kdtree.serialize import load_kdtree, save_kdtree
+from repro.kdtree.tree import KDTree, KDTreeConfig
+
+
+class LocalTreeBackend:
+    """Single kd-tree backend (vectorised batched traversal)."""
+
+    def __init__(self, tree: KDTree) -> None:
+        self.tree = tree
+
+    @classmethod
+    def fit(
+        cls,
+        points: np.ndarray,
+        ids: np.ndarray | None = None,
+        config: KDTreeConfig | None = None,
+    ) -> "LocalTreeBackend":
+        """Build a kd-tree over ``points`` and wrap it."""
+        return cls(build_kdtree(points, ids=ids, config=config or KDTreeConfig()))
+
+    @property
+    def dims(self) -> int:
+        """Point dimensionality (0 for an empty tree)."""
+        return self.tree.dims if self.tree.n_points else int(self.tree.points.shape[1])
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self.tree.n_points
+
+    def kneighbors(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distances, ids)`` of the k nearest tree points per query row."""
+        d, i, _ = batch_knn(self.tree, queries, k)
+        return d, i
+
+    def all_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Every indexed ``(point, id)`` pair (used by rebuilds)."""
+        return self.tree.points, self.tree.ids
+
+    def refit(self, points: np.ndarray, ids: np.ndarray) -> "LocalTreeBackend":
+        """Fresh backend over a new point set, same construction config."""
+        return LocalTreeBackend(build_kdtree(points, ids=ids, config=self.tree.config))
+
+    def save(self, path) -> Path:
+        """Snapshot the tree; see :meth:`repro.kdtree.tree.KDTree.save`."""
+        return save_kdtree(self.tree, path)
+
+    @classmethod
+    def load(cls, path) -> "LocalTreeBackend":
+        """Warm-start from a kd-tree snapshot (either snapshot backend)."""
+        return cls(load_kdtree(path))
+
+
+class PandaBackend:
+    """Distributed PANDA backend (simulated multi-rank index)."""
+
+    def __init__(self, index: PandaKNN) -> None:
+        if not index.is_fitted:
+            raise ValueError("PandaBackend requires a fitted PandaKNN index")
+        self.index = index
+
+    @classmethod
+    def fit(
+        cls,
+        points: np.ndarray,
+        ids: np.ndarray | None = None,
+        n_ranks: int = 4,
+        **panda_kwargs,
+    ) -> "PandaBackend":
+        """Build a distributed index over ``points`` and wrap it."""
+        return cls(PandaKNN(n_ranks=n_ranks, **panda_kwargs).fit(points, ids))
+
+    @property
+    def dims(self) -> int:
+        """Point dimensionality of the indexed data."""
+        return int(self.index.global_tree.dims)
+
+    @property
+    def n_points(self) -> int:
+        """Total points across all ranks."""
+        return self.index.cluster.total_points()
+
+    def kneighbors(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distances, ids)`` via the distributed query protocol."""
+        return self.index.kneighbors(queries, k=k)
+
+    def all_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Gathered ``(points, ids)`` across ranks (used by rebuilds)."""
+        return self.index.cluster.gather_points(), self.index.cluster.gather_ids()
+
+    def refit(self, points: np.ndarray, ids: np.ndarray) -> "PandaBackend":
+        """Fresh distributed index over a new point set, same cluster shape."""
+        fresh = PandaKNN(
+            n_ranks=self.index.n_ranks,
+            machine=self.index.cluster.machine,
+            threads_per_rank=self.index.cluster.threads_per_rank,
+            config=self.index.config,
+        )
+        return PandaBackend(fresh.fit(points, ids))
+
+    def save(self, path) -> Path:
+        """Snapshot the index; see :meth:`repro.core.panda.PandaKNN.snapshot`."""
+        self.index.snapshot(path)
+        return Path(path)
+
+    @classmethod
+    def load(cls, path) -> "PandaBackend":
+        """Warm-start from a :meth:`repro.core.panda.PandaKNN.snapshot` directory."""
+        return cls(PandaKNN.restore(path))

@@ -1,0 +1,89 @@
+"""LRU result cache for the online KNN service.
+
+Hot-key workloads (a small set of popular queries asked over and over, the
+skewed trace of the throughput benchmark) are served from this cache without
+touching the index at all.  Entries are keyed on the exact query bytes plus
+``k``; the service clears the cache on every mutation (insert, delete,
+rebuild) so a hit is always exact with respect to the current live point
+set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping with hit/miss statistics.
+
+    A ``capacity`` of 0 disables caching (every lookup misses, puts are
+    dropped), which lets the service expose a single code path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """Return the cached value or ``None``, updating recency and stats."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) ``key``, evicting the least recent on overflow."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counted as an invalidation only when non-empty."""
+        if self._entries:
+            self._entries.clear()
+            self.stats.invalidations += 1
+
+
+def query_key(query: np.ndarray, k: int) -> Tuple[int, bytes]:
+    """Cache key of one query row: exact coordinate bytes plus ``k``."""
+    return k, np.ascontiguousarray(query, dtype=np.float64).tobytes()

@@ -1,0 +1,135 @@
+"""Streaming-update state: brute-force delta buffer plus tombstones.
+
+The index served by :class:`~repro.service.service.KNNService` is immutable
+(kd-trees are built once), so streaming updates are absorbed the classic
+LSM way:
+
+* **inserts** land in a small in-memory *delta buffer* that is searched by
+  brute force and fused into tree answers;
+* **deletes** of points that live in the tree become *tombstones* — the
+  service over-fetches ``k + len(tombstones)`` neighbours from the tree and
+  filters the dead ids out, which is exact because at most
+  ``len(tombstones)`` of the over-fetched neighbours can be dead;
+* a **rebuild** folds both into a fresh tree (see
+  :class:`~repro.service.service.RebuildPolicy`).
+
+Both structures are kept small by the rebuild policy, so the brute-force
+scan and the over-fetch stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.kdtree.query import brute_force_knn
+
+
+class DeltaBuffer:
+    """Buffered inserts (brute-force searched) and tombstoned tree ids."""
+
+    def __init__(self, dims: int) -> None:
+        if dims <= 0:
+            raise ValueError(f"dims must be positive, got {dims}")
+        self.dims = dims
+        self._points: List[np.ndarray] = []
+        self._ids: List[np.ndarray] = []
+        self._id_set: Set[int] = set()
+        self.tombstones: Set[int] = set()
+        self._dense: Tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_inserted(self) -> int:
+        """Points currently buffered."""
+        return len(self._id_set)
+
+    @property
+    def n_tombstones(self) -> int:
+        """Tree points currently marked deleted."""
+        return len(self.tombstones)
+
+    @property
+    def n_updates(self) -> int:
+        """Total un-absorbed updates (inserts + tombstones)."""
+        return self.n_inserted + self.n_tombstones
+
+    def contains(self, point_id: int) -> bool:
+        """True when ``point_id`` is buffered (and not yet deleted)."""
+        return point_id in self._id_set
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, points: np.ndarray, ids: np.ndarray) -> None:
+        """Buffer new points; ids must not collide with buffered ones."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        ids = np.asarray(ids, dtype=np.int64)
+        if points.shape[1] != self.dims:
+            raise ValueError(f"points have {points.shape[1]} dims, index has {self.dims}")
+        if ids.shape[0] != points.shape[0]:
+            raise ValueError("ids length must match number of points")
+        if ids.size and int(ids.min()) < 0:
+            raise ValueError("ids must be non-negative (-1 is the padding sentinel)")
+        fresh = set(int(i) for i in ids)
+        if len(fresh) != ids.shape[0]:
+            raise ValueError("duplicate ids within one insert batch")
+        collisions = fresh & self._id_set
+        if collisions:
+            raise ValueError(f"ids already buffered: {sorted(collisions)[:5]}")
+        self._points.append(points)
+        self._ids.append(ids)
+        self._id_set |= fresh
+        self._dense = None
+
+    def delete_buffered(self, point_id: int) -> None:
+        """Remove a buffered point by id (must be buffered)."""
+        if point_id not in self._id_set:
+            raise KeyError(f"id {point_id} is not buffered")
+        self._id_set.discard(point_id)
+        # Drop the row eagerly so a later re-insert of the same id never
+        # resurrects the stale coordinates.
+        pruned_points: List[np.ndarray] = []
+        pruned_ids: List[np.ndarray] = []
+        for pts, ids in zip(self._points, self._ids):
+            keep = ids != point_id
+            if not keep.all():
+                pts, ids = pts[keep], ids[keep]
+            if ids.size:
+                pruned_points.append(pts)
+                pruned_ids.append(ids)
+        self._points = pruned_points
+        self._ids = pruned_ids
+        self._dense = None
+
+    def add_tombstone(self, point_id: int) -> None:
+        """Mark a tree-resident point as deleted."""
+        self.tombstones.add(int(point_id))
+
+    def clear(self) -> None:
+        """Drop all buffered state (after a rebuild absorbed it)."""
+        self._points.clear()
+        self._ids.clear()
+        self._id_set.clear()
+        self.tombstones.clear()
+        self._dense = None
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def live_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(points, ids)`` of the buffered (non-deleted) inserts."""
+        if self._dense is None:
+            if self._points:
+                self._dense = (np.concatenate(self._points, axis=0), np.concatenate(self._ids))
+            else:
+                self._dense = (np.empty((0, self.dims)), np.empty(0, dtype=np.int64))
+        return self._dense
+
+    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Brute-force KNN over the buffered points (``inf``/``-1`` padded)."""
+        pts, ids = self.live_arrays()
+        return brute_force_knn(pts, ids, queries, k)

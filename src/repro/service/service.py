@@ -1,0 +1,548 @@
+"""Online KNN serving: micro-batched queries over an immutable index.
+
+:class:`KNNService` turns the batch-oriented PANDA index into an online
+front end.  Single queries are not answered one at a time — the whole point
+of the paper's vectorised traversal (and of the buffered kd-tree baseline
+it compares against) is that coalescing queries amortises traversal cost —
+so the service enqueues them and dispatches *micro-batches* under a
+size-or-deadline policy:
+
+* a batch is dispatched as soon as the queue reaches the policy's target
+  size (adaptively sized from the observed arrival rate, so the target
+  approximates "what arrives within one deadline window");
+* a request is never held longer than ``max_delay_s`` — the deadline flush
+  dispatches whatever is queued once the oldest request's deadline passes.
+
+Time is event-driven: callers stamp each request with its arrival time
+(open-loop traces do this from a generator; interactive callers may omit it)
+and the service advances a logical clock through a single-server queue
+model — dispatch happens at ``max(flush time, server free)``, completion at
+dispatch plus the *measured* wall-clock cost of the batch computation.  Per
+-request latency is completion minus arrival, so queueing, batching delay
+and compute all show up in the reported percentiles.
+
+Streaming updates (:meth:`KNNService.insert` / :meth:`KNNService.delete`)
+are absorbed by a brute-force delta buffer and a tombstone set
+(:mod:`repro.service.delta`) whose answers are fused with the tree's; a
+:class:`RebuildPolicy` folds them into a fresh index before either grows
+enough to hurt.  Every mutation invalidates the LRU result cache, so cached
+answers are always exact against the current live set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.cache import CacheStats, LRUCache, query_key
+from repro.service.delta import DeltaBuffer
+
+
+@dataclass(frozen=True)
+class MicroBatchPolicy:
+    """Size-or-deadline micro-batching parameters.
+
+    Attributes
+    ----------
+    max_batch:
+        Hard cap on queries per dispatched batch (and the fixed target when
+        ``adaptive`` is off).
+    min_batch:
+        Lower bound of the adaptive target.
+    max_delay_s:
+        Maximum time a request may wait in the queue before a deadline
+        flush dispatches it.
+    adaptive:
+        When True the target batch size tracks ``arrival_rate x
+        max_delay_s`` (clipped to ``[min_batch, max_batch]``): at low rates
+        requests go out near-immediately in small batches, under load the
+        batches grow toward the cap.
+    ewma_alpha:
+        Smoothing factor of the inter-arrival EWMA behind the adaptive
+        target.
+    """
+
+    max_batch: int = 256
+    min_batch: int = 1
+    max_delay_s: float = 1e-3
+    adaptive: bool = True
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if not 0 < self.min_batch <= self.max_batch:
+            raise ValueError(
+                f"min_batch must be in [1, max_batch], got {self.min_batch} vs {self.max_batch}"
+            )
+        if self.max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be non-negative, got {self.max_delay_s}")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+
+
+@dataclass(frozen=True)
+class RebuildPolicy:
+    """When to fold the delta buffer and tombstones into a fresh index.
+
+    Attributes
+    ----------
+    max_inserts:
+        Rebuild once this many inserted points are buffered (bounds the
+        brute-force scan the delta buffer adds to every batch).
+    max_tombstones:
+        Rebuild once this many tree points are deleted (bounds the
+        ``k + tombstones`` over-fetch the exact delete filter needs).
+    max_staleness_s:
+        Rebuild once the oldest un-absorbed update is this old (logical
+        service time), regardless of buffer sizes.
+    """
+
+    max_inserts: int = 4096
+    max_tombstones: int = 256
+    max_staleness_s: float = np.inf
+
+    def __post_init__(self) -> None:
+        if self.max_inserts <= 0:
+            raise ValueError(f"max_inserts must be positive, got {self.max_inserts}")
+        if self.max_tombstones <= 0:
+            raise ValueError(f"max_tombstones must be positive, got {self.max_tombstones}")
+        if self.max_staleness_s <= 0:
+            raise ValueError(f"max_staleness_s must be positive, got {self.max_staleness_s}")
+
+
+@dataclass
+class RequestRecord:
+    """Per-request latency accounting."""
+
+    request_id: int
+    arrival: float
+    dispatch: float
+    completion: float
+    cache_hit: bool
+    batch_size: int
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: completion minus arrival."""
+        return self.completion - self.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting before dispatch."""
+        return self.dispatch - self.arrival
+
+
+def summarize_records(records: Sequence[RequestRecord]) -> Dict[str, float]:
+    """p50/p99 latency, QPS and batching statistics of a request log."""
+    if not records:
+        return {
+            "n_requests": 0.0,
+            "p50_latency_s": 0.0,
+            "p99_latency_s": 0.0,
+            "mean_latency_s": 0.0,
+            "max_latency_s": 0.0,
+            "qps": 0.0,
+            "cache_hit_rate": 0.0,
+            "mean_batch_size": 0.0,
+        }
+    latencies = np.array([r.latency for r in records])
+    arrivals = np.array([r.arrival for r in records])
+    completions = np.array([r.completion for r in records])
+    hits = np.array([r.cache_hit for r in records])
+    batch_sizes = np.array([r.batch_size for r in records if not r.cache_hit])
+    span = float(completions.max() - arrivals.min())
+    return {
+        "n_requests": float(len(records)),
+        "p50_latency_s": float(np.percentile(latencies, 50)),
+        "p99_latency_s": float(np.percentile(latencies, 99)),
+        "mean_latency_s": float(latencies.mean()),
+        "max_latency_s": float(latencies.max()),
+        "qps": float(len(records) / span) if span > 0 else float("inf"),
+        "cache_hit_rate": float(hits.mean()),
+        "mean_batch_size": float(batch_sizes.mean()) if batch_sizes.size else 0.0,
+    }
+
+
+@dataclass
+class _Pending:
+    request_id: int
+    arrival: float
+    k: int
+    query: np.ndarray
+
+
+class KNNService:
+    """Online KNN front end: micro-batching, result cache, streaming updates.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.service.backends.LocalTreeBackend` or
+        :class:`~repro.service.backends.PandaBackend` (anything with
+        ``kneighbors`` / ``all_points`` / ``refit`` / ``dims``).
+    k:
+        Default neighbours per query.
+    batch_policy, rebuild_policy:
+        Micro-batching and rebuild parameters (sensible defaults).
+    cache_capacity:
+        LRU result-cache entries (0 disables caching).
+    service_time:
+        Optional ``batch_size -> seconds`` model replacing the measured
+        wall-clock batch cost — injected by tests that need a
+        deterministic logical clock.  ``None`` (default) measures real
+        compute time.
+    """
+
+    def __init__(
+        self,
+        backend,
+        k: int = 5,
+        batch_policy: MicroBatchPolicy | None = None,
+        rebuild_policy: RebuildPolicy | None = None,
+        cache_capacity: int = 4096,
+        service_time: Callable[[int], float] | None = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if backend.dims <= 0:
+            raise ValueError("backend must index at least 1-dimensional points")
+        self.backend = backend
+        self.k = k
+        self.batch_policy = batch_policy or MicroBatchPolicy()
+        self.rebuild_policy = rebuild_policy or RebuildPolicy()
+        self.cache = LRUCache(cache_capacity)
+        self.delta = DeltaBuffer(backend.dims)
+        self.records: List[RequestRecord] = []
+        self.version = 0
+        self.rebuilds = 0
+        self.rebuild_seconds = 0.0
+        self._service_time = service_time
+        self._pending: List[_Pending] = []
+        self._results: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._now = 0.0
+        self._server_free_at = 0.0
+        self._next_request_id = 0
+        self._last_arrival: float | None = None
+        self._ewma_gap: float | None = None
+        self._first_dirty_at: float | None = None
+        self._reindex_ids()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current logical time (max event time seen so far)."""
+        return self._now
+
+    @property
+    def n_pending(self) -> int:
+        """Requests queued but not yet dispatched."""
+        return len(self._pending)
+
+    @property
+    def n_live(self) -> int:
+        """Points currently visible to queries (tree - tombstones + delta)."""
+        return self.backend.n_points - self.delta.n_tombstones + self.delta.n_inserted
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss statistics of the result cache."""
+        return self.cache.stats
+
+    def target_batch_size(self) -> int:
+        """Current micro-batch target under the (possibly adaptive) policy."""
+        policy = self.batch_policy
+        if not policy.adaptive or self._ewma_gap is None or self._ewma_gap <= 0:
+            return policy.max_batch
+        target = int(policy.max_delay_s / self._ewma_gap)
+        return int(np.clip(target, policy.min_batch, policy.max_batch))
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Summary statistics over every completed request."""
+        return summarize_records(self.records)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(self, query: np.ndarray, k: int | None = None, at: float | None = None) -> int:
+        """Enqueue one query; returns its request id.
+
+        ``at`` is the arrival timestamp and must be non-decreasing across
+        calls; omitting it models a closed-loop caller whose request
+        arrives once the server finished its previous work.  The request
+        completes immediately on a cache hit, otherwise when its
+        micro-batch is dispatched (size trigger, deadline flush, or an
+        explicit :meth:`flush` / :meth:`drain`).
+        """
+        k = self.k if k is None else k
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self.backend.dims:
+            raise ValueError(f"query has {query.shape[0]} dims, index has {self.backend.dims}")
+        arrival = self._advance(at)
+        self._note_arrival(arrival)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+
+        cached = self.cache.get(query_key(query, k))
+        if cached is not None:
+            d, i = cached
+            self._results[request_id] = (d.copy(), i.copy())
+            self.records.append(
+                RequestRecord(request_id, arrival, arrival, arrival, cache_hit=True, batch_size=0)
+            )
+            return request_id
+
+        self._pending.append(_Pending(request_id, arrival, k, query))
+        if len(self._pending) >= self.target_batch_size():
+            self._dispatch(arrival)
+        return request_id
+
+    def query(
+        self, query: np.ndarray, k: int | None = None, at: float | None = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Interactive single query: submit, flush, return ``(distances, ids)``."""
+        request_id = self.submit(query, k=k, at=at)
+        if request_id not in self._results:
+            self._dispatch(self._now)
+        return self.result(request_id)
+
+    def result(self, request_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distances, ids)`` of a completed request."""
+        if request_id not in self._results:
+            raise KeyError(f"request {request_id} has no result (still pending?)")
+        return self._results[request_id]
+
+    def flush(self, at: float | None = None) -> int:
+        """Dispatch everything queued; returns the number dispatched."""
+        now = self._advance(at)
+        return self._dispatch(now)
+
+    def drain(self, at: float | None = None) -> int:
+        """Alias of :meth:`flush` for end-of-trace use."""
+        return self.flush(at)
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+    def insert(self, points: np.ndarray, ids: np.ndarray | None = None, at: float | None = None) -> np.ndarray:
+        """Add points to the live set; returns their ids.
+
+        Queued queries are flushed first (they answer against the pre-update
+        set), the result cache is invalidated, and a rebuild runs if the
+        delta buffer crossed its policy threshold.  Auto-assigned ids
+        continue above the largest id ever indexed.
+        """
+        now = self._advance(at)
+        self._dispatch(now)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if ids is None:
+            ids = np.arange(self._next_auto_id, self._next_auto_id + points.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            live_backend = [
+                int(i) for i in ids
+                if int(i) in self._backend_ids and int(i) not in self.delta.tombstones
+            ]
+            if live_backend:
+                raise ValueError(f"ids already indexed: {live_backend[:5]}")
+        self.delta.insert(points, ids)
+        if ids.size:
+            self._next_auto_id = max(self._next_auto_id, int(ids.max()) + 1)
+        self._mark_dirty(now)
+        self._maybe_rebuild(now)
+        return ids
+
+    def delete(self, ids: np.ndarray | Sequence[int], at: float | None = None) -> None:
+        """Remove points by id (buffered inserts or tree-resident points).
+
+        Tree-resident points become tombstones filtered out of every answer
+        until a rebuild physically drops them; unknown ids raise
+        ``KeyError``.
+        """
+        now = self._advance(at)
+        self._dispatch(now)
+        id_list = [int(i) for i in np.asarray(ids, dtype=np.int64).ravel()]
+        # Validate the whole batch before mutating anything, so a bad id
+        # cannot leave the delete half-applied with a stale cache.
+        seen: set[int] = set()
+        for point_id in id_list:
+            live = self.delta.contains(point_id) or (
+                point_id in self._backend_ids and point_id not in self.delta.tombstones
+            )
+            if not live or point_id in seen:
+                raise KeyError(f"id {point_id} is not in the live set")
+            seen.add(point_id)
+        for point_id in id_list:
+            if self.delta.contains(point_id):
+                self.delta.delete_buffered(point_id)
+            else:
+                self.delta.add_tombstone(point_id)
+        self._mark_dirty(now)
+        self._maybe_rebuild(now)
+
+    def rebuild(self, at: float | None = None) -> None:
+        """Fold tombstones and the delta buffer into a freshly built index."""
+        now = self._advance(at)
+        self._dispatch(now)
+        self._rebuild_now(now)
+
+    def _rebuild_now(self, now: float) -> None:
+        tree_points, tree_ids = self.backend.all_points()
+        if self.delta.n_tombstones:
+            tomb = np.fromiter(self.delta.tombstones, dtype=np.int64, count=self.delta.n_tombstones)
+            live = ~np.isin(tree_ids, tomb)
+            tree_points, tree_ids = tree_points[live], tree_ids[live]
+        delta_points, delta_ids = self.delta.live_arrays()
+        points = np.concatenate([tree_points, delta_points], axis=0)
+        ids = np.concatenate([tree_ids, delta_ids])
+        if points.shape[0] == 0:
+            raise RuntimeError("cannot rebuild over an empty live set")
+        started = time.perf_counter()
+        self.backend = self.backend.refit(points, ids)
+        elapsed = time.perf_counter() - started
+        if self._service_time is not None:
+            elapsed = float(self._service_time(points.shape[0]))
+        self.rebuilds += 1
+        self.rebuild_seconds += elapsed
+        # The single server is busy rebuilding: queries arriving meanwhile
+        # queue behind it.
+        self._server_free_at = max(self._server_free_at, now) + elapsed
+        self.delta.clear()
+        self.cache.clear()
+        self.version += 1
+        self._first_dirty_at = None
+        self._reindex_ids()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance(self, at: float | None) -> float:
+        """Move the logical clock to ``at``, firing deadline flushes and
+        staleness rebuilds that were due on the way.
+
+        ``at=None`` models a closed-loop caller: the event happens once the
+        server finished its previous work (open-loop traces always pass
+        explicit arrival timestamps instead).
+        """
+        now = max(self._now, self._server_free_at) if at is None else float(at)
+        if now < self._now:
+            raise ValueError(f"time went backwards: {now} < {self._now}")
+        policy = self.batch_policy
+        while self._pending:
+            deadline = self._pending[0].arrival + policy.max_delay_s
+            if deadline > now:
+                break
+            self._dispatch(deadline)
+        if (
+            self._first_dirty_at is not None
+            and now - self._first_dirty_at >= self.rebuild_policy.max_staleness_s
+            and self.n_live > 0
+        ):
+            self._dispatch(now)
+            self._rebuild_now(now)
+        self._now = max(self._now, now)
+        return now
+
+    def _note_arrival(self, arrival: float) -> None:
+        if self._last_arrival is not None:
+            gap = max(arrival - self._last_arrival, 1e-9)
+            alpha = self.batch_policy.ewma_alpha
+            self._ewma_gap = gap if self._ewma_gap is None else (1 - alpha) * self._ewma_gap + alpha * gap
+        self._last_arrival = arrival
+
+    def _dispatch(self, flush_time: float) -> int:
+        """Dispatch every queued request that arrived by ``flush_time``."""
+        split = 0
+        while split < len(self._pending) and self._pending[split].arrival <= flush_time:
+            split += 1
+        batch = self._pending[:split]
+        if not batch:
+            return 0
+        self._pending = self._pending[split:]
+
+        dispatch_start = max(flush_time, self._server_free_at)
+        started = time.perf_counter()
+        answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for k in sorted({r.k for r in batch}):
+            group = [r for r in batch if r.k == k]
+            queries = np.stack([r.query for r in group])
+            d, i = self._answer(queries, k)
+            for row, r in enumerate(group):
+                answers[r.request_id] = (d[row], i[row])
+        elapsed = time.perf_counter() - started
+        if self._service_time is not None:
+            elapsed = float(self._service_time(len(batch)))
+        completion = dispatch_start + elapsed
+        self._server_free_at = completion
+        self._now = max(self._now, flush_time)
+
+        for r in batch:
+            d_row, i_row = answers[r.request_id]
+            self._results[r.request_id] = (d_row, i_row)
+            # The cache owns its copies: a caller mutating a returned answer
+            # in place must not poison later hits (hits copy on read too).
+            self.cache.put(query_key(r.query, r.k), (d_row.copy(), i_row.copy()))
+            self.records.append(
+                RequestRecord(
+                    r.request_id, r.arrival, dispatch_start, completion,
+                    cache_hit=False, batch_size=len(batch),
+                )
+            )
+        return len(batch)
+
+    def _answer(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact live-set KNN: over-fetched tree answers (tombstones
+        filtered) fused with the delta buffer's brute-force answers."""
+        n_tomb = self.delta.n_tombstones
+        d_tree, i_tree = self.backend.kneighbors(queries, k + n_tomb)
+        if n_tomb:
+            tomb = np.fromiter(self.delta.tombstones, dtype=np.int64, count=n_tomb)
+            dead = np.isin(i_tree, tomb)
+            d_tree = np.where(dead, np.inf, d_tree)
+            i_tree = np.where(dead, -1, i_tree)
+        if self.delta.n_inserted:
+            d_delta, i_delta = self.delta.query(queries, k)
+            all_d = np.concatenate([d_tree, d_delta], axis=1)
+            all_i = np.concatenate([i_tree, i_delta], axis=1)
+        elif n_tomb:
+            all_d, all_i = d_tree, i_tree
+        else:
+            return d_tree, i_tree
+        all_d = np.where(all_i >= 0, all_d, np.inf)
+        order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+        out_d = np.take_along_axis(all_d, order, axis=1)
+        out_i = np.take_along_axis(all_i, order, axis=1)
+        out_i = np.where(np.isfinite(out_d), out_i, -1)
+        return out_d, out_i
+
+    def _mark_dirty(self, now: float) -> None:
+        self.cache.clear()
+        if self._first_dirty_at is None:
+            self._first_dirty_at = now
+
+    def _maybe_rebuild(self, now: float) -> None:
+        policy = self.rebuild_policy
+        if self.n_live == 0:
+            # Nothing to build a tree over; stay on the buffered state until
+            # an insert makes the live set non-empty again.
+            return
+        if (
+            self.delta.n_inserted >= policy.max_inserts
+            or self.delta.n_tombstones >= policy.max_tombstones
+        ):
+            self._rebuild_now(now)
+
+    def _reindex_ids(self) -> None:
+        _, ids = self.backend.all_points()
+        self._backend_ids = frozenset(int(i) for i in ids)
+        # Auto ids only ever move forward: an id freed by a delete + rebuild
+        # must not be reassigned to a different point.
+        floor = int(ids.max()) + 1 if ids.size else 0
+        self._next_auto_id = max(getattr(self, "_next_auto_id", 0), floor)

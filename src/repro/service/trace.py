@@ -1,0 +1,110 @@
+"""Open-loop arrival traces for the serving benchmark and tests.
+
+A trace is ``(arrival_times, queries)``: monotonically non-decreasing
+arrival timestamps (seconds) and one query row per arrival.  Traces are
+*open loop* — arrivals do not wait for completions, so queueing delay shows
+up honestly in the measured latencies when the service falls behind.
+
+Three arrival processes cover the serving regimes the service's policies
+target:
+
+* :func:`uniform_trace` — Poisson arrivals at a constant rate (the steady
+  state the adaptive batch sizing converges on);
+* :func:`bursty_trace` — on/off periods alternating a high burst rate with
+  a quiet base rate (stresses the deadline flush and queue drain);
+* :func:`hotkey_trace` — a Zipf-skewed key popularity over a small query
+  pool (exercises the LRU result cache).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _sample_queries(pool: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    idx = rng.integers(0, pool.shape[0], size=n)
+    return pool[idx]
+
+
+def uniform_trace(
+    n: int,
+    rate: float,
+    pool: np.ndarray,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Poisson arrivals at ``rate`` requests/second, queries drawn from ``pool``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    times = np.cumsum(gaps)
+    return times, _sample_queries(pool, n, rng)
+
+
+def bursty_trace(
+    n: int,
+    base_rate: float,
+    burst_rate: float,
+    pool: np.ndarray,
+    burst_every: int = 200,
+    burst_len: int = 100,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """On/off arrivals: every ``burst_every`` requests, ``burst_len`` of them
+    arrive at ``burst_rate`` instead of ``base_rate``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ValueError("rates must be positive")
+    if burst_every <= 0 or burst_len <= 0:
+        raise ValueError("burst shape parameters must be positive")
+    rng = np.random.default_rng(seed)
+    in_burst = (np.arange(n) % burst_every) < burst_len
+    rates = np.where(in_burst, burst_rate, base_rate)
+    gaps = rng.exponential(1.0, size=n) / rates
+    times = np.cumsum(gaps)
+    return times, _sample_queries(pool, n, rng)
+
+
+def hotkey_trace(
+    n: int,
+    rate: float,
+    pool: np.ndarray,
+    n_hot: int = 32,
+    hot_fraction: float = 0.9,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skewed popularity: ``hot_fraction`` of requests hit ``n_hot`` fixed
+    pool rows (Zipf-weighted), the rest draw uniformly from the whole pool.
+
+    Repeated identical queries are what an LRU result cache absorbs, so
+    this trace is the cache's showcase (and its exactness stressor: the
+    service must still return exact answers for the cold tail).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    n_hot = min(n_hot, pool.shape[0])
+    if n_hot <= 0:
+        raise ValueError("pool must be non-empty")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    times = np.cumsum(gaps)
+    # Zipf weights over the hot set: popularity ~ 1/rank.
+    weights = 1.0 / np.arange(1, n_hot + 1)
+    weights /= weights.sum()
+    hot_rows = rng.choice(pool.shape[0], size=n_hot, replace=False)
+    is_hot = rng.random(n) < hot_fraction
+    picks = np.where(
+        is_hot,
+        hot_rows[rng.choice(n_hot, size=n, p=weights)],
+        rng.integers(0, pool.shape[0], size=n),
+    )
+    return times, pool[picks]

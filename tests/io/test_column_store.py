@@ -95,3 +95,59 @@ class TestRead:
             slab = store.read_rank_slab(["dim0", "dim1", "dim2"], rank.rank, 4)
             rank.set_points(slab)
         assert cluster.total_points() == small_points.shape[0]
+
+
+class TestRankSlabEdgeCases:
+    """Edge cases of read_rank_slab that the snapshot path leans on."""
+
+    def test_fewer_rows_than_ranks(self, store):
+        # 3 rows over 8 ranks: some slabs must be empty, all must concatenate
+        # back to the dataset, and empty slabs keep the 2-D column shape.
+        points = np.arange(6.0).reshape(3, 2)
+        store.write_points(points)
+        slabs = [store.read_rank_slab(["dim0", "dim1"], r, 8) for r in range(8)]
+        assert sum(s.shape[0] for s in slabs) == 3
+        for s in slabs:
+            assert s.ndim == 2 and s.shape[1] == 2
+        assert np.allclose(np.concatenate(slabs), points)
+
+    def test_uneven_slabs_differ_by_at_most_one(self, store):
+        points = np.random.default_rng(7).normal(size=(10, 2))
+        store.write_points(points)
+        sizes = [store.read_rank_slab(["dim0", "dim1"], r, 3).shape[0] for r in range(3)]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+        slabs = [store.read_rank_slab(["dim0", "dim1"], r, 3) for r in range(3)]
+        assert np.allclose(np.concatenate(slabs), points)
+
+    def test_single_rank_gets_everything(self, store):
+        points = np.random.default_rng(8).normal(size=(42, 3))
+        store.write_points(points)
+        slab = store.read_rank_slab(["dim0", "dim1", "dim2"], 0, 1)
+        assert np.allclose(slab, points)
+
+    def test_empty_dataset_all_ranks_empty(self, store):
+        store.write({"x": np.empty(0), "y": np.empty(0)})
+        for r in range(4):
+            slab = store.read_rank_slab(["x", "y"], r, 4)
+            assert slab.shape[0] == 0 and slab.ndim == 2
+
+    def test_empty_slab_preserves_dtype(self, store):
+        # With 3 rows over 8 ranks the first slab is empty ([0, 0)).
+        store.write({"ids": np.arange(3, dtype=np.int64)})
+        empty = store.read_rank_slab(["ids"], 0, 8)
+        assert empty.shape[0] == 0
+        assert empty.dtype == np.int64
+
+    def test_slabs_cross_chunk_boundaries(self, tmp_path):
+        # chunk_size smaller than slab size: each slab spans several chunks.
+        store = ColumnStore(tmp_path / "tiny_chunks", chunk_size=7)
+        data = np.arange(100.0)
+        store.write({"x": data})
+        slabs = [store.read_rank_slab(["x"], r, 4) for r in range(4)]
+        assert np.allclose(np.concatenate(slabs).ravel(), data)
+
+    def test_negative_rank_rejected(self, store):
+        store.write({"x": np.arange(10.0)})
+        with pytest.raises(ValueError):
+            store.read_rank_slab(["x"], -1, 4)

@@ -401,3 +401,61 @@ class TestQueryAcrossConfigurations:
         d, _, _ = batch_knn(tree, queries, 5)
         bd, _ = brute_force_knn(points, np.arange(points.shape[0]), queries, 5)
         assert np.allclose(d, bd)
+
+
+class TestRepeatedSplitDimensionBound:
+    """Regression tests for the traversal lower bound on repeated split dims.
+
+    The bound of a farther child must *replace* the crossed dimension's
+    previous offset (exact box distance), not add another plane distance on
+    top of it: summing overestimates the bound whenever an ancestor already
+    split on the same dimension and wrongly prunes subtrees holding true
+    neighbours.  One-dimensional data splits on the same dimension at every
+    level, which makes it the sharpest trigger.
+    """
+
+    @pytest.mark.parametrize("seed,k", [(1, 3), (2, 5), (3, 3), (4, 4), (5, 5)])
+    def test_1d_deep_trees_match_brute_force(self, seed, k):
+        # Deep single-dimension trees queried from outside the domain: every
+        # far-side descent crosses a plane on the already-crossed dimension,
+        # so a summed bound overshoots by the previous offset squared.  Each
+        # of these (seed, k) pairs returned a wrong neighbour set under the
+        # old accumulation rule.
+        rng = np.random.default_rng(seed)
+        n = 24
+        points = np.sort(rng.uniform(0, 100, size=n))[:, None]
+        tree = build_kdtree(
+            points, config=KDTreeConfig(bucket_size=1, split_value_strategy="exact_median")
+        )
+        queries = rng.uniform(-20, 120, size=(16, 1))
+        ref_d, _ = brute_force_knn(points, np.arange(n), queries, k)
+        d_vec, _, _ = batch_knn(tree, queries, k)
+        assert np.allclose(d_vec, ref_d)
+        for qi in range(queries.shape[0]):
+            res = knn_search(tree, queries[qi], k)
+            assert np.allclose(res.distances, ref_d[qi, : res.k_found])
+
+    def test_clustered_3d_matches_brute_force(self):
+        from repro.datasets.cosmology import cosmology_particles
+
+        points = cosmology_particles(4000, seed=11)
+        rng = np.random.default_rng(3)
+        queries = points[rng.choice(4000, size=300, replace=False)] + rng.normal(
+            scale=0.05, size=(300, 3)
+        )
+        tree = build_kdtree(points)
+        ref_d, _ = brute_force_knn(points, np.arange(4000), queries, 8)
+        d_vec, _, _ = batch_knn(tree, queries, 8)
+        assert np.allclose(d_vec, ref_d)
+
+    def test_bound_is_exact_box_distance_under_radius(self):
+        # With the exact bound, a radius search must return every in-range
+        # point even when the radius ball straddles repeated splits.
+        rng = np.random.default_rng(9)
+        points = np.sort(rng.uniform(0, 1, size=256))[:, None]
+        tree = build_kdtree(points, config=KDTreeConfig(bucket_size=2))
+        query = np.array([0.5])
+        radius = 0.25
+        in_range = np.flatnonzero(np.abs(points[:, 0] - query[0]) <= radius)
+        res = knn_search(tree, query, k=in_range.size, radius=radius)
+        assert res.k_found == in_range.size

@@ -1,0 +1,377 @@
+"""Unit tests for the online service: cache, batching, latency, updates."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree.query import brute_force_knn
+from repro.service import (
+    KNNService,
+    LocalTreeBackend,
+    LRUCache,
+    MicroBatchPolicy,
+    RebuildPolicy,
+    summarize_records,
+)
+from repro.service.cache import query_key
+from repro.service.delta import DeltaBuffer
+
+
+@pytest.fixture(scope="module")
+def backend(small_points):
+    return LocalTreeBackend.fit(small_points)
+
+
+def make_service(backend, **kwargs):
+    kwargs.setdefault("service_time", lambda n: 0.001)  # deterministic clock
+    return KNNService(backend, **kwargs)
+
+
+class TestLRUCache:
+    def test_hit_miss_and_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b" (least recent)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.hits == 3
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear_counts_invalidation(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats.invalidations == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_query_key_distinguishes_k(self):
+        q = np.array([1.0, 2.0])
+        assert query_key(q, 3) != query_key(q, 4)
+        assert query_key(q, 3) == query_key(q.copy(), 3)
+
+
+class TestDeltaBuffer:
+    def test_insert_query_delete(self):
+        buf = DeltaBuffer(dims=2)
+        buf.insert(np.array([[0.0, 0.0], [1.0, 1.0]]), np.array([10, 11]))
+        d, i = buf.query(np.array([[0.1, 0.0]]), k=2)
+        assert i[0, 0] == 10
+        buf.delete_buffered(10)
+        d, i = buf.query(np.array([[0.1, 0.0]]), k=2)
+        assert i[0, 0] == 11 and i[0, 1] == -1
+        assert buf.n_inserted == 1
+
+    def test_reinsert_after_delete_uses_new_coords(self):
+        buf = DeltaBuffer(dims=1)
+        buf.insert(np.array([[0.0]]), np.array([7]))
+        buf.delete_buffered(7)
+        buf.insert(np.array([[5.0]]), np.array([7]))
+        pts, ids = buf.live_arrays()
+        assert pts.shape == (1, 1) and pts[0, 0] == 5.0 and ids[0] == 7
+
+    def test_duplicate_ids_rejected(self):
+        buf = DeltaBuffer(dims=1)
+        buf.insert(np.array([[0.0]]), np.array([1]))
+        with pytest.raises(ValueError):
+            buf.insert(np.array([[1.0]]), np.array([1]))
+        with pytest.raises(ValueError):
+            buf.insert(np.array([[1.0], [2.0]]), np.array([5, 5]))
+
+    def test_unknown_delete_rejected(self):
+        buf = DeltaBuffer(dims=1)
+        with pytest.raises(KeyError):
+            buf.delete_buffered(99)
+
+
+class TestMicroBatching:
+    def test_size_trigger_dispatches_full_batch(self, backend, small_points):
+        policy = MicroBatchPolicy(max_batch=8, max_delay_s=10.0, adaptive=False)
+        service = make_service(backend, batch_policy=policy, cache_capacity=0)
+        for j in range(8):
+            service.submit(small_points[j], at=float(j) * 1e-4)
+        assert service.n_pending == 0  # size trigger fired on the 8th
+        assert all(r.batch_size == 8 for r in service.records)
+
+    def test_deadline_flush(self, backend, small_points):
+        policy = MicroBatchPolicy(max_batch=100, max_delay_s=0.01, adaptive=False)
+        service = make_service(backend, batch_policy=policy, cache_capacity=0)
+        service.submit(small_points[0], at=0.0)
+        service.submit(small_points[1], at=0.001)
+        assert service.n_pending == 2
+        # Advancing past the oldest deadline (0.01) flushes both.
+        service.submit(small_points[2], at=0.05)
+        assert service.n_pending == 1
+        first_two = service.records[:2]
+        assert all(r.dispatch == pytest.approx(0.01) for r in first_two)
+
+    def test_deadline_flush_excludes_later_arrivals(self, backend, small_points):
+        policy = MicroBatchPolicy(max_batch=100, max_delay_s=0.01, adaptive=False)
+        service = make_service(backend, batch_policy=policy, cache_capacity=0)
+        service.submit(small_points[0], at=0.0)
+        service.submit(small_points[1], at=0.02)  # deadline of q0 passed at 0.01
+        # q0 flushed alone at its deadline; q1 still pending.
+        assert service.n_pending == 1
+        assert service.records[0].batch_size == 1
+        assert service.records[0].dispatch == pytest.approx(0.01)
+
+    def test_adaptive_target_tracks_arrival_rate(self, backend, small_points):
+        policy = MicroBatchPolicy(max_batch=64, min_batch=2, max_delay_s=0.01)
+        service = make_service(backend, batch_policy=policy, cache_capacity=0)
+        # 1 kHz arrivals -> ~10 per 10 ms window.
+        for j in range(30):
+            service.submit(small_points[j], at=j * 1e-3)
+        assert 2 <= service.target_batch_size() <= 64
+        assert service.target_batch_size() == pytest.approx(10, abs=3)
+
+    def test_flush_dispatches_everything(self, backend, small_points):
+        service = make_service(backend, cache_capacity=0)
+        for j in range(5):
+            service.submit(small_points[j], at=0.0)
+        dispatched = service.flush()
+        assert dispatched == 5
+        assert service.n_pending == 0
+        for j in range(5):
+            d, i = service.result(j)
+            assert i[0] == j
+
+    def test_mixed_k_in_one_batch(self, backend, small_points):
+        service = make_service(backend, cache_capacity=0)
+        r3 = service.submit(small_points[0], k=3, at=0.0)
+        r7 = service.submit(small_points[0], k=7, at=0.0)
+        service.flush()
+        assert service.result(r3)[0].shape == (3,)
+        assert service.result(r7)[0].shape == (7,)
+
+    def test_time_cannot_go_backwards(self, backend, small_points):
+        service = make_service(backend)
+        service.submit(small_points[0], at=5.0)
+        with pytest.raises(ValueError):
+            service.submit(small_points[1], at=4.0)
+
+    def test_pending_result_unavailable(self, backend, small_points):
+        policy = MicroBatchPolicy(max_batch=100, max_delay_s=10.0, adaptive=False)
+        service = make_service(backend, batch_policy=policy)
+        rid = service.submit(small_points[0], at=0.0)
+        with pytest.raises(KeyError):
+            service.result(rid)
+
+
+class TestLatencyAccounting:
+    def test_single_server_queueing(self, backend, small_points):
+        # Each batch takes 1 ms; three size-1 batches arriving at once must
+        # serialise: completions at 1, 2 and 3 ms.
+        policy = MicroBatchPolicy(max_batch=1, max_delay_s=10.0, adaptive=False)
+        service = make_service(backend, batch_policy=policy, cache_capacity=0)
+        for _ in range(3):
+            service.submit(small_points[0], at=0.0)
+        completions = sorted(r.completion for r in service.records)
+        assert completions == pytest.approx([0.001, 0.002, 0.003])
+
+    def test_cache_hit_completes_instantly(self, backend, small_points):
+        service = make_service(backend, cache_capacity=16)
+        service.query(small_points[0], at=0.0)
+        rid = service.submit(small_points[0], at=1.0)
+        record = next(r for r in service.records if r.request_id == rid)
+        assert record.cache_hit
+        assert record.latency == 0.0
+
+    def test_summary_shape(self, backend, small_points):
+        service = make_service(backend, cache_capacity=16)
+        for j in range(10):
+            service.submit(small_points[j % 3], at=j * 1e-4)
+        service.drain()
+        summary = service.latency_summary()
+        assert summary["n_requests"] == 10
+        assert summary["p99_latency_s"] >= summary["p50_latency_s"] >= 0.0
+        assert summary["qps"] > 0
+        assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+
+    def test_empty_summary(self):
+        summary = summarize_records([])
+        assert summary["n_requests"] == 0.0
+        assert summary["qps"] == 0.0
+
+
+class TestStreamingUpdates:
+    def test_insert_then_query_sees_new_point(self, backend, small_points):
+        service = make_service(backend, k=3)
+        far = small_points.max(axis=0) + 5.0
+        (new_id,) = service.insert(far[None, :], at=0.0)
+        d, i = service.query(far, at=1.0)
+        assert i[0] == new_id and d[0] == 0.0
+
+    def test_delete_tree_point_disappears(self, backend, small_points):
+        service = make_service(backend, k=2)
+        service.delete([13])
+        d, i = service.query(small_points[13])
+        assert 13 not in i
+        assert np.isfinite(d).all()
+
+    def test_delete_unknown_id_rejected(self, backend, small_points):
+        service = make_service(backend)
+        with pytest.raises(KeyError):
+            service.delete([10_000_000])
+        with pytest.raises(KeyError):  # double delete
+            service.delete([5])
+            service.delete([5])
+
+    def test_colliding_insert_id_rejected(self, backend, small_points):
+        service = make_service(backend)
+        with pytest.raises(ValueError):
+            service.insert(small_points[:1], ids=np.array([0]))
+
+    def test_mutations_invalidate_cache(self, backend, small_points):
+        service = make_service(backend, k=2, cache_capacity=16)
+        q = small_points[0]
+        service.query(q, at=0.0)
+        rid = service.submit(q, at=0.1)
+        assert next(r for r in service.records if r.request_id == rid).cache_hit
+        service.insert((q + 1e-6)[None, :], at=0.2)
+        rid2 = service.submit(q, at=0.3)
+        service.flush()
+        assert not next(r for r in service.records if r.request_id == rid2).cache_hit
+
+    def test_insert_threshold_triggers_rebuild(self, backend, small_points):
+        rng = np.random.default_rng(0)
+        service = make_service(
+            backend, rebuild_policy=RebuildPolicy(max_inserts=10, max_tombstones=100)
+        )
+        service.insert(rng.normal(size=(9, 3)))
+        assert service.rebuilds == 0 and service.delta.n_inserted == 9
+        service.insert(rng.normal(size=(1, 3)))
+        assert service.rebuilds == 1
+        assert service.delta.n_inserted == 0
+        assert service.backend.n_points == small_points.shape[0] + 10
+
+    def test_tombstone_threshold_triggers_rebuild(self, backend, small_points):
+        service = make_service(
+            backend, rebuild_policy=RebuildPolicy(max_inserts=1000, max_tombstones=4)
+        )
+        service.delete([1, 2, 3])
+        assert service.rebuilds == 0
+        service.delete([4])
+        assert service.rebuilds == 1
+        assert service.delta.n_tombstones == 0
+        assert service.backend.n_points == small_points.shape[0] - 4
+
+    def test_staleness_triggers_rebuild(self, backend, small_points):
+        service = make_service(
+            backend,
+            rebuild_policy=RebuildPolicy(max_inserts=1000, max_tombstones=1000, max_staleness_s=5.0),
+        )
+        service.insert(np.zeros((1, 3)), at=0.0)
+        service.submit(small_points[0], at=1.0)
+        assert service.rebuilds == 0
+        service.submit(small_points[1], at=6.0)  # staleness deadline passed
+        assert service.rebuilds == 1
+
+    def test_rebuild_busy_time_delays_queries(self, backend, small_points):
+        service = make_service(
+            backend,
+            service_time=lambda n: 1.0,  # rebuild and batches take 1 s
+            rebuild_policy=RebuildPolicy(max_inserts=1, max_tombstones=100),
+        )
+        service.insert(np.zeros((1, 3)), at=0.0)  # triggers a 1 s rebuild
+        service.query(small_points[0], at=0.1)
+        record = service.records[-1]
+        assert record.completion == pytest.approx(2.0)  # 1.0 rebuild + 1.0 batch
+
+    def test_n_live_tracks_mutations(self, backend, small_points):
+        n0 = small_points.shape[0]
+        service = make_service(backend)
+        assert service.n_live == n0
+        ids = service.insert(np.zeros((3, 3)))
+        assert service.n_live == n0 + 3
+        service.delete(ids[:1])
+        service.delete([0])
+        assert service.n_live == n0 + 1
+
+    def test_empty_rebuild_rejected(self, small_points):
+        tiny = LocalTreeBackend.fit(small_points[:2])
+        service = make_service(tiny)
+        service.delete([0, 1])
+        with pytest.raises(RuntimeError):
+            service.rebuild()
+
+
+class TestReviewRegressions:
+    """Regressions for review findings on the first service implementation."""
+
+    def test_failed_delete_leaves_state_untouched(self, backend, small_points):
+        # A delete batch containing an unknown id must be rejected whole:
+        # no tombstones applied, cached answers still valid and exact.
+        service = make_service(backend, k=2, cache_capacity=16)
+        d0, i0 = service.query(small_points[0], at=0.0)
+        with pytest.raises(KeyError):
+            service.delete([int(i0[0]), 10_000_000])
+        assert service.delta.n_tombstones == 0
+        rid = service.submit(small_points[0], at=1.0)
+        record = next(r for r in service.records if r.request_id == rid)
+        assert record.cache_hit  # cache still warm...
+        d1, i1 = service.result(rid)
+        assert np.array_equal(i0, i1)  # ...and still correct (nothing deleted)
+
+    def test_duplicate_ids_in_one_delete_rejected(self, backend):
+        service = make_service(backend)
+        with pytest.raises(KeyError):
+            service.delete([3, 3])
+        assert service.delta.n_tombstones == 0
+
+    def test_auto_ids_never_reused_after_rebuild(self, small_points):
+        service = make_service(LocalTreeBackend.fit(small_points))
+        top = small_points.shape[0] - 1  # the current max id
+        service.delete([top])
+        service.rebuild()
+        (new_id,) = service.insert(np.zeros((1, 3)))
+        assert new_id > top  # deleted id must not be resurrected
+
+    def test_caller_mutation_cannot_poison_cache(self, backend, small_points):
+        service = make_service(backend, k=3, cache_capacity=16)
+        d, i = service.query(small_points[0], at=0.0)
+        i[:] = -42
+        d2, i2 = service.query(small_points[0], at=1.0)
+        assert not np.array_equal(i2, i)
+        assert i2[0] == 0  # the point's own id, unharmed
+
+    def test_deleting_entire_live_set_defers_rebuild(self, small_points):
+        service = make_service(
+            LocalTreeBackend.fit(small_points[:6]),
+            rebuild_policy=RebuildPolicy(max_inserts=100, max_tombstones=6),
+        )
+        service.delete(np.arange(6))  # crosses the threshold with live set empty
+        assert service.n_live == 0
+        assert service.rebuilds == 0  # deferred, not crashed
+        d, i = service.query(small_points[0])
+        assert (i == -1).all()  # nothing to return, gracefully
+        # The next insert makes the live set non-empty; a threshold crossing
+        # can rebuild again.
+        service.insert(np.ones((1, 3)))
+        service.rebuild()
+        assert service.backend.n_points == 1
+
+    def test_negative_insert_ids_rejected(self, backend):
+        # -1 is the padding sentinel of every answer path; a negative id
+        # would be silently filtered out of all results.
+        service = make_service(backend)
+        with pytest.raises(ValueError, match="non-negative"):
+            service.insert(np.zeros((1, 3)), ids=np.array([-1]))
+        assert service.delta.n_inserted == 0
+
+    def test_invalidations_count_actual_drops(self, backend):
+        # A mutation on a never-queried service drops nothing.
+        service = make_service(backend, cache_capacity=16)
+        service.insert(np.zeros((1, 3)))
+        assert service.cache_stats.invalidations == 0

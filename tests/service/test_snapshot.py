@@ -1,0 +1,99 @@
+"""Tests for PandaKNN snapshot/restore and service warm starts."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PandaConfig
+from repro.core.panda import PandaKNN
+from repro.kdtree.tree import KDTreeConfig
+from repro.kdtree.validate import check_snapshot_roundtrip
+from repro.service import KNNService, LocalTreeBackend, PandaBackend
+
+
+@pytest.fixture(scope="module")
+def fitted(small_points):
+    return PandaKNN(n_ranks=4, config=PandaConfig(k=5)).fit(small_points)
+
+
+class TestPandaSnapshot:
+    def test_restored_answers_byte_identical(self, fitted, small_points, tmp_path):
+        rng = np.random.default_rng(2)
+        queries = small_points[rng.choice(small_points.shape[0], 150, replace=False)]
+        fitted.snapshot(tmp_path / "panda")
+        restored = PandaKNN.restore(tmp_path / "panda")
+        original = fitted.query(queries, k=5)
+        warm = restored.query(queries, k=5)
+        assert original.distances.tobytes() == warm.distances.tobytes()
+        assert original.ids.tobytes() == warm.ids.tobytes()
+        assert np.array_equal(original.owners, warm.owners)
+        assert np.array_equal(original.remote_fanout, warm.remote_fanout)
+
+    def test_local_trees_roundtrip_byte_identical(self, fitted, tmp_path):
+        fitted.snapshot(tmp_path / "panda")
+        restored = PandaKNN.restore(tmp_path / "panda")
+        for tree, warm_tree in zip(fitted.local_trees(), restored.local_trees()):
+            check_snapshot_roundtrip(tree, warm_tree)
+
+    def test_cluster_shape_and_config_survive(self, fitted, tmp_path):
+        fitted.snapshot(tmp_path / "panda")
+        restored = PandaKNN.restore(tmp_path / "panda")
+        assert restored.n_ranks == fitted.n_ranks
+        assert restored.config == fitted.config
+        assert restored.cluster.threads_per_rank == fitted.cluster.threads_per_rank
+        assert restored.cluster.machine == fitted.cluster.machine
+        assert restored.is_fitted
+        assert restored.cluster.total_points() == fitted.cluster.total_points()
+
+    def test_restore_does_not_charge_construction(self, fitted, tmp_path):
+        fitted.snapshot(tmp_path / "panda")
+        restored = PandaKNN.restore(tmp_path / "panda")
+        assert restored.construction_time().total_s == 0.0
+        # Query-time modeling still accumulates on the restored index.
+        restored.query(np.zeros((8, 3)), k=3)
+        assert restored.query_time().total_s > 0.0
+
+    def test_unfitted_snapshot_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            PandaKNN(n_ranks=2).snapshot(tmp_path / "nope")
+
+    def test_missing_snapshot_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PandaKNN.restore(tmp_path / "absent")
+
+    def test_version_mismatch_rejected(self, fitted, tmp_path):
+        import json
+
+        fitted.snapshot(tmp_path / "panda")
+        meta_file = tmp_path / "panda" / "panda_meta.json"
+        meta = json.loads(meta_file.read_text())
+        meta["version"] = 999
+        meta_file.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            PandaKNN.restore(tmp_path / "panda")
+
+
+class TestServiceWarmStart:
+    def test_local_backend_warm_start(self, small_points, tmp_path):
+        cold = LocalTreeBackend.fit(small_points, config=KDTreeConfig(bucket_size=16))
+        path = cold.save(tmp_path / "tree")
+        warm = LocalTreeBackend.load(path)
+        check_snapshot_roundtrip(cold.tree, warm.tree)
+        service = KNNService(warm, k=4)
+        d, i = service.query(small_points[17])
+        assert i[0] == 17 and d[0] == 0.0
+
+    def test_panda_backend_warm_start(self, fitted, small_points, tmp_path):
+        cold = PandaBackend(fitted)
+        cold.save(tmp_path / "panda")
+        warm = PandaBackend.load(tmp_path / "panda")
+        service = KNNService(warm, k=4)
+        d, i = service.query(small_points[3])
+        assert i[0] == 3 and d[0] == 0.0
+
+    def test_warm_service_accepts_streaming_updates(self, small_points, tmp_path):
+        LocalTreeBackend.fit(small_points).save(tmp_path / "tree")
+        service = KNNService(LocalTreeBackend.load(tmp_path / "tree.npz"), k=3)
+        far = small_points.max(axis=0) + 10.0
+        (new_id,) = service.insert(far[None, :])
+        d, i = service.query(far)
+        assert i[0] == new_id and d[0] == 0.0
