@@ -1,0 +1,122 @@
+"""Executor scaling benchmark: measured wall-clock vs rank-executor workers.
+
+Builds the same distributed PANDA index and answers the same batch-query
+workload under every executor backend — the sequential ``InlineExecutor``
+baseline, then ``ProcessExecutor`` (and optionally ``ThreadExecutor``) at
+1/2/4/8 workers — and reports measured build and batch-query wall-clock
+with speedups over inline.  Unlike the cost model's *modeled* scaling
+curves, these are real seconds: with a process executor the per-rank
+kd-tree builds and batched traversals genuinely run on multiple cores,
+reading their rank state from shared memory.
+
+Every configuration is A/B-verified against the inline baseline before its
+timing is reported: neighbour indices and distances must be byte-identical
+and the per-rank, per-phase communicator byte/message accounting must be
+unchanged (the executor only changes *where* steps run, never what they
+compute).  The identity assertions always run; ``--require-speedup X``
+additionally fails the run unless the best process configuration beats
+inline by ``X``x on batch queries (only meaningful on a multi-core host —
+on a single-core container the workers time-slice one CPU).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py          # full size
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py --smoke  # CI size
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.cluster.executor import InlineExecutor, ProcessExecutor, ThreadExecutor
+from repro.core.config import PandaConfig
+from repro.core.panda import PandaKNN
+from repro.datasets.cosmology import cosmology_particles
+
+FULL_SIZE = dict(n_points=120_000, n_queries=40_000, k=8, n_ranks=8, workers=(1, 2, 4, 8))
+SMOKE_SIZE = dict(n_points=5_000, n_queries=1_500, k=5, n_ranks=4, workers=(2,))
+
+
+def run_one(executor, points, queries, k, n_ranks, config):
+    """Fit + query under ``executor``; returns timings, results and counters."""
+    with PandaKNN(n_ranks=n_ranks, config=config, executor=executor) as index:
+        started = time.perf_counter()
+        index.fit(points)
+        build_s = time.perf_counter() - started
+        started = time.perf_counter()
+        report = index.query(queries, k=k)
+        query_s = time.perf_counter() - started
+        return build_s, query_s, report.distances, report.ids, index.cluster.metrics.snapshot()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
+    parser.add_argument("--threads", action="store_true", help="also time ThreadExecutor")
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the best process config beats inline by X times on queries",
+    )
+    args = parser.parse_args()
+    size = SMOKE_SIZE if args.smoke else FULL_SIZE
+
+    points = cosmology_particles(size["n_points"], seed=3)
+    rng = np.random.default_rng(5)
+    queries = points[rng.choice(points.shape[0], size["n_queries"], replace=False)]
+    queries = queries + rng.normal(scale=0.01, size=queries.shape)
+    # One big protocol batch per step keeps dispatch overhead off the
+    # critical path, which is the regime the executors are built for.
+    config = PandaConfig(query_batch_size=max(size["n_queries"], 1))
+
+    print(
+        f"executor scaling: {size['n_points']} points, {size['n_queries']} queries, "
+        f"k={size['k']}, {size['n_ranks']} ranks, host cpus={os.cpu_count()}"
+    )
+    base_build, base_query, base_d, base_i, base_counters = run_one(
+        InlineExecutor(), points, queries, size["k"], size["n_ranks"], config
+    )
+    print(f"  {'inline':<12s} build {base_build:8.3f} s            query {base_query:8.3f} s")
+
+    best_query_speedup = 0.0
+    backends = [("process", ProcessExecutor)]
+    if args.threads:
+        backends.append(("thread", ThreadExecutor))
+    for label, factory in backends:
+        for n_workers in size["workers"]:
+            build_s, query_s, d, i, counters = run_one(
+                factory(n_workers), points, queries, size["k"], size["n_ranks"], config
+            )
+            assert np.array_equal(d, base_d) and d.tobytes() == base_d.tobytes(), (
+                f"{label}:{n_workers} distances diverge from inline"
+            )
+            assert np.array_equal(i, base_i) and i.tobytes() == base_i.tobytes(), (
+                f"{label}:{n_workers} neighbour ids diverge from inline"
+            )
+            assert counters == base_counters, (
+                f"{label}:{n_workers} communicator/compute accounting diverges from inline"
+            )
+            if label == "process":
+                best_query_speedup = max(best_query_speedup, base_query / query_s)
+            print(
+                f"  {label + ':' + str(n_workers):<12s} build {build_s:8.3f} s "
+                f"({base_build / build_s:4.2f}x)   query {query_s:8.3f} s "
+                f"({base_query / query_s:4.2f}x)   [identical]"
+            )
+    print("  A/B identity: results, ids and byte accounting match inline for every config")
+
+    if args.require_speedup is not None and best_query_speedup < args.require_speedup:
+        raise SystemExit(
+            f"best process query speedup {best_query_speedup:.2f}x is below the required "
+            f"{args.require_speedup:.2f}x (host cpus={os.cpu_count()})"
+        )
+
+
+if __name__ == "__main__":
+    main()

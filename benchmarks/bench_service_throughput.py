@@ -7,6 +7,14 @@ micro-batch size, plus a streaming-update section that pushes inserts and
 deletes through a policy-triggered rebuild while verifying a sampled set of
 answers against brute force.
 
+The same arrival traces are also replayed through the buffered kd-tree
+baseline (Gieseke et al., Fig. 8a): queries accumulate at the leaves of a
+large-bucket tree and are processed in coherent blocks.  Both disciplines
+share the single-server queue model (dispatch at ``max(flush, server
+free)``, completion after the measured batch wall time), so the printed
+rows expose the throughput-vs-latency trade-off the paper discusses —
+buffering amortises traversal further but holds requests longer.
+
 Arrivals are logical timestamps; compute cost is the *measured* wall time
 of each dispatched batch, run through a single-server queue model — so the
 reported latencies combine real compute with honest queueing/batching
@@ -21,9 +29,11 @@ Run directly (like the other benchmark drivers)::
 from __future__ import annotations
 
 import argparse
+import time
 
 import numpy as np
 
+from repro.baselines.buffered import BufferedKDTreeKNN
 from repro.datasets.cosmology import cosmology_particles
 from repro.kdtree.query import brute_force_knn
 from repro.service import (
@@ -31,15 +41,17 @@ from repro.service import (
     LocalTreeBackend,
     MicroBatchPolicy,
     RebuildPolicy,
+    RequestRecord,
     bursty_trace,
     hotkey_trace,
+    summarize_records,
     uniform_trace,
 )
 
 FULL_SIZE = dict(n_points=100_000, n_requests=20_000, rate=50_000.0, k=8,
-                 n_stream=4_000, stream_buffer=1_000)
+                 n_stream=4_000, stream_buffer=1_000, buffered_block=2_048)
 SMOKE_SIZE = dict(n_points=4_000, n_requests=1_200, rate=20_000.0, k=5,
-                  n_stream=300, stream_buffer=120)
+                  n_stream=300, stream_buffer=120, buffered_block=256)
 
 
 def make_service(points: np.ndarray, k: int, cache_capacity: int = 8192) -> KNNService:
@@ -60,18 +72,70 @@ def run_trace(service: KNNService, times: np.ndarray, queries: np.ndarray) -> di
     return service.latency_summary()
 
 
-def run_arrival_traces(n_points: int, n_requests: int, rate: float, k: int, seed: int = 7):
-    """The three arrival traces, each against a fresh service."""
-    points = cosmology_particles(n_points, seed=seed)
-    traces = {
+def make_traces(points: np.ndarray, n_requests: int, rate: float, seed: int) -> dict:
+    """The three open-loop arrival traces (shared by service and baseline)."""
+    return {
         "uniform": uniform_trace(n_requests, rate, pool=points, seed=seed),
         "bursty": bursty_trace(n_requests, rate / 4, rate * 2, pool=points, seed=seed),
         "hotkey": hotkey_trace(n_requests, rate, pool=points, n_hot=64, hot_fraction=0.9, seed=seed),
     }
+
+
+def run_arrival_traces(points: np.ndarray, traces: dict, k: int):
+    """Each arrival trace against a fresh service."""
     results = {}
     for name, (times, queries) in traces.items():
         service = make_service(points, k)
         results[name] = run_trace(service, times, queries)
+    return results
+
+
+def run_buffered_traces(
+    points: np.ndarray, traces: dict, k: int, block: int, seed: int = 13
+) -> dict:
+    """Replay the same arrival traces through the buffered kd-tree baseline.
+
+    The buffered discipline has no deadline: requests accumulate until a
+    block of ``block`` arrivals is complete (or the trace ends), then the
+    whole block is pushed through the leaf-buffered traversal.  Dispatch
+    and completion follow the same single-server queue model as
+    :class:`~repro.service.service.KNNService`, so latency percentiles and
+    QPS are directly comparable.  A sampled exactness check against brute
+    force guards the baseline's answers.
+    """
+    rng = np.random.default_rng(seed)
+    index = BufferedKDTreeKNN(buffer_size=block).fit(points)
+    ref_ids = np.arange(points.shape[0])
+    results = {}
+    for name, (times, queries) in traces.items():
+        n = times.shape[0]
+        server_free = 0.0
+        records = []
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            flush_time = float(times[hi - 1])  # block is full on its last arrival
+            dispatch = max(flush_time, server_free)
+            started = time.perf_counter()
+            d, i, _ = index.query(queries[lo:hi], k)
+            elapsed = time.perf_counter() - started
+            completion = dispatch + elapsed
+            server_free = completion
+            records.extend(
+                RequestRecord(
+                    request_id=j,
+                    arrival=float(times[j]),
+                    dispatch=dispatch,
+                    completion=completion,
+                    cache_hit=False,
+                    batch_size=hi - lo,
+                )
+                for j in range(lo, hi)
+            )
+            if lo == 0:
+                sample = rng.choice(hi - lo, size=min(16, hi - lo), replace=False)
+                ref_d, _ = brute_force_knn(points, ref_ids, queries[lo:hi][sample], k)
+                assert np.allclose(d[sample], ref_d), f"buffered baseline diverges on {name}"
+        results[name] = summarize_records(records)
     return results
 
 
@@ -135,9 +199,16 @@ def main() -> None:
         f"service throughput: {size['n_points']} points, {size['n_requests']} requests/trace, "
         f"k={size['k']}"
     )
-    results = run_arrival_traces(size["n_points"], size["n_requests"], size["rate"], size["k"])
+    points = cosmology_particles(size["n_points"], seed=7)
+    traces = make_traces(points, size["n_requests"], size["rate"], seed=7)
+    results = run_arrival_traces(points, traces, size["k"])
     for name, summary in results.items():
         print(format_row(name, summary))
+
+    print(f"buffered kd-tree baseline (Fig. 8a discipline, block={size['buffered_block']}):")
+    buffered = run_buffered_traces(points, traces, size["k"], size["buffered_block"])
+    for name, summary in buffered.items():
+        print(format_row(f"buf/{name}", summary))
 
     stream = run_streaming(size["n_points"], size["n_stream"], size["stream_buffer"], size["k"])
     print(

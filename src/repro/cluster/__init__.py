@@ -15,21 +15,36 @@ simulation of that machine:
   computation and communication counters into modeled wall-clock time so
   that scaling *shapes* (strong/weak scaling, breakdowns, pipelining
   overlap) can be reproduced without the original hardware.
-* :mod:`~repro.cluster.pool` provides optional thread/process backends for
-  genuinely parallel execution of embarrassingly parallel work on the local
-  host.
+* :mod:`~repro.cluster.executor` makes rank dispatch pluggable: the same
+  SPMD step code runs inline (deterministic default), across a thread pool,
+  or on a persistent multiprocessing worker pool with per-rank state
+  published in shared memory — results and metrics are identical across
+  executors, only wall-clock changes.
 
-The algorithms in :mod:`repro.core` are written against the communicator API
-only, so the accounting reflects exactly the traffic the paper's MPI code
-would generate.
+The algorithms in :mod:`repro.core` are written against the communicator
+and executor APIs only, so the accounting reflects exactly the traffic the
+paper's MPI code would generate.
 """
 
 from repro.cluster.machine import InterconnectSpec, MachineSpec
 from repro.cluster.metrics import MetricsRegistry, PhaseCounters, RankCounters
-from repro.cluster.comm import Communicator
+from repro.cluster.comm import (
+    Communicator,
+    MessageTransport,
+    PickleTransport,
+    ReferenceTransport,
+)
+from repro.cluster.executor import (
+    InlineExecutor,
+    ProcessExecutor,
+    RankExecutor,
+    RankState,
+    RankTask,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.cluster.simulator import Cluster, Rank
 from repro.cluster.cost_model import CostModel, PhaseTime, TimeBreakdown
-from repro.cluster.pool import ExecutionBackend, SerialBackend, ThreadBackend, ProcessBackend
 
 __all__ = [
     "InterconnectSpec",
@@ -38,13 +53,19 @@ __all__ = [
     "PhaseCounters",
     "RankCounters",
     "Communicator",
+    "MessageTransport",
+    "ReferenceTransport",
+    "PickleTransport",
     "Cluster",
     "Rank",
     "CostModel",
     "PhaseTime",
     "TimeBreakdown",
-    "ExecutionBackend",
-    "SerialBackend",
-    "ThreadBackend",
-    "ProcessBackend",
+    "RankExecutor",
+    "RankTask",
+    "RankState",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
 ]

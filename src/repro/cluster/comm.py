@@ -8,19 +8,63 @@ per-rank outputs, and charges every transferred byte and message to the
 phase.  Sub-communicators over rank groups support the recursive group
 splits used during global kd-tree construction.
 
-Data is moved by reference (no copies are made for the "network" hop); the
-accounting is therefore exact while the simulation stays fast.
+By default data is moved by reference (no copies are made for the "network"
+hop); the accounting is therefore exact while the simulation stays fast.  A
+:class:`MessageTransport` makes the hop pluggable: :class:`PickleTransport`
+round-trips every inter-rank payload through a pickled message frame — the
+same self-contained frame format the process rank executor ships over its
+queues — so code can be verified against real serialisation boundaries
+(receivers get independent copies, exactly as across processes).  Byte and
+message accounting is computed from the original payload either way, so
+metrics are identical across transports.
 """
 
 from __future__ import annotations
 
 import math
+import pickle
 import sys
 from typing import Any, Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.cluster.metrics import MetricsRegistry
+
+
+class MessageTransport:
+    """Policy for moving one message frame between two ranks."""
+
+    name = "abstract"
+
+    def transfer(self, payload: Any) -> Any:
+        """Return what the destination rank receives for ``payload``."""
+        raise NotImplementedError
+
+
+class ReferenceTransport(MessageTransport):
+    """Zero-copy in-process hop: the destination sees the sender's object."""
+
+    name = "reference"
+
+    def transfer(self, payload: Any) -> Any:
+        return payload
+
+
+class PickleTransport(MessageTransport):
+    """Process-boundary semantics: each hop round-trips a pickled frame.
+
+    Receivers get independent deserialised copies, so aliasing bugs that a
+    real multiprocessing deployment would expose show up under the simulated
+    communicator too.
+    """
+
+    name = "pickle"
+
+    def transfer(self, payload: Any) -> Any:
+        return pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+_REFERENCE_TRANSPORT = ReferenceTransport()
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -56,10 +100,19 @@ class Communicator:
     group:
         Global rank ids participating in this communicator.  ``None`` means
         all ranks of the registry (the world communicator).
+    transport:
+        How inter-rank payloads cross the "network" hop (default:
+        by-reference; see :class:`MessageTransport`).
     """
 
-    def __init__(self, metrics: MetricsRegistry, group: Sequence[int] | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        group: Sequence[int] | None = None,
+        transport: MessageTransport | None = None,
+    ) -> None:
         self._metrics = metrics
+        self._transport = transport or _REFERENCE_TRANSPORT
         if group is None:
             group = list(range(metrics.n_ranks))
         group = list(group)
@@ -90,6 +143,11 @@ class Communicator:
         """The shared metrics registry."""
         return self._metrics
 
+    @property
+    def transport(self) -> MessageTransport:
+        """The transport payloads cross the network hop through."""
+        return self._transport
+
     def global_rank(self, local_rank: int) -> int:
         """Translate a communicator-local rank to a global rank id."""
         return self._group[local_rank]
@@ -103,11 +161,18 @@ class Communicator:
         buckets: Dict[int, List[int]] = {}
         for local in range(self.size):
             buckets.setdefault(color_of(local), []).append(self._group[local])
-        return {color: Communicator(self._metrics, ranks) for color, ranks in sorted(buckets.items())}
+        return {
+            color: Communicator(self._metrics, ranks, self._transport)
+            for color, ranks in sorted(buckets.items())
+        }
 
     def subgroup(self, local_ranks: Sequence[int]) -> "Communicator":
         """Communicator over a subset of this group (local rank indices)."""
-        return Communicator(self._metrics, [self._group[r] for r in local_ranks])
+        return Communicator(self._metrics, [self._group[r] for r in local_ranks], self._transport)
+
+    def for_group(self, global_ranks: Sequence[int]) -> "Communicator":
+        """Communicator over ``global_ranks``, inheriting metrics and transport."""
+        return Communicator(self._metrics, global_ranks, self._transport)
 
     # ------------------------------------------------------------------
     # Accounting helpers
@@ -155,7 +220,10 @@ class Communicator:
                 self._charge_send(local, nbytes * depth, depth)
             else:
                 self._charge_recv(local, nbytes, 1)
-        return [value for _ in range(self.size)]
+        return [
+            value if local == root else self._transport.transfer(value)
+            for local in range(self.size)
+        ]
 
     def gather(self, values: Sequence[Any], root: int = 0) -> List[Any] | None:
         """Gather one value per rank to ``root``.
@@ -174,7 +242,10 @@ class Communicator:
                 self._charge_send(local, nbytes, 1)
                 total += nbytes
         self._charge_recv(root, total, max(self.size - 1, 0))
-        return list(values)
+        return [
+            value if local == root else self._transport.transfer(value)
+            for local, value in enumerate(values)
+        ]
 
     def allgather(self, values: Sequence[Any]) -> List[List[Any]]:
         """All-gather: every rank receives every rank's contribution.
@@ -189,8 +260,11 @@ class Communicator:
         for local in range(self.size):
             self._charge_send(local, total - sizes[local], depth)
             self._charge_recv(local, total - sizes[local], depth)
-        gathered = list(values)
-        return [list(gathered) for _ in range(self.size)]
+        return [
+            [value if src == dst else self._transport.transfer(value)
+             for src, value in enumerate(values)]
+            for dst in range(self.size)
+        ]
 
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> List[Any]:
         """Scatter one item per rank from ``root``."""
@@ -204,7 +278,10 @@ class Communicator:
                 continue
             self._charge_send(root, nbytes, 1)
             self._charge_recv(local, nbytes, 1)
-        return list(values)
+        return [
+            value if local == root else self._transport.transfer(value)
+            for local, value in enumerate(values)
+        ]
 
     def alltoall(self, send: Sequence[Sequence[Any]]) -> List[List[Any]]:
         """Personalised all-to-all: ``send[src][dst]`` goes to rank ``dst``.
@@ -223,12 +300,14 @@ class Communicator:
         for src in range(self.size):
             for dst in range(self.size):
                 item = send[src][dst]
-                recv[dst][src] = item
                 if src == dst:
+                    recv[dst][src] = item
                     continue
                 nbytes = payload_nbytes(item)
                 if nbytes == 0 and not _is_nonempty(item):
+                    recv[dst][src] = item
                     continue
+                recv[dst][src] = self._transport.transfer(item)
                 self._charge_send(src, nbytes, 1)
                 self._charge_recv(dst, nbytes, 1)
         return recv
@@ -252,8 +331,12 @@ class Communicator:
             if local != root:
                 self._charge_send(local, nbytes, 1)
         self._charge_recv(root, nbytes * depth, depth)
-        result = values[0]
-        for value in values[1:]:
+        arriving = [
+            value if local == root else self._transport.transfer(value)
+            for local, value in enumerate(values)
+        ]
+        result = arriving[0]
+        for value in arriving[1:]:
             result = op(result, value)
         return result
 
@@ -272,10 +355,11 @@ class Communicator:
         self._validate_local_rank(src)
         self._validate_local_rank(dst)
         nbytes = payload_nbytes(payload)
-        if src != dst:
-            self._charge_send(src, nbytes, 1)
-            self._charge_recv(dst, nbytes, 1)
-        return payload
+        if src == dst:
+            return payload
+        self._charge_send(src, nbytes, 1)
+        self._charge_recv(dst, nbytes, 1)
+        return self._transport.transfer(payload)
 
     # ------------------------------------------------------------------
     # Validation helpers

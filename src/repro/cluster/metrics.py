@@ -170,6 +170,18 @@ class MetricsRegistry:
         """Counters of every rank."""
         return list(self._ranks)
 
+    def snapshot(self) -> Dict[tuple, Dict[str, int]]:
+        """Plain ``{(rank, phase): counters}`` dict of the whole registry.
+
+        The canonical projection for comparing two runs' accounting (e.g.
+        the executor A/B identity assertions).
+        """
+        return {
+            (rank_counters.rank, phase): counters.as_dict()
+            for rank_counters in self._ranks
+            for phase, counters in rank_counters.phases.items()
+        }
+
     def phase_total(self, phase: str) -> PhaseCounters:
         """Counters of ``phase`` aggregated over all ranks."""
         agg = PhaseCounters()

@@ -15,7 +15,8 @@ from typing import Any, Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.cluster.comm import Communicator
+from repro.cluster.comm import Communicator, MessageTransport
+from repro.cluster.executor import RankExecutor, RankTask, make_executor
 from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import MetricsRegistry, PhaseCounters
 
@@ -78,6 +79,18 @@ class Cluster:
     threads_per_rank:
         Worker threads modeled inside each node (defaults to the physical
         core count of ``machine``).
+    executor:
+        How per-rank SPMD steps are dispatched: ``None``/``"inline"`` for
+        the deterministic sequential loop, ``"thread"``/``"process"`` (or a
+        :class:`~repro.cluster.executor.RankExecutor` instance) for real
+        parallel execution.  Results and metrics are identical across
+        executors; only wall-clock changes.  A spec string makes the
+        cluster own the executor (``close()`` shuts it down); an instance
+        stays owned by the caller, so one pool can be shared across
+        clusters (e.g. service rebuilds) and survives any one of them
+        closing.
+    transport:
+        Message transport of the communicator (default: by-reference).
     """
 
     def __init__(
@@ -85,6 +98,8 @@ class Cluster:
         n_ranks: int,
         machine: MachineSpec | None = None,
         threads_per_rank: int | None = None,
+        executor: "RankExecutor | str | None" = None,
+        transport: MessageTransport | None = None,
     ) -> None:
         if n_ranks <= 0:
             raise ValueError(f"n_ranks must be positive, got {n_ranks}")
@@ -95,7 +110,9 @@ class Cluster:
             raise ValueError(f"threads_per_rank must be positive, got {threads_per_rank}")
         self.threads_per_rank = min(threads_per_rank, self.machine.total_threads())
         self.metrics = MetricsRegistry(n_ranks)
-        self.comm = Communicator(self.metrics)
+        self.comm = Communicator(self.metrics, transport=transport)
+        self.executor = make_executor(executor)
+        self._owns_executor = not isinstance(executor, RankExecutor)
         self.ranks: List[Rank] = [Rank(rank=r) for r in range(n_ranks)]
 
     # ------------------------------------------------------------------
@@ -187,6 +204,42 @@ class Cluster:
     def map_ranks(self, fn: Callable[[Rank], Any]) -> List[Any]:
         """Apply ``fn`` to every rank in rank order and collect the results."""
         return [fn(rank) for rank in self.ranks]
+
+    def run_ranks(self, tasks: Sequence["RankTask | None"]) -> List[Any]:
+        """Dispatch per-rank steps through the cluster's executor.
+
+        ``tasks[i]`` may be ``None`` to skip a rank (its result is ``None``);
+        results come back in task order regardless of executor.
+        """
+        return self.executor.run(tasks)
+
+    def transfer_executor_ownership(self, successor: "Cluster") -> None:
+        """Hand executor shutdown responsibility to ``successor``.
+
+        Used by refit chains that pass one pooled executor from a retired
+        cluster to its replacement: the successor inherits whatever
+        ownership this cluster had, so closing the retired cluster no
+        longer tears the shared pool out from under the live one.
+        """
+        if successor.executor is self.executor:
+            successor._owns_executor = successor._owns_executor or self._owns_executor
+            self._owns_executor = False
+
+    def close(self) -> None:
+        """Release executor workers and shared-memory segments (idempotent).
+
+        Only executors this cluster created (from a spec string or the
+        default) are shut down; a caller-supplied instance may be shared
+        with other clusters and stays open — its creator closes it.
+        """
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def counters(self, phase: str) -> Sequence[PhaseCounters]:
         """Per-rank counters of ``phase`` (creating empty ones if missing)."""

@@ -3,13 +3,17 @@
 After redistribution every rank owns the points of its region; this module
 builds each rank's local kd-tree and charges the work of the three local
 phases (data-parallel levels, thread-parallel subtrees, SIMD packing) to the
-cluster metrics so the Fig. 5(b) breakdown includes them.
+cluster metrics so the Fig. 5(b) breakdown includes them.  The per-rank
+builds are dispatched through the cluster's
+:class:`~repro.cluster.executor.RankExecutor`, so they run sequentially,
+across threads or across worker processes without changing results.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
+from repro.cluster.executor import RankState, RankTask
 from repro.cluster.simulator import Cluster
 from repro.core.config import PandaConfig
 from repro.kdtree.build import (
@@ -18,13 +22,36 @@ from repro.kdtree.build import (
     PHASE_THREAD_PARALLEL,
     build_kdtree,
 )
-from repro.kdtree.tree import KDTree
+from repro.kdtree.tree import KDTree, KDTreeConfig
 
 #: Key under which each rank stores its local tree.
 LOCAL_TREE_KEY = "local_tree"
 
 #: Local construction phases in Fig. 5(b) order.
 LOCAL_PHASES = (PHASE_DATA_PARALLEL, PHASE_THREAD_PARALLEL, PHASE_SIMD_PACKING)
+
+
+class LazyLocalTree:
+    """Deferred local tree: loads on first touch (see ``PandaKNN.restore``).
+
+    Holds a zero-argument loader returning the :class:`KDTree`;
+    :func:`local_tree_of` swaps the handle for the materialised tree and
+    restores the owning rank's point set from the tree's packed points.
+    """
+
+    __slots__ = ("_loader",)
+
+    def __init__(self, loader: Callable[[], KDTree]) -> None:
+        self._loader = loader
+
+    def load(self) -> KDTree:
+        """Materialise the tree."""
+        return self._loader()
+
+
+def _build_tree_step(state: RankState, config: KDTreeConfig, threads: int) -> KDTree:
+    """Executor step: build one rank's local tree from its points."""
+    return build_kdtree(state.points, ids=state.ids, config=config, threads=threads)
 
 
 def build_local_trees(cluster: Cluster, config: PandaConfig | None = None) -> List[KDTree]:
@@ -40,16 +67,18 @@ def build_local_trees(cluster: Cluster, config: PandaConfig | None = None) -> Li
     for phase_name in LOCAL_PHASES:
         with cluster.metrics.phase(phase_name):
             pass
-    trees: List[KDTree] = []
-    for rank in cluster.ranks:
-        tree = build_kdtree(
-            rank.points,
-            ids=rank.ids,
-            config=config.local,
-            threads=cluster.threads_per_rank,
+    tasks = [
+        RankTask(
+            rank=rank.rank,
+            step=_build_tree_step,
+            args=(config.local, cluster.threads_per_rank),
+            state={"points": rank.points, "ids": rank.ids},
         )
+        for rank in cluster.ranks
+    ]
+    trees: List[KDTree] = cluster.run_ranks(tasks)
+    for rank, tree in zip(cluster.ranks, trees):
         rank.store[LOCAL_TREE_KEY] = tree
-        trees.append(tree)
         # The builder registers all three phases unconditionally (even for
         # an empty rank), so the merge never silently skips one.
         for phase_name in LOCAL_PHASES:
@@ -60,8 +89,18 @@ def build_local_trees(cluster: Cluster, config: PandaConfig | None = None) -> Li
 
 
 def local_tree_of(cluster: Cluster, rank: int) -> KDTree:
-    """Return the local tree previously built on ``rank``."""
+    """Return the local tree previously built (or lazily restored) on ``rank``.
+
+    A :class:`LazyLocalTree` handle left by a lazy snapshot restore is
+    materialised here on first touch: the loaded tree replaces the handle
+    and the rank's point set is restored from the tree's packed points.
+    """
     store = cluster.ranks[rank].store
     if LOCAL_TREE_KEY not in store:
         raise KeyError(f"rank {rank} has no local kd-tree; call build_local_trees first")
-    return store[LOCAL_TREE_KEY]
+    tree = store[LOCAL_TREE_KEY]
+    if isinstance(tree, LazyLocalTree):
+        tree = tree.load()
+        store[LOCAL_TREE_KEY] = tree
+        cluster.ranks[rank].set_points(tree.points, tree.ids)
+    return tree

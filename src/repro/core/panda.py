@@ -18,6 +18,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.cluster.cost_model import CostModel, TimeBreakdown
+from repro.cluster.executor import RankExecutor, RankTask
 from repro.cluster.machine import MachineSpec
 from repro.cluster.simulator import Cluster
 from repro.core.breakdown import (
@@ -28,11 +29,16 @@ from repro.core.breakdown import (
 )
 from repro.core.config import PandaConfig
 from repro.core.global_tree import GlobalTree
-from repro.core.local_phase import LOCAL_TREE_KEY, build_local_trees
-from repro.core.query_engine import QUERY_PHASES, DistributedQueryEngine, QueryReport
+from repro.core.local_phase import LOCAL_TREE_KEY, build_local_trees, local_tree_of
+from repro.core.query_engine import (
+    QUERY_PHASES,
+    DistributedQueryEngine,
+    QueryReport,
+    _local_knn_step,
+)
 from repro.core.redistribution import build_global_tree
 from repro.kdtree.build import build_kdtree
-from repro.kdtree.query import QueryStats, batch_knn
+from repro.kdtree.query import QueryStats
 from repro.kdtree.tree import KDTree
 
 
@@ -50,6 +56,12 @@ class PandaKNN:
         Modeled threads per node (defaults to the machine's core count).
     config:
         Algorithmic parameters (:class:`PandaConfig`).
+    executor:
+        Rank-step dispatch backend (``None``/``"inline"``, ``"thread"``,
+        ``"process"`` or a :class:`~repro.cluster.executor.RankExecutor`).
+        Results, query statistics and communicator byte accounting are
+        identical across executors; call :meth:`close` (or use the index as
+        a context manager) to release pooled workers.
 
     Examples
     --------
@@ -68,12 +80,28 @@ class PandaKNN:
         machine: MachineSpec | None = None,
         threads_per_rank: int | None = None,
         config: PandaConfig | None = None,
+        executor: "RankExecutor | str | None" = None,
     ) -> None:
         self.config = config or PandaConfig()
-        self.cluster = Cluster(n_ranks=n_ranks, machine=machine, threads_per_rank=threads_per_rank)
+        self.cluster = Cluster(
+            n_ranks=n_ranks,
+            machine=machine,
+            threads_per_rank=threads_per_rank,
+            executor=executor,
+        )
         self.global_tree: GlobalTree | None = None
         self._engine: DistributedQueryEngine | None = None
         self._fitted = False
+
+    def close(self) -> None:
+        """Release executor workers and shared memory (idempotent)."""
+        self.cluster.close()
+
+    def __enter__(self) -> "PandaKNN":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,31 +138,46 @@ class PandaKNN:
     # ------------------------------------------------------------------
     # Snapshot persistence
     # ------------------------------------------------------------------
-    def snapshot(self, path) -> "PandaKNN":
+    def snapshot(self, path, layout: str = "files") -> "PandaKNN":
         """Write the fitted index to directory ``path`` (warm-start snapshot).
 
         Persists the config, cluster shape, global tree and every rank's
         local tree so :meth:`restore` can rebuild the index without
         re-running construction; restored indices answer queries
-        byte-identically.  Returns ``self`` for chaining.
+        byte-identically.  ``layout="files"`` writes one ``.npz`` per rank;
+        ``layout="slabs"`` packs every rank's tree into two shared
+        :class:`~repro.io.column_store.ColumnStore` datasets read slab-wise
+        per rank (the layout lazy restores read from).  Returns ``self``
+        for chaining.
         """
         from repro.core.snapshot import write_snapshot
 
         self._require_fitted()
-        write_snapshot(self, path)
+        write_snapshot(self, path, layout=layout)
         return self
 
     @classmethod
-    def restore(cls, path, machine: MachineSpec | None = None) -> "PandaKNN":
+    def restore(
+        cls,
+        path,
+        machine: MachineSpec | None = None,
+        lazy: bool = False,
+        executor: "RankExecutor | str | None" = None,
+    ) -> "PandaKNN":
         """Load an index previously written by :meth:`snapshot`.
 
         The restored index starts with fresh metrics: query counters
         accumulate normally but construction counters are zero (a warm
-        start performs no construction).
+        start performs no construction).  With ``lazy=True`` the per-rank
+        local trees are *not* materialised up front: each rank holds a
+        loader that reads its slab on first touch (first query routed to
+        it, explicit :meth:`local_trees`, or a follow-up :meth:`snapshot`),
+        so a warm start over many ranks costs only the global-tree read.
+        Until a rank is touched the cluster reports zero points for it.
         """
         from repro.core.snapshot import read_snapshot
 
-        return read_snapshot(path, machine=machine)
+        return read_snapshot(path, machine=machine, lazy=lazy, executor=executor)
 
     # ------------------------------------------------------------------
     # Querying
@@ -164,9 +207,9 @@ class PandaKNN:
         return self._fitted
 
     def local_trees(self) -> list[KDTree]:
-        """The per-rank local kd-trees (rank order)."""
+        """The per-rank local kd-trees (rank order; materialises lazy ranks)."""
         self._require_fitted()
-        return [rank.store[LOCAL_TREE_KEY] for rank in self.cluster.ranks]
+        return [local_tree_of(self.cluster, rank.rank) for rank in self.cluster.ranks]
 
     def load_imbalance(self) -> float:
         """Max/mean points per rank after redistribution."""
@@ -221,10 +264,26 @@ class ReplicatedKNN:
         machine: MachineSpec | None = None,
         threads_per_rank: int | None = None,
         config: PandaConfig | None = None,
+        executor: "RankExecutor | str | None" = None,
     ) -> None:
         self.config = config or PandaConfig()
-        self.cluster = Cluster(n_ranks=n_ranks, machine=machine, threads_per_rank=threads_per_rank)
+        self.cluster = Cluster(
+            n_ranks=n_ranks,
+            machine=machine,
+            threads_per_rank=threads_per_rank,
+            executor=executor,
+        )
         self.tree: KDTree | None = None
+
+    def close(self) -> None:
+        """Release executor workers and shared memory (idempotent)."""
+        self.cluster.close()
+
+    def __enter__(self) -> "ReplicatedKNN":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def fit(self, points: np.ndarray, ids: np.ndarray | None = None) -> "ReplicatedKNN":
         """Build one kd-tree and broadcast it to every rank."""
@@ -257,11 +316,24 @@ class ReplicatedKNN:
         total_stats = QueryStats()
         boundaries = np.linspace(0, n, self.cluster.n_ranks + 1).astype(np.int64)
         with self.cluster.metrics.phase("query_local_knn"):
-            for rank in self.cluster.ranks:
-                lo, hi = int(boundaries[rank.rank]), int(boundaries[rank.rank + 1])
-                if hi <= lo:
+            # Same step as the distributed engine's owner-side local KNN:
+            # an unbounded batched search of one tree.
+            tasks = [
+                RankTask(
+                    rank.rank,
+                    _local_knn_step,
+                    (queries[boundaries[rank.rank] : boundaries[rank.rank + 1]], k),
+                    {"tree": self.tree},
+                )
+                if boundaries[rank.rank + 1] > boundaries[rank.rank]
+                else None
+                for rank in self.cluster.ranks
+            ]
+            for rank, out in zip(self.cluster.ranks, self.cluster.run_ranks(tasks)):
+                if out is None:
                     continue
-                d, i, stats = batch_knn(self.tree, queries[lo:hi], k)
+                lo, hi = int(boundaries[rank.rank]), int(boundaries[rank.rank + 1])
+                d, i, stats = out
                 out_d[lo:hi] = d
                 out_i[lo:hi] = i
                 stats.charge(self.cluster.metrics.for_phase(rank.rank), self.tree.dims)

@@ -29,6 +29,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.executor import RankState, RankTask
 from repro.cluster.simulator import Cluster
 from repro.core.config import PandaConfig
 from repro.core.global_tree import GlobalTree
@@ -108,6 +109,33 @@ def _merge_reply_blocks(
     # key, so reshaping groups each row's sorted entries together.
     by_dist = np.lexsort((flat_i, flat_d, row_of)).reshape(nq, width)[:, :k]
     return flat_d[by_dist], flat_i[by_dist]
+
+
+def _local_knn_step(
+    state: RankState, queries: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+    """Executor step 2: unbounded local KNN at the owner rank."""
+    return batch_knn(state.tree, queries, k)
+
+
+def _remote_knn_step(
+    state: RankState, queries: np.ndarray, k: int, radii: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+    """Executor step 4: radius-bounded local KNN for forwarded queries."""
+    return batch_knn(state.tree, queries, k, radii=radii)
+
+
+def _merge_step(
+    state: RankState,
+    k: int,
+    base_d: np.ndarray,
+    base_i: np.ndarray,
+    rows: np.ndarray,
+    reply_d: np.ndarray,
+    reply_i: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Executor step 5: fold remote reply blocks into the owner's top-k."""
+    return _merge_reply_blocks(k, base_d, base_i, rows, reply_d, reply_i)
 
 
 @dataclass
@@ -332,19 +360,24 @@ class DistributedQueryEngine:
         local_ids: List[np.ndarray] = []
         radii: List[np.ndarray] = []
         with metrics.phase(PHASE_LOCAL_KNN):
-            for r in range(n_ranks):
-                if owner_queries[r].shape[0] == 0:
+            tasks: List[RankTask | None] = [
+                RankTask(r, _local_knn_step, (owner_queries[r], k), {"tree": local_tree_of(cluster, r)})
+                if owner_queries[r].shape[0]
+                else None
+                for r in range(n_ranks)
+            ]
+            for r, out in enumerate(cluster.run_ranks(tasks)):
+                if out is None:
                     local_dists.append(np.empty((0, k)))
                     local_ids.append(np.empty((0, k), dtype=np.int64))
                     radii.append(np.empty(0))
                     continue
-                tree = local_tree_of(cluster, r)
-                d, i, stats = batch_knn(tree, owner_queries[r], k)
+                d, i, stats = out
                 d_kth = d[:, k - 1]
                 local_dists.append(d)
                 local_ids.append(i)
                 radii.append(np.where(np.isfinite(d_kth), d_kth, np.inf))
-                stats.charge(metrics.for_phase(r), tree.dims)
+                stats.charge(metrics.for_phase(r), local_tree_of(cluster, r).dims)
                 local_stats.merge(stats)
 
         # ------------------------------------------------------------------
@@ -384,17 +417,27 @@ class DistributedQueryEngine:
         # ------------------------------------------------------------------
         with metrics.phase(PHASE_REMOTE_KNN):
             reply = [[None for _ in range(n_ranks)] for _ in range(n_ranks)]
+            incoming: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None] = []
+            tasks = [None] * n_ranks
             for r in range(n_ranks):
                 pieces = [item for item in recv[r] if item is not None]
                 if not pieces:
+                    incoming.append(None)
                     continue
-                tree = local_tree_of(cluster, r)
                 rq = np.concatenate([p[0] for p in pieces], axis=0)
                 rqid = np.concatenate([p[1] for p in pieces])
                 rrad = np.concatenate([p[2] for p in pieces])
                 rowner = np.concatenate([p[3] for p in pieces])
-                d, i, stats = batch_knn(tree, rq, k, radii=rrad)
-                stats.charge(metrics.for_phase(r), tree.dims)
+                incoming.append((rq, rqid, rrad, rowner))
+                tasks[r] = RankTask(
+                    r, _remote_knn_step, (rq, k, rrad), {"tree": local_tree_of(cluster, r)}
+                )
+            for r, out in enumerate(cluster.run_ranks(tasks)):
+                if out is None:
+                    continue
+                _, rqid, _, rowner = incoming[r]
+                d, i, stats = out
+                stats.charge(metrics.for_phase(r), local_tree_of(cluster, r).dims)
                 remote_stats.merge(stats)
                 for owner in np.unique(rowner):
                     sel = rowner == owner
@@ -406,24 +449,31 @@ class DistributedQueryEngine:
         # ------------------------------------------------------------------
         with metrics.phase(PHASE_MERGE):
             result_send = [[None for _ in range(n_ranks)] for _ in range(n_ranks)]
+            tasks = [None] * n_ranks
+            for r in range(n_ranks):
+                pieces = [piece for piece in replies[r] if piece is not None]
+                if owner_queries[r].shape[0] == 0 or not pieces:
+                    continue
+                rqid = np.concatenate([p[0] for p in pieces])
+                rd = np.concatenate([p[1] for p in pieces], axis=0)
+                ri = np.concatenate([p[2] for p in pieces], axis=0)
+                # Map each reply row to its query's position in this owner's
+                # batch.
+                sorter = np.argsort(owner_qids[r], kind="stable")
+                rows = sorter[np.searchsorted(owner_qids[r], rqid, sorter=sorter)]
+                tasks[r] = RankTask(r, _merge_step, (k, local_dists[r], local_ids[r], rows, rd, ri))
+                metrics.for_phase(r).scalar_ops += int(rqid.shape[0]) * int(k * np.log2(max(k, 2)))
+            merged_out = cluster.run_ranks(tasks)
             for r in range(n_ranks):
                 nq = owner_queries[r].shape[0]
                 if nq == 0:
                     continue
-                counters = metrics.for_phase(r)
-                merged_d = local_dists[r]
-                merged_i = local_ids[r]
-                pieces = [piece for piece in replies[r] if piece is not None]
-                if pieces:
-                    rqid = np.concatenate([p[0] for p in pieces])
-                    rd = np.concatenate([p[1] for p in pieces], axis=0)
-                    ri = np.concatenate([p[2] for p in pieces], axis=0)
-                    # Map each reply row to its query's position in this
-                    # owner's batch.
-                    sorter = np.argsort(owner_qids[r], kind="stable")
-                    rows = sorter[np.searchsorted(owner_qids[r], rqid, sorter=sorter)]
-                    merged_d, merged_i = _merge_reply_blocks(k, merged_d, merged_i, rows, rd, ri)
-                    counters.scalar_ops += int(rqid.shape[0]) * int(k * np.log2(max(k, 2)))
+                metrics.for_phase(r)  # ensure the phase entry exists for active owners
+                if merged_out[r] is not None:
+                    merged_d, merged_i = merged_out[r]
+                else:
+                    merged_d = local_dists[r]
+                    merged_i = local_ids[r]
                 # Count neighbours that did not come from the owner itself.
                 from_local = (merged_i[:, :, None] == local_ids[r][:, None, :]).any(axis=2)
                 remote_used_all[owner_qids[r]] = np.count_nonzero(

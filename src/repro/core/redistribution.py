@@ -30,6 +30,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.comm import Communicator
+from repro.cluster.executor import RankState, RankTask
 from repro.cluster.simulator import Cluster
 from repro.core.config import PandaConfig
 from repro.core.global_tree import LEAF, GlobalTree, GlobalTreeNode
@@ -40,29 +41,62 @@ PHASE_GLOBAL_TREE = "global_tree"
 PHASE_REDISTRIBUTE = "redistribute"
 
 
+def _moments_step(state: RankState, sample_idx: np.ndarray | None) -> Tuple[np.ndarray, int]:
+    """Executor step: (count, sum, sum-of-squares) row over (sampled) points."""
+    pts = state.points if sample_idx is None else state.points[sample_idx]
+    row = np.concatenate([[pts.shape[0]], pts.sum(axis=0), (pts * pts).sum(axis=0)])
+    return row, int(pts.size)
+
+
+def _histogram_step(
+    state: RankState, dim: int, interval_points: np.ndarray, n_samples: int, binning: str
+) -> Tuple[np.ndarray, int]:
+    """Executor step: histogram the local ``dim`` column into shared bins."""
+    estimator = HistogramMedianEstimator(n_samples=n_samples, binning=binning)
+    values = state.points[:, dim] if state.points.shape[0] else np.empty(0)
+    return estimator.histogram(values, interval_points)
+
+
+def _partition_mask_step(state: RankState, dim: int, value: float) -> np.ndarray:
+    """Executor step: boolean left-of-split mask of the local points."""
+    return state.points[:, dim] <= value
+
+
 def _group_split_dimension(
     cluster: Cluster,
     comm: Communicator,
     config: PandaConfig,
     rng: np.random.Generator,
 ) -> int:
-    """Choose the max-variance dimension across the ranks of ``comm``."""
-    moments = []
+    """Choose the max-variance dimension across the ranks of ``comm``.
+
+    The per-rank sample indices are drawn from the shared ``rng`` in group
+    order (so every executor sees identical draws); the moment reductions
+    themselves run through the executor.
+    """
+    moments: List[np.ndarray | None] = [None] * comm.size
+    tasks: List[RankTask | None] = [None] * comm.size
     for local, global_rank in enumerate(comm.group):
         rank = cluster.ranks[global_rank]
-        pts = rank.points
-        if pts.shape[0] > config.global_variance_samples:
-            idx = rng.choice(pts.shape[0], size=config.global_variance_samples, replace=False)
-            pts = pts[idx]
-        counters = cluster.metrics.for_phase(global_rank)
-        counters.scalar_ops += int(pts.size)
-        if pts.size == 0:
+        sample_idx = None
+        if rank.points.shape[0] > config.global_variance_samples:
+            sample_idx = rng.choice(
+                rank.points.shape[0], size=config.global_variance_samples, replace=False
+            )
+        if rank.points.size == 0:
+            cluster.metrics.for_phase(global_rank).scalar_ops += 0
             dims = cluster.ranks[comm.group[0]].points.shape[1]
-            moments.append(np.zeros(2 * dims + 1))
+            moments[local] = np.zeros(2 * dims + 1)
             continue
-        dims = pts.shape[1]
-        row = np.concatenate([[pts.shape[0]], pts.sum(axis=0), (pts * pts).sum(axis=0)])
-        moments.append(row)
+        tasks[local] = RankTask(
+            global_rank, _moments_step, (sample_idx,), {"points": rank.points}
+        )
+    for local, out in enumerate(cluster.run_ranks(tasks)):
+        if out is None:
+            continue
+        row, ops = out
+        cluster.metrics.for_phase(comm.group[local]).scalar_ops += ops
+        moments[local] = row
     reduced = comm.allreduce_sum(moments)[0]
     dims = (reduced.shape[0] - 1) // 2
     count = max(reduced[0], 1.0)
@@ -81,9 +115,6 @@ def _group_split_value(
     rng: np.random.Generator,
 ) -> float:
     """Approximate the ``target`` quantile along ``dim`` across the group."""
-    estimator = HistogramMedianEstimator(
-        n_samples=config.global_samples_per_rank, binning=config.binning
-    )
     # Every rank contributes m sampled coordinates; allgather makes the
     # combined interval points available everywhere.
     samples = []
@@ -96,12 +127,18 @@ def _group_split_value(
         return 0.0
 
     # Every rank histograms its own points into the shared bins.
+    tasks = [
+        RankTask(
+            global_rank,
+            _histogram_step,
+            (dim, interval_points, config.global_samples_per_rank, config.binning),
+            {"points": cluster.ranks[global_rank].points},
+        )
+        for global_rank in comm.group
+    ]
     histograms = []
-    for global_rank in comm.group:
-        rank = cluster.ranks[global_rank]
-        values = rank.points[:, dim] if rank.n_points else np.empty(0)
-        counts, ops = estimator.histogram(values, interval_points)
-        cluster.metrics.for_phase(global_rank).histogram_ops += ops
+    for local, (counts, ops) in enumerate(cluster.run_ranks(tasks)):
+        cluster.metrics.for_phase(comm.group[local]).histogram_ops += ops
         histograms.append(counts)
     total_counts = comm.allreduce_sum(histograms)[0]
     return select_median_interval(interval_points, total_counts, target=target)
@@ -134,13 +171,25 @@ def _exchange_partitions(
         rights: List[Tuple[np.ndarray, np.ndarray]] = []
         n_left = 0
         n_right = 0
-        for global_rank in group:
+        tasks = [
+            RankTask(
+                global_rank,
+                _partition_mask_step,
+                (dim, value),
+                {"points": cluster.ranks[global_rank].points},
+            )
+            if cluster.ranks[global_rank].n_points
+            else None
+            for global_rank in group
+        ]
+        masks = cluster.run_ranks(tasks)
+        for local, global_rank in enumerate(group):
             rank = cluster.ranks[global_rank]
-            if rank.n_points == 0:
+            if masks[local] is None:
                 lefts.append((rank.points[:0], rank.ids[:0]))
                 rights.append((rank.points[:0], rank.ids[:0]))
                 continue
-            mask = rank.points[:, dim] <= value
+            mask = masks[local]
             lefts.append((rank.points[mask], rank.ids[mask]))
             rights.append((rank.points[~mask], rank.ids[~mask]))
             n_left += int(np.count_nonzero(mask))
@@ -257,7 +306,7 @@ def build_global_tree(
                 nodes[node_idx].rank = group[0]
                 nodes[node_idx].split_dim = LEAF
                 continue
-            comm = Communicator(cluster.metrics, group)
+            comm = cluster.comm.for_group(group)
             n_left = (len(group) + 1) // 2
             left_ranks = group[:n_left]
             right_ranks = group[n_left:]

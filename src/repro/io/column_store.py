@@ -34,6 +34,7 @@ class ColumnStore:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.root = Path(root)
         self.chunk_size = chunk_size
+        self._manifest_cache: dict | None = None
 
     # ------------------------------------------------------------------
     # Writing
@@ -61,6 +62,7 @@ class ColumnStore:
                 n_chunks += 1
             manifest["columns"][name] = {"dtype": str(col.dtype), "n_chunks": n_chunks}
         (self.root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+        self._manifest_cache = manifest
 
     def write_points(self, points: np.ndarray, column_names: Sequence[str] | None = None,
                      extra: Dict[str, np.ndarray] | None = None) -> None:
@@ -79,11 +81,13 @@ class ColumnStore:
     # Reading
     # ------------------------------------------------------------------
     def manifest(self) -> dict:
-        """Load the dataset manifest."""
-        path = self.root / _MANIFEST
-        if not path.exists():
-            raise FileNotFoundError(f"no column store at {self.root}")
-        return json.loads(path.read_text())
+        """Load the dataset manifest (parsed once per store instance)."""
+        if self._manifest_cache is None:
+            path = self.root / _MANIFEST
+            if not path.exists():
+                raise FileNotFoundError(f"no column store at {self.root}")
+            self._manifest_cache = json.loads(path.read_text())
+        return self._manifest_cache
 
     @property
     def n_rows(self) -> int:
@@ -121,11 +125,27 @@ class ColumnStore:
         cols = [self.read_column(name, start, stop) for name in column_names]
         return np.column_stack(cols) if cols else np.empty((0, 0))
 
-    def read_rank_slab(self, column_names: Sequence[str], rank: int, n_ranks: int) -> np.ndarray:
-        """Read the contiguous slab assigned to ``rank`` of ``n_ranks``."""
+    def read_rank_slab(
+        self,
+        column_names: Sequence[str],
+        rank: int,
+        n_ranks: int,
+        bounds: Sequence[tuple] | None = None,
+    ) -> np.ndarray:
+        """Read the contiguous slab assigned to ``rank`` of ``n_ranks``.
+
+        By default ranks get balanced :func:`~repro.io.partition.partition_bounds`
+        slabs; pass explicit per-rank ``[start, end)`` ``bounds`` when the
+        slabs are data-dependent (e.g. per-rank tree snapshots packed into
+        one store).  Only the chunks overlapping the slab are touched.
+        """
         from repro.io.partition import partition_bounds
 
         if not 0 <= rank < n_ranks:
             raise ValueError(f"rank {rank} outside 0..{n_ranks - 1}")
-        lo, hi = partition_bounds(self.n_rows, n_ranks)[rank]
-        return self.read_points(column_names, lo, hi)
+        if bounds is None:
+            bounds = partition_bounds(self.n_rows, n_ranks)
+        if len(bounds) != n_ranks:
+            raise ValueError(f"expected {n_ranks} slab bounds, got {len(bounds)}")
+        lo, hi = bounds[rank]
+        return self.read_points(column_names, int(lo), int(hi))

@@ -28,6 +28,7 @@ from repro.service.service import (
     KNNService,
     MicroBatchPolicy,
     RebuildPolicy,
+    RecordRing,
     RequestRecord,
     summarize_records,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "KNNService",
     "MicroBatchPolicy",
     "RebuildPolicy",
+    "RecordRing",
     "RequestRecord",
     "summarize_records",
     "LocalTreeBackend",

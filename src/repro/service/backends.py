@@ -66,6 +66,9 @@ class LocalTreeBackend:
         """Fresh backend over a new point set, same construction config."""
         return LocalTreeBackend(build_kdtree(points, ids=ids, config=self.tree.config))
 
+    def close(self) -> None:
+        """Nothing pooled to release (protocol uniformity with PandaBackend)."""
+
     def save(self, path) -> Path:
         """Snapshot the tree; see :meth:`repro.kdtree.tree.KDTree.save`."""
         return save_kdtree(self.tree, path)
@@ -92,7 +95,13 @@ class PandaBackend:
         n_ranks: int = 4,
         **panda_kwargs,
     ) -> "PandaBackend":
-        """Build a distributed index over ``points`` and wrap it."""
+        """Build a distributed index over ``points`` and wrap it.
+
+        ``panda_kwargs`` forward to :class:`~repro.core.panda.PandaKNN`;
+        notably ``executor="thread"``/``"process"`` serves micro-batches
+        through a real parallel rank executor (answers are byte-identical
+        to the inline default).
+        """
         return cls(PandaKNN(n_ranks=n_ranks, **panda_kwargs).fit(points, ids))
 
     @property
@@ -110,25 +119,49 @@ class PandaBackend:
         return self.index.kneighbors(queries, k=k)
 
     def all_points(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Gathered ``(points, ids)`` across ranks (used by rebuilds)."""
+        """Gathered ``(points, ids)`` across ranks (used by rebuilds).
+
+        Materialises every lazily restored rank first — a rebuild must fold
+        the *whole* index, not just the ranks queries happened to touch.
+        """
+        self.index.local_trees()
         return self.index.cluster.gather_points(), self.index.cluster.gather_ids()
 
     def refit(self, points: np.ndarray, ids: np.ndarray) -> "PandaBackend":
-        """Fresh distributed index over a new point set, same cluster shape."""
+        """Fresh distributed index over a new point set, same cluster shape.
+
+        The rank executor (and its pooled workers) carries over, so a
+        rebuild under a process executor does not respawn the pool.
+        """
         fresh = PandaKNN(
             n_ranks=self.index.n_ranks,
             machine=self.index.cluster.machine,
             threads_per_rank=self.index.cluster.threads_per_rank,
             config=self.index.config,
+            executor=self.index.cluster.executor,
         )
+        # Shutdown responsibility follows the live index down the refit
+        # chain; the retired cluster's close() leaves the shared pool alone.
+        self.index.cluster.transfer_executor_ownership(fresh.cluster)
         return PandaBackend(fresh.fit(points, ids))
 
-    def save(self, path) -> Path:
+    def close(self) -> None:
+        """Release the index's executor workers/shared memory (if owned)."""
+        self.index.close()
+
+    def save(self, path, layout: str = "files") -> Path:
         """Snapshot the index; see :meth:`repro.core.panda.PandaKNN.snapshot`."""
-        self.index.snapshot(path)
+        self.index.snapshot(path, layout=layout)
         return Path(path)
 
     @classmethod
-    def load(cls, path) -> "PandaBackend":
-        """Warm-start from a :meth:`repro.core.panda.PandaKNN.snapshot` directory."""
-        return cls(PandaKNN.restore(path))
+    def load(cls, path, lazy: bool = False, executor=None) -> "PandaBackend":
+        """Warm-start from a :meth:`repro.core.panda.PandaKNN.snapshot` directory.
+
+        ``lazy=True`` defers per-rank tree materialisation to first touch.
+        Note that :attr:`n_points` under-reports until ranks are touched,
+        and that wrapping the backend in a :class:`KNNService` materialises
+        everything up front anyway (the service indexes the full id set);
+        laziness pays off for direct query use.
+        """
+        return cls(PandaKNN.restore(path, lazy=lazy, executor=executor))

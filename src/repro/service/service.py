@@ -32,8 +32,9 @@ answers are always exact against the current live set.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -136,6 +137,92 @@ class RequestRecord:
         return self.dispatch - self.arrival
 
 
+class RecordRing(Sequence):
+    """Bounded request-record log: a ring buffer with exact running totals.
+
+    Keeps at most ``capacity`` recent :class:`RequestRecord` entries for
+    inspection and windowed percentiles, while the aggregate statistics
+    (count, mean/max latency, span, cache hits, batch sizes) are accumulated
+    over *every* record ever appended — so :meth:`summary` reports exact
+    aggregates no matter how small the window is.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"retention capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[RequestRecord] = deque(maxlen=capacity)
+        self._n = 0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+        self._first_arrival = np.inf
+        self._last_completion = -np.inf
+        self._cache_hits = 0
+        self._batch_sum = 0
+        self._n_batched = 0
+
+    # -- sequence protocol (slices included, so existing callers keep working)
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            # Slicing is a rare introspection path; appends stay O(1).
+            return list(self._items)[index]
+        return self._items[index]
+
+    def __iter__(self):
+        return iter(self._items)
+
+    @property
+    def n_total(self) -> int:
+        """Records ever appended (evicted ones included)."""
+        return self._n
+
+    @property
+    def n_evicted(self) -> int:
+        """Records dropped from the window so far."""
+        return self._n - len(self._items)
+
+    def append(self, record: RequestRecord) -> None:
+        """Add a record, updating exact aggregates and trimming the window."""
+        self._n += 1
+        self._latency_sum += record.latency
+        self._latency_max = max(self._latency_max, record.latency)
+        self._first_arrival = min(self._first_arrival, record.arrival)
+        self._last_completion = max(self._last_completion, record.completion)
+        if record.cache_hit:
+            self._cache_hits += 1
+        else:
+            self._batch_sum += record.batch_size
+            self._n_batched += 1
+        self._items.append(record)  # deque maxlen evicts the oldest in O(1)
+
+    def summary(self) -> Dict[str, float]:
+        """Same shape as :func:`summarize_records`.
+
+        Counts, mean/max latency, QPS, cache hit rate and mean batch size
+        are exact over the full history; the p50/p99 percentiles are
+        computed over the retained window (they are order statistics, so a
+        bounded log cannot reproduce them exactly once records are
+        evicted).
+        """
+        if self._n == 0:
+            return summarize_records([])
+        latencies = np.array([r.latency for r in self._items])
+        span = float(self._last_completion - self._first_arrival)
+        return {
+            "n_requests": float(self._n),
+            "p50_latency_s": float(np.percentile(latencies, 50)),
+            "p99_latency_s": float(np.percentile(latencies, 99)),
+            "mean_latency_s": self._latency_sum / self._n,
+            "max_latency_s": self._latency_max,
+            "qps": float(self._n / span) if span > 0 else float("inf"),
+            "cache_hit_rate": self._cache_hits / self._n,
+            "mean_batch_size": self._batch_sum / self._n_batched if self._n_batched else 0.0,
+        }
+
+
 def summarize_records(records: Sequence[RequestRecord]) -> Dict[str, float]:
     """p50/p99 latency, QPS and batching statistics of a request log."""
     if not records:
@@ -190,6 +277,13 @@ class KNNService:
         Micro-batching and rebuild parameters (sensible defaults).
     cache_capacity:
         LRU result-cache entries (0 disables caching).
+    retention:
+        Completed requests retained for inspection: both the
+        :class:`RecordRing` of :class:`RequestRecord` entries and the
+        fetchable per-request answers are capped at this many recent
+        requests (a long-lived service no longer grows without bound).
+        Aggregate latency statistics stay exact across evictions; percentiles
+        are over the retained window.
     service_time:
         Optional ``batch_size -> seconds`` model replacing the measured
         wall-clock batch cost — injected by tests that need a
@@ -204,6 +298,7 @@ class KNNService:
         batch_policy: MicroBatchPolicy | None = None,
         rebuild_policy: RebuildPolicy | None = None,
         cache_capacity: int = 4096,
+        retention: int = 65536,
         service_time: Callable[[int], float] | None = None,
     ) -> None:
         if k <= 0:
@@ -216,13 +311,14 @@ class KNNService:
         self.rebuild_policy = rebuild_policy or RebuildPolicy()
         self.cache = LRUCache(cache_capacity)
         self.delta = DeltaBuffer(backend.dims)
-        self.records: List[RequestRecord] = []
+        self.records: RecordRing = RecordRing(retention)
         self.version = 0
         self.rebuilds = 0
         self.rebuild_seconds = 0.0
         self._service_time = service_time
         self._pending: List[_Pending] = []
         self._results: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._result_order: Deque[int] = deque()
         self._now = 0.0
         self._server_free_at = 0.0
         self._next_request_id = 0
@@ -230,6 +326,18 @@ class KNNService:
         self._ewma_gap: float | None = None
         self._first_dirty_at: float | None = None
         self._reindex_ids()
+
+    def close(self) -> None:
+        """Release backend resources (pooled executor workers, if owned)."""
+        closer = getattr(self.backend, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "KNNService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -263,8 +371,13 @@ class KNNService:
         return int(np.clip(target, policy.min_batch, policy.max_batch))
 
     def latency_summary(self) -> Dict[str, float]:
-        """Summary statistics over every completed request."""
-        return summarize_records(self.records)
+        """Summary statistics over every completed request.
+
+        Counts, mean/max latency, QPS, cache hit rate and batch sizes are
+        exact over the full history even after the retention ring evicted
+        old records; p50/p99 are over the retained window.
+        """
+        return self.records.summary()
 
     # ------------------------------------------------------------------
     # Query path
@@ -293,7 +406,7 @@ class KNNService:
         cached = self.cache.get(query_key(query, k))
         if cached is not None:
             d, i = cached
-            self._results[request_id] = (d.copy(), i.copy())
+            self._store_result(request_id, (d.copy(), i.copy()))
             self.records.append(
                 RequestRecord(request_id, arrival, arrival, arrival, cache_hit=True, batch_size=0)
             )
@@ -314,10 +427,24 @@ class KNNService:
         return self.result(request_id)
 
     def result(self, request_id: int) -> Tuple[np.ndarray, np.ndarray]:
-        """``(distances, ids)`` of a completed request."""
+        """``(distances, ids)`` of a completed request.
+
+        Raises ``KeyError`` when the request is still pending or its answer
+        was already evicted by the retention ring.
+        """
         if request_id not in self._results:
-            raise KeyError(f"request {request_id} has no result (still pending?)")
+            raise KeyError(
+                f"request {request_id} has no result (still pending, or evicted "
+                f"by the retention ring of {self.records.capacity})"
+            )
         return self._results[request_id]
+
+    def _store_result(self, request_id: int, value: Tuple[np.ndarray, np.ndarray]) -> None:
+        """Record a completed answer, evicting the oldest beyond retention."""
+        self._results[request_id] = value
+        self._result_order.append(request_id)
+        while len(self._result_order) > self.records.capacity:
+            self._results.pop(self._result_order.popleft(), None)
 
     def flush(self, at: float | None = None) -> int:
         """Dispatch everything queued; returns the number dispatched."""
@@ -485,7 +612,7 @@ class KNNService:
 
         for r in batch:
             d_row, i_row = answers[r.request_id]
-            self._results[r.request_id] = (d_row, i_row)
+            self._store_result(r.request_id, (d_row, i_row))
             # The cache owns its copies: a caller mutating a returned answer
             # in place must not poison later hits (hits copy on read too).
             self.cache.put(query_key(r.query, r.k), (d_row.copy(), i_row.copy()))

@@ -151,3 +151,24 @@ class TestRankSlabEdgeCases:
         store.write({"x": np.arange(10.0)})
         with pytest.raises(ValueError):
             store.read_rank_slab(["x"], -1, 4)
+
+
+class TestExplicitSlabBounds:
+    def test_read_rank_slab_with_bounds(self, tmp_path):
+        store = ColumnStore(tmp_path / "ds", chunk_size=4)
+        values = np.arange(10, dtype=np.float64)
+        store.write({"x": values})
+        bounds = [(0, 3), (3, 3), (3, 10)]  # uneven, one empty
+        assert np.array_equal(
+            store.read_rank_slab(["x"], 0, 3, bounds=bounds).ravel(), values[:3]
+        )
+        assert store.read_rank_slab(["x"], 1, 3, bounds=bounds).shape[0] == 0
+        assert np.array_equal(
+            store.read_rank_slab(["x"], 2, 3, bounds=bounds).ravel(), values[3:]
+        )
+
+    def test_bounds_length_validated(self, tmp_path):
+        store = ColumnStore(tmp_path / "ds")
+        store.write({"x": np.arange(4, dtype=np.float64)})
+        with pytest.raises(ValueError):
+            store.read_rank_slab(["x"], 0, 2, bounds=[(0, 4)])

@@ -375,3 +375,66 @@ class TestReviewRegressions:
         service = make_service(backend, cache_capacity=16)
         service.insert(np.zeros((1, 3)))
         assert service.cache_stats.invalidations == 0
+
+
+class TestRetentionRing:
+    def test_default_retention_keeps_everything_small(self, backend):
+        service = make_service(backend)
+        for step in range(10):
+            service.query(np.zeros(3) + step * 0.01, at=step * 1.0)
+        assert len(service.records) == 10
+        assert service.records.n_evicted == 0
+
+    def test_records_window_is_bounded(self, backend):
+        service = make_service(backend, retention=8, cache_capacity=0)
+        for step in range(30):
+            service.query(np.zeros(3) + step * 0.01, at=step * 1.0)
+        assert len(service.records) == 8
+        assert service.records.n_total == 30
+        assert service.records.n_evicted == 22
+        # The window holds the most recent requests, slicing still works.
+        assert [r.request_id for r in service.records[:3]] == [22, 23, 24]
+
+    def test_aggregates_exact_across_evictions(self, backend):
+        # Distinct latency per request via a deterministic service-time model.
+        service = KNNService(
+            backend, retention=4, cache_capacity=0, service_time=lambda n: 0.5
+        )
+        unbounded = KNNService(
+            backend, cache_capacity=0, service_time=lambda n: 0.5
+        )
+        rng = np.random.default_rng(9)
+        for step in range(25):
+            q = rng.normal(size=3)
+            at = float(step)
+            service.query(q, at=at)
+            unbounded.query(q, at=at)
+        got = service.latency_summary()
+        want = unbounded.latency_summary()
+        for key in ("n_requests", "mean_latency_s", "max_latency_s", "qps",
+                    "cache_hit_rate", "mean_batch_size"):
+            assert got[key] == pytest.approx(want[key]), key
+
+    def test_results_evicted_beyond_retention(self, backend):
+        service = make_service(backend, retention=3, cache_capacity=0)
+        ids = [service.query(np.zeros(3) + s * 0.01, at=float(s)) and s for s in range(6)]
+        first = 0
+        with pytest.raises(KeyError, match="evicted"):
+            service.result(first)
+        # Recent results are still fetchable.
+        d, i = service.result(5)
+        assert d.shape == (5,)
+
+    def test_cache_hits_count_in_exact_aggregates(self, backend):
+        service = make_service(backend, retention=2)
+        q = np.zeros(3)
+        service.query(q, at=0.0)
+        for step in range(1, 7):
+            service.query(q, at=float(step))  # cache hits
+        summary = service.latency_summary()
+        assert summary["n_requests"] == 7.0
+        assert summary["cache_hit_rate"] == pytest.approx(6 / 7)
+
+    def test_retention_validated(self, backend):
+        with pytest.raises(ValueError):
+            make_service(backend, retention=0)

@@ -97,3 +97,75 @@ class TestServiceWarmStart:
         (new_id,) = service.insert(far[None, :])
         d, i = service.query(far)
         assert i[0] == new_id and d[0] == 0.0
+
+
+class TestLazyAndSlabRestore:
+    @pytest.mark.parametrize("layout", ["files", "slabs"])
+    def test_lazy_restore_materialises_on_first_touch(self, fitted, small_points, layout, tmp_path):
+        from repro.core.local_phase import LOCAL_TREE_KEY, LazyLocalTree
+
+        fitted.snapshot(tmp_path / "panda", layout=layout)
+        lazy = PandaKNN.restore(tmp_path / "panda", lazy=True)
+        assert all(
+            isinstance(r.store[LOCAL_TREE_KEY], LazyLocalTree) for r in lazy.cluster.ranks
+        )
+        assert lazy.cluster.total_points() == 0  # nothing materialised yet
+        rng = np.random.default_rng(4)
+        queries = small_points[rng.choice(small_points.shape[0], 20, replace=False)]
+        cold = fitted.query(queries, k=5)
+        warm = lazy.query(queries, k=5)
+        assert np.array_equal(cold.distances, warm.distances)
+        assert np.array_equal(cold.ids, warm.ids)
+        # The query touched every owner rank it needed; the rest load via
+        # local_trees(), after which the full point set is back.
+        lazy.local_trees()
+        assert lazy.cluster.total_points() == fitted.cluster.total_points()
+
+    @pytest.mark.parametrize("layout", ["files", "slabs"])
+    def test_restored_trees_byte_identical(self, fitted, layout, tmp_path):
+        fitted.snapshot(tmp_path / "panda", layout=layout)
+        restored = PandaKNN.restore(tmp_path / "panda", lazy=True)
+        for cold, warm in zip(fitted.local_trees(), restored.local_trees()):
+            check_snapshot_roundtrip(cold, warm)
+
+    def test_lazy_restored_index_can_resnapshot(self, fitted, tmp_path):
+        fitted.snapshot(tmp_path / "a", layout="slabs")
+        lazy = PandaKNN.restore(tmp_path / "a", lazy=True)
+        lazy.snapshot(tmp_path / "b", layout="files")  # materialises via local_tree_of
+        again = PandaKNN.restore(tmp_path / "b")
+        for cold, warm in zip(fitted.local_trees(), again.local_trees()):
+            check_snapshot_roundtrip(cold, warm)
+
+    def test_unknown_layout_rejected(self, fitted, tmp_path):
+        with pytest.raises(ValueError, match="layout"):
+            fitted.snapshot(tmp_path / "panda", layout="parquet")
+
+    def test_slab_snapshot_writes_distinct_version(self, fitted, tmp_path):
+        import json
+
+        from repro.core.snapshot import SLAB_SNAPSHOT_VERSION
+
+        fitted.snapshot(tmp_path / "slabs", layout="slabs")
+        fitted.snapshot(tmp_path / "files", layout="files")
+        slabs_meta = json.loads((tmp_path / "slabs" / "panda_meta.json").read_text())
+        files_meta = json.loads((tmp_path / "files" / "panda_meta.json").read_text())
+        assert slabs_meta["version"] == SLAB_SNAPSHOT_VERSION
+        assert files_meta["version"] != SLAB_SNAPSHOT_VERSION
+
+    def test_lazy_backend_rebuild_keeps_untouched_ranks(self, fitted, small_points, tmp_path):
+        from repro.service import RebuildPolicy
+
+        fitted.snapshot(tmp_path / "panda")
+        backend = PandaBackend.load(tmp_path / "panda", lazy=True)
+        service = KNNService(
+            backend,
+            k=3,
+            rebuild_policy=RebuildPolicy(max_inserts=4),
+            service_time=lambda n: 0.001,
+        )
+        n_before = service.n_live
+        assert n_before == small_points.shape[0]  # full id set indexed up front
+        rng = np.random.default_rng(3)
+        service.insert(rng.normal(size=(5, 3)))  # crosses max_inserts -> rebuild
+        assert service.rebuilds == 1
+        assert service.n_live == n_before + 5  # no rank silently dropped
