@@ -35,6 +35,7 @@ from repro.core import (
     PandaKNN,
     ReplicatedKNN,
 )
+from repro.fleet import AdmissionPolicy, KNNFleet, ShardPlanner
 from repro.kdtree import KDTree, KDTreeConfig, batch_knn, brute_force_knn, build_kdtree, knn_search
 from repro.service import KNNService, LocalTreeBackend, MicroBatchPolicy, PandaBackend, RebuildPolicy
 
@@ -61,4 +62,7 @@ __all__ = [
     "RebuildPolicy",
     "LocalTreeBackend",
     "PandaBackend",
+    "KNNFleet",
+    "ShardPlanner",
+    "AdmissionPolicy",
 ]

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
+from typing import List, Tuple
 
 import numpy as np
 
@@ -306,3 +307,82 @@ def _file_tree_loader(root: Path, rank: int):
         return load_kdtree(root / _local_tree_file(rank))
 
     return load
+
+
+# ----------------------------------------------------------------------
+# Versioned snapshot directories (background rebuild hot-swap)
+# ----------------------------------------------------------------------
+#: File naming the currently promoted version inside a versioned root.
+CURRENT_POINTER = "CURRENT"
+
+_VERSION_PREFIX = "v"
+_VERSION_DIGITS = 4
+
+
+def list_snapshot_versions(root: str | Path) -> List[Tuple[int, Path]]:
+    """Every ``vNNNN`` version directory under ``root``, ascending.
+
+    Returns ``(version_number, path)`` pairs; a missing or empty root yields
+    an empty list.  Non-version entries (including the ``CURRENT`` pointer)
+    are ignored.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    versions: List[Tuple[int, Path]] = []
+    for entry in root.iterdir():
+        name = entry.name
+        if entry.is_dir() and name.startswith(_VERSION_PREFIX) and name[1:].isdigit():
+            versions.append((int(name[1:]), entry))
+    return sorted(versions)
+
+
+def allocate_version_dir(root: str | Path) -> Path:
+    """Create and return the next ``vNNNN`` directory under ``root``.
+
+    Version numbers grow one past the largest version currently on disk, so
+    a *promoted* version is never shadowed by a later build of the same
+    name while it exists.  A build that was cancelled before promotion (its
+    directory removed, never pointed at by ``CURRENT``, never observable
+    through :func:`current_version_dir`) may have its number reused.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    versions = list_snapshot_versions(root)
+    next_version = versions[-1][0] + 1 if versions else 1
+    path = root / f"{_VERSION_PREFIX}{next_version:0{_VERSION_DIGITS}d}"
+    path.mkdir()
+    return path
+
+
+def promote_version(root: str | Path, version_dir: str | Path) -> Path:
+    """Atomically point ``root/CURRENT`` at ``version_dir``.
+
+    The pointer is written to a temporary file and renamed over the old one
+    (atomic on POSIX), so a reader never observes a half-written pointer:
+    it sees either the previous version or the new one — the on-disk
+    equivalent of the in-memory hot swap.
+    """
+    root = Path(root)
+    version_dir = Path(version_dir)
+    if version_dir.parent != root:
+        raise ValueError(f"{version_dir} is not a version directory under {root}")
+    if not version_dir.is_dir():
+        raise FileNotFoundError(f"version directory {version_dir} does not exist")
+    tmp = root / f".{CURRENT_POINTER}.tmp"
+    tmp.write_text(version_dir.name + "\n")
+    tmp.replace(root / CURRENT_POINTER)
+    return version_dir
+
+
+def current_version_dir(root: str | Path) -> Path | None:
+    """The promoted version directory, or ``None`` when nothing is promoted."""
+    root = Path(root)
+    pointer = root / CURRENT_POINTER
+    if not pointer.exists():
+        return None
+    name = pointer.read_text().strip()
+    path = root / name
+    if not path.is_dir():
+        raise FileNotFoundError(f"{pointer} points at missing version {name!r}")
+    return path

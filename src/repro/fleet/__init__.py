@@ -1,0 +1,54 @@
+"""Sharded serving fleet: region-routed scatter-gather over replicated shards.
+
+The paper's thesis — KNN at extreme scale through space partitioning, so
+each query touches only the ranks whose regions can hold a neighbour —
+applied one level up, to a fleet of online services:
+
+* :mod:`~repro.fleet.planner` — :class:`ShardPlanner` cuts the dataset into
+  shard regions with the same recursive median splits as the global
+  kd-tree's top levels (hash / round-robin fallbacks for geometry-free
+  data);
+* :mod:`~repro.fleet.replica` — :class:`ReplicaGroup` serves each shard
+  from identical replicas: least-loaded reads, failure injection, retry on
+  a replica dying mid-query;
+* :mod:`~repro.fleet.router` — :class:`Router` answers by pruned
+  scatter-gather: owner shard first, then only the shards whose region box
+  intersects the k-th-distance ball, merged exactly;
+* :mod:`~repro.fleet.admission` — bounded pending queue with shed/reject
+  accounting;
+* :mod:`~repro.fleet.fleet` — :class:`KNNFleet`, the front door tying the
+  above together with micro-batching, background rebuild hot-swap per
+  replica, and fleet-wide aggregated statistics.
+
+Fleet answers are exact: identical distances to one unsharded
+:class:`~repro.service.service.KNNService` over the same live set (tie
+identity at the k-th distance unspecified, as everywhere in this
+codebase).
+"""
+
+from repro.fleet.admission import AdmissionController, AdmissionPolicy, AdmissionStats
+from repro.fleet.fleet import KNNFleet, RequestRejectedError
+from repro.fleet.planner import ShardPlan, ShardPlanner
+from repro.fleet.replica import (
+    Replica,
+    ReplicaDeadError,
+    ReplicaGroup,
+    ShardUnavailableError,
+)
+from repro.fleet.router import Router, RouterStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "KNNFleet",
+    "RequestRejectedError",
+    "ShardPlan",
+    "ShardPlanner",
+    "Replica",
+    "ReplicaDeadError",
+    "ReplicaGroup",
+    "ShardUnavailableError",
+    "Router",
+    "RouterStats",
+]

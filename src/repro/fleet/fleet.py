@@ -1,0 +1,571 @@
+"""The sharded serving fleet: one front door over many replicated shards.
+
+:class:`KNNFleet` is the multi-tenant, heavy-traffic face of the system:
+the dataset is cut into shard regions by a
+:class:`~repro.fleet.planner.ShardPlanner`, every shard is served by a
+:class:`~repro.fleet.replica.ReplicaGroup` of identical
+:class:`~repro.service.service.KNNService` instances, and queries are
+answered by the :class:`~repro.fleet.router.Router`'s region-pruned
+scatter-gather — byte-equal distances to a single unsharded service, at a
+fan-out that shrinks as regions get tighter.
+
+The fleet runs the same event-driven single-server queue model as the
+service one level down: requests are admission-controlled
+(:class:`~repro.fleet.admission.AdmissionController`) into a bounded
+pending queue, dispatched in size-or-deadline micro-batches, and accounted
+request by request — so the fleet-wide :meth:`KNNFleet.stats` reports
+honest p50/p99 latency, QPS, shed/reject counts and measured fan-out.
+
+Streaming mutations route to the owning shard (by region, id hash, or
+round-robin, matching the plan) and are applied to every live replica of
+its group.  Rebuilds are *background* per replica: the shard keeps serving
+from the old index while the fresh one builds, then hot-swaps — with an
+optional versioned snapshot trail under ``snapshot_root``
+(``shardNN/replicaM/vNNNN`` + ``CURRENT`` pointers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.fleet.admission import ADMIT, REJECT, SHED, AdmissionController, AdmissionPolicy
+from repro.fleet.planner import ShardPlan, ShardPlanner
+from repro.fleet.replica import Replica, ReplicaGroup, ShardUnavailableError
+from repro.fleet.router import Router
+from repro.kdtree.tree import KDTreeConfig
+from repro.service.backends import LocalTreeBackend
+from repro.service.service import (
+    KNNService,
+    MicroBatchPolicy,
+    RebuildPolicy,
+    RecordRing,
+    RequestRecord,
+    _Pending,
+)
+
+
+class RequestRejectedError(KeyError):
+    """The request was refused (or shed) by admission control."""
+
+
+class KNNFleet:
+    """Region-routed, replicated, admission-controlled serving fleet.
+
+    Build one with :meth:`KNNFleet.build`; the constructor wires
+    pre-assembled parts (tests exercise it directly).
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        groups: Sequence[ReplicaGroup],
+        initial_ids: np.ndarray,
+        k: int = 5,
+        batch_policy: MicroBatchPolicy | None = None,
+        admission_policy: AdmissionPolicy | None = None,
+        retention: int = 65536,
+        service_time: Callable[[int], float] | None = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.plan = plan
+        self.groups = list(groups)
+        self.router = Router(plan, self.groups)
+        self.k = k
+        self.batch_policy = batch_policy or MicroBatchPolicy()
+        self.admission = AdmissionController(admission_policy)
+        self.records: RecordRing = RecordRing(retention)
+        self._service_time = service_time
+        self._pending: List[_Pending] = []
+        # Set when a dispatch failed on a fully-dead shard and its batch was
+        # requeued: automatic (deadline/size-trigger) dispatching pauses so
+        # the poisoned batch cannot wedge unrelated operations; an explicit
+        # flush() retries it (e.g. after heal()).
+        self._stalled = False
+        self._results: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._result_order: Deque[int] = deque()
+        # The rejection ledger is ring-bounded like every other per-request
+        # structure: a long-lived fleet under sustained overload must not
+        # grow without bound precisely when it is overloaded.
+        self._rejected: Set[int] = set()
+        self._rejected_order: Deque[int] = deque()
+        self._now = 0.0
+        self._server_free_at = 0.0
+        self._next_request_id = 0
+        self._last_arrival: float | None = None
+        self._ewma_gap: float | None = None
+        self._dims = int(self.groups[0].replicas[0].service.backend.dims)
+        initial_ids = np.asarray(initial_ids, dtype=np.int64)
+        self._id_to_shard: Dict[int, int] = {
+            int(i): int(s) for i, s in zip(initial_ids, plan.assignment)
+        }
+        self._n_assigned = int(initial_ids.shape[0])
+        self._next_auto_id = int(initial_ids.max()) + 1 if initial_ids.size else 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        points: np.ndarray,
+        ids: np.ndarray | None = None,
+        n_shards: int = 4,
+        n_replicas: int = 1,
+        strategy: str = "tree",
+        k: int = 5,
+        config: KDTreeConfig | None = None,
+        batch_policy: MicroBatchPolicy | None = None,
+        admission_policy: AdmissionPolicy | None = None,
+        rebuild_policy: RebuildPolicy | None = None,
+        retention: int = 65536,
+        snapshot_root: str | Path | None = None,
+        service_time: Callable[[int], float] | None = None,
+    ) -> "KNNFleet":
+        """Plan, shard, replicate and wire a fleet over ``points``.
+
+        Every replica service runs with ``background_rebuild=True`` (the
+        old index serves during policy-triggered rebuilds) and, when
+        ``snapshot_root`` is given, writes versioned snapshots under
+        ``snapshot_root/shardNN/replicaM/``.
+        """
+        if n_replicas <= 0:
+            raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        n = points.shape[0]
+        ids = np.arange(n, dtype=np.int64) if ids is None else np.asarray(ids, dtype=np.int64)
+        if ids.size and int(ids.min()) < 0:
+            # -1 is the padding sentinel of every answer path; a negative id
+            # would be silently masked out of all merged results.
+            raise ValueError("ids must be non-negative (-1 is the padding sentinel)")
+        if np.unique(ids).size != ids.shape[0]:
+            raise ValueError("initial ids must be unique")
+        plan = ShardPlanner(n_shards, strategy=strategy).plan(points, ids)
+        if np.bincount(plan.assignment, minlength=n_shards).min() == 0:
+            # Only the non-spatial strategies can get here (the tree planner
+            # rejects empty regions itself): e.g. hash-sharding ids that all
+            # share a residue class.
+            raise ValueError(f"{strategy!r} plan left a shard empty; use fewer shards")
+        groups: List[ReplicaGroup] = []
+        for shard in range(n_shards):
+            mask = plan.assignment == shard
+            # One deterministic build per shard; replicas wrap the same
+            # immutable tree (every mutation path refits into a NEW backend,
+            # so sharing the initial tree is safe and cuts build cost by
+            # the replica factor).
+            shard_backend = LocalTreeBackend.fit(points[mask], ids=ids[mask], config=config)
+            replicas = []
+            for r in range(n_replicas):
+                root = (
+                    Path(snapshot_root) / f"shard{shard:02d}" / f"replica{r}"
+                    if snapshot_root is not None
+                    else None
+                )
+                service = KNNService(
+                    shard_backend if r == 0 else LocalTreeBackend(shard_backend.tree),
+                    k=k,
+                    rebuild_policy=rebuild_policy,
+                    # Replicas answer through the router, not their own
+                    # micro-batch queue, so the per-service result cache
+                    # would never be consulted: disable it.
+                    cache_capacity=0,
+                    service_time=service_time,
+                    background_rebuild=True,
+                    snapshot_root=root,
+                )
+                replicas.append(Replica(shard, r, service))
+            groups.append(ReplicaGroup(shard, replicas))
+        return cls(
+            plan,
+            groups,
+            ids,
+            k=k,
+            batch_policy=batch_policy,
+            admission_policy=admission_policy,
+            retention=retention,
+            service_time=service_time,
+        )
+
+    def close(self) -> None:
+        """Release every replica's backend resources."""
+        for group in self.groups:
+            for replica in group.replicas:
+                replica.service.close()
+
+    def __enter__(self) -> "KNNFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    @property
+    def now(self) -> float:
+        """Current logical time (max event time seen so far)."""
+        return self._now
+
+    @property
+    def n_pending(self) -> int:
+        """Requests queued but not yet dispatched."""
+        return len(self._pending)
+
+    @property
+    def n_live(self) -> int:
+        """Live points across every shard."""
+        return sum(group.n_live for group in self.groups)
+
+    def target_batch_size(self) -> int:
+        """Current micro-batch target under the (possibly adaptive) policy."""
+        policy = self.batch_policy
+        if not policy.adaptive or self._ewma_gap is None or self._ewma_gap <= 0:
+            return policy.max_batch
+        target = int(policy.max_delay_s / self._ewma_gap)
+        return int(np.clip(target, policy.min_batch, policy.max_batch))
+
+    def stats(self) -> Dict[str, object]:
+        """Fleet-wide aggregated statistics.
+
+        One flat latency summary (p50/p99/mean/max, QPS — same keys as
+        :meth:`KNNService.latency_summary`) plus the admission ledger, the
+        router's measured fan-out, and a per-shard health row.
+        """
+        summary: Dict[str, object] = dict(self.records.summary())
+        summary["admission"] = self.admission.stats.as_dict()
+        summary["router"] = self.router.stats.as_dict()
+        summary["n_live"] = float(self.n_live)
+        summary["shards"] = [
+            {
+                "shard": group.shard_id,
+                "n_live": group.n_live,
+                "replicas_alive": group.n_alive,
+                "replicas": group.n_replicas,
+                "rebuilds": group.rebuilds,
+                "retries": group.retries,
+                "deaths": group.deaths,
+            }
+            for group in self.groups
+        ]
+        return summary
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(self, query: np.ndarray, k: int | None = None, at: float | None = None) -> int:
+        """Enqueue one query through admission control; returns its id.
+
+        A rejected (or later shed) request id still resolves — to a
+        :class:`RequestRejectedError` from :meth:`result` — so open-loop
+        drivers can account every offered request.  Like answers, the
+        rejection ledger is bounded by the retention capacity: ids of
+        rejections older than the most recent ``retention`` are evicted and
+        resolve to a plain ``KeyError``.
+        """
+        k = self.k if k is None else k
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self._dims:
+            raise ValueError(f"query has {query.shape[0]} dims, fleet has {self._dims}")
+        arrival = self._advance(at)
+        self._note_arrival(arrival)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+
+        verdict = self.admission.on_submit(len(self._pending))
+        if verdict == REJECT:
+            self._note_rejected(request_id)
+            return request_id
+        if verdict == SHED:
+            victim = self._pending.pop(0)
+            self._note_rejected(victim.request_id)
+        self._pending.append(_Pending(request_id, arrival, k, query))
+        if len(self._pending) >= self.target_batch_size():
+            # Quiet on a dead shard: the request was admitted and stays
+            # queued (the failed dispatch requeued its batch and latched
+            # the stall); the caller must still get the id so the answer
+            # is reachable after a heal() + flush().
+            self._dispatch_quietly(arrival)
+        return request_id
+
+    def query(
+        self, query: np.ndarray, k: int | None = None, at: float | None = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Interactive single query: submit, flush, return ``(distances, ids)``.
+
+        As explicit as :meth:`flush`, so a batch stalled on a dead shard is
+        retried here too — the caller gets either the answer or the real
+        :class:`~repro.fleet.replica.ShardUnavailableError`, never a
+        misleading still-pending ``KeyError``.
+        """
+        request_id = self.submit(query, k=k, at=at)
+        if request_id not in self._results and request_id not in self._rejected:
+            self._dispatch(self._now, retry_stalled=True)
+        return self.result(request_id)
+
+    def result(self, request_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distances, ids)`` of a completed request.
+
+        Raises :class:`RequestRejectedError` for requests refused or shed
+        by admission control, ``KeyError`` when still pending or evicted.
+        """
+        if request_id in self._rejected:
+            raise RequestRejectedError(f"request {request_id} was rejected by admission control")
+        if request_id not in self._results:
+            raise KeyError(
+                f"request {request_id} has no result (still pending, or its answer/"
+                f"rejection was evicted by the retention ring of {self.records.capacity})"
+            )
+        return self._results[request_id]
+
+    def flush(self, at: float | None = None) -> int:
+        """Dispatch everything queued; returns the number dispatched.
+
+        An explicit flush also retries a batch stalled by a fully-dead
+        shard (after a :meth:`heal`, say); automatic dispatching never
+        does, so one poisoned batch cannot wedge unrelated traffic.
+        """
+        now = self._advance(at)
+        return self._dispatch(now, retry_stalled=True)
+
+    def drain(self, at: float | None = None) -> int:
+        """Alias of :meth:`flush` for end-of-trace use."""
+        return self.flush(at)
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+    def insert(
+        self, points: np.ndarray, ids: np.ndarray | None = None, at: float | None = None
+    ) -> np.ndarray:
+        """Add points to the fleet's live set; returns their ids.
+
+        Each point routes to one shard (by region, id hash, or round-robin
+        — whatever the plan prescribes) and lands on every live replica of
+        that shard's group.  Auto ids continue above the largest id ever
+        indexed fleet-wide.
+        """
+        now = self._advance(at)
+        # Quiet flush: a batch stalled on a dead shard must not block a
+        # mutation whose own target shards are healthy (the stuck queries
+        # answer against the then-current live set once retried).
+        self._dispatch_quietly(now)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self._dims:
+            raise ValueError(f"points have {points.shape[1]} dims, fleet has {self._dims}")
+        if ids is None:
+            ids = np.arange(
+                self._next_auto_id, self._next_auto_id + points.shape[0], dtype=np.int64
+            )
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            # The whole batch is validated before any shard is touched: a
+            # bad id must not leave some groups mutated and others not.
+            if ids.size and int(ids.min()) < 0:
+                raise ValueError("ids must be non-negative (-1 is the padding sentinel)")
+            if np.unique(ids).size != ids.shape[0]:
+                raise ValueError("duplicate ids within one insert batch")
+            live = [int(i) for i in ids if int(i) in self._id_to_shard]
+            if live:
+                raise ValueError(f"ids already indexed: {live[:5]}")
+        shards = self.plan.assign(points, ids, self._n_assigned)
+        # Atomicity: no group is touched unless every target shard can
+        # accept the mutation (a fully-dead shard would otherwise leave the
+        # batch half-applied).
+        self._require_alive(np.unique(shards))
+        for shard in np.unique(shards):
+            rows = shards == shard
+            self.groups[shard].insert(points[rows], ids[rows], at=now)
+        # Counters move only after every shard accepted its slice, so a
+        # failed batch cannot shift future round-robin assignment.
+        self._n_assigned += points.shape[0]
+        for i, s in zip(ids, shards):
+            self._id_to_shard[int(i)] = int(s)
+        if ids.size:
+            self._next_auto_id = max(self._next_auto_id, int(ids.max()) + 1)
+        return ids
+
+    def delete(self, ids: np.ndarray | Sequence[int], at: float | None = None) -> None:
+        """Remove points by id from whichever shards hold them."""
+        now = self._advance(at)
+        self._dispatch_quietly(now)
+        id_list = [int(i) for i in np.asarray(ids, dtype=np.int64).ravel()]
+        seen: Set[int] = set()
+        for point_id in id_list:
+            if point_id not in self._id_to_shard or point_id in seen:
+                raise KeyError(f"id {point_id} is not in the live set")
+            seen.add(point_id)
+        by_shard: Dict[int, List[int]] = {}
+        for point_id in id_list:
+            by_shard.setdefault(self._id_to_shard[point_id], []).append(point_id)
+        self._require_alive(np.fromiter(by_shard.keys(), dtype=np.int64, count=len(by_shard)))
+        for shard, shard_ids in sorted(by_shard.items()):
+            self.groups[shard].delete(np.array(shard_ids, dtype=np.int64), at=now)
+        for point_id in id_list:
+            del self._id_to_shard[point_id]
+
+    def begin_rebuild(self, shard: int | None = None, at: float | None = None) -> None:
+        """Kick a background rebuild on every replica of one/all shards.
+
+        The shards keep serving from their old indices; the fresh builds
+        hot-swap in once their logical completion times pass.
+        """
+        now = self._advance(at)
+        targets = self.groups if shard is None else [self.groups[shard]]
+        for group in targets:
+            for replica in group.replicas:
+                if replica.alive:
+                    replica.service.begin_background_rebuild(at=now)
+
+    # ------------------------------------------------------------------
+    # Failure injection / repair
+    # ------------------------------------------------------------------
+    def kill_replica(self, shard: int, replica: int) -> None:
+        """Fail a replica immediately (chaos drill)."""
+        self.groups[shard].replicas[replica].kill()
+        self.groups[shard].deaths += 1
+
+    def arm_replica_failure(self, shard: int, replica: int) -> None:
+        """Make a replica die mid-query on its next pick (retry drill)."""
+        self.groups[shard].replicas[replica].arm_failure()
+
+    def heal(self, at: float | None = None) -> int:
+        """Re-seed every dead replica that has a live peer; returns count.
+
+        A fully-dead group is skipped, not fatal — it has no donor left, and
+        aborting on it would strand healable replicas in *other* groups.
+        """
+        now = self._advance(at)
+        healed = 0
+        for group in self.groups:
+            if 0 < group.n_alive < group.n_replicas:
+                healed += group.heal(at=now)
+        return healed
+
+    # ------------------------------------------------------------------
+    # Internals (same event-driven queue model as KNNService)
+    # ------------------------------------------------------------------
+    def _advance(self, at: float | None) -> float:
+        now = max(self._now, self._server_free_at) if at is None else float(at)
+        if now < self._now:
+            raise ValueError(f"time went backwards: {now} < {self._now}")
+        policy = self.batch_policy
+        while self._pending and not self._stalled:
+            deadline = self._pending[0].arrival + policy.max_delay_s
+            if deadline > now:
+                break
+            # Quiet on a dead shard: a poisoned batch must not fail the
+            # unrelated operation that merely advanced the clock (the
+            # stall latch pauses further automatic dispatching; an
+            # explicit flush() surfaces the error).
+            self._dispatch_quietly(deadline)
+        self._now = max(self._now, now)
+        return now
+
+    def _dispatch_quietly(self, flush_time: float) -> int:
+        """Automatic dispatch: a fully-dead shard stalls instead of raising."""
+        try:
+            return self._dispatch(flush_time)
+        except ShardUnavailableError:
+            return 0
+
+    def _note_arrival(self, arrival: float) -> None:
+        if self._last_arrival is not None:
+            gap = max(arrival - self._last_arrival, 1e-9)
+            alpha = self.batch_policy.ewma_alpha
+            self._ewma_gap = (
+                gap if self._ewma_gap is None else (1 - alpha) * self._ewma_gap + alpha * gap
+            )
+        self._last_arrival = arrival
+
+    def _dispatch(self, flush_time: float, retry_stalled: bool = False) -> int:
+        if self._stalled:
+            if not retry_stalled:
+                return 0
+            self._stalled = False
+        split = 0
+        while split < len(self._pending) and self._pending[split].arrival <= flush_time:
+            split += 1
+        batch = self._pending[:split]
+        if not batch:
+            return 0
+        self._pending = self._pending[split:]
+
+        dispatch_start = max(flush_time, self._server_free_at)
+        started = time.perf_counter()
+        answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        stats_before = dataclasses.replace(self.router.stats)
+        load_before = {
+            (g.shard_id, r.replica_id): r.queries_served
+            for g in self.groups
+            for r in g.replicas
+        }
+        try:
+            for k in sorted({r.k for r in batch}):
+                group = [r for r in batch if r.k == k]
+                queries = np.stack([r.query for r in group])
+                d, i = self.router.answer(queries, k, at=flush_time)
+                for row, r in enumerate(group):
+                    answers[r.request_id] = (d[row], i[row])
+        except ShardUnavailableError:
+            # A shard went fully dark mid-dispatch: the batch stays queued
+            # (in arrival order) so a heal() + flush() can still answer it,
+            # instead of dropping every request into a resultless limbo.
+            # The stall latch pauses automatic dispatching so the poisoned
+            # batch cannot wedge every later operation, and router counters
+            # and replica load roll back — the retry re-counts the batch,
+            # and fan-out/least-loaded accounting must track completed
+            # queries only.  (Deaths and retries are NOT rolled back: a
+            # replica that died mid-attempt really died.)
+            self.router.stats = stats_before
+            for g in self.groups:
+                for r in g.replicas:
+                    r.queries_served = load_before[(g.shard_id, r.replica_id)]
+            self._pending = batch + self._pending
+            self._stalled = True
+            raise
+        elapsed = time.perf_counter() - started
+        if self._service_time is not None:
+            elapsed = float(self._service_time(len(batch)))
+        completion = dispatch_start + elapsed
+        self._server_free_at = completion
+        self._now = max(self._now, flush_time)
+
+        for r in batch:
+            self._store_result(r.request_id, answers[r.request_id])
+            self.records.append(
+                RequestRecord(
+                    r.request_id, r.arrival, dispatch_start, completion,
+                    cache_hit=False, batch_size=len(batch),
+                )
+            )
+        return len(batch)
+
+    def _store_result(self, request_id: int, value: Tuple[np.ndarray, np.ndarray]) -> None:
+        self._results[request_id] = value
+        self._result_order.append(request_id)
+        while len(self._result_order) > self.records.capacity:
+            self._results.pop(self._result_order.popleft(), None)
+
+    def _require_alive(self, shards: np.ndarray) -> None:
+        """Fail before mutating anything if a target shard is fully dead."""
+        for shard in shards:
+            if self.groups[shard].n_alive == 0:
+                raise ShardUnavailableError(f"shard {int(shard)}: every replica is dead")
+
+    def _note_rejected(self, request_id: int) -> None:
+        self._rejected.add(request_id)
+        self._rejected_order.append(request_id)
+        while len(self._rejected_order) > self.records.capacity:
+            self._rejected.discard(self._rejected_order.popleft())

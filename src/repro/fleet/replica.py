@@ -1,0 +1,193 @@
+"""Replicated shards: read scaling, failure injection, retry-on-death.
+
+Each shard of the fleet is a :class:`ReplicaGroup` of identical
+:class:`~repro.service.service.KNNService` instances over the same shard
+point set.  Reads go to the least-loaded live replica; mutations go to
+every live replica so the group stays bit-identical.  Failures are
+injected deliberately (tests and chaos drills): a replica can be killed
+outright or armed to die *mid-query*, in which case the group transparently
+retries the batch on the next-least-loaded peer — answers never change,
+only the load accounting does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.service import KNNService
+
+
+class ReplicaDeadError(RuntimeError):
+    """The targeted replica is (or just became) dead."""
+
+
+class ShardUnavailableError(RuntimeError):
+    """Every replica of a shard is dead; the fleet cannot answer exactly."""
+
+
+class Replica:
+    """One serving copy of a shard: a service plus liveness/load state."""
+
+    def __init__(self, shard_id: int, replica_id: int, service: KNNService) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.service = service
+        self.alive = True
+        self.queries_served = 0
+        self._armed_failure = False
+
+    def kill(self) -> None:
+        """Fail the replica immediately (it stops receiving everything)."""
+        self.alive = False
+        self._armed_failure = False
+
+    def arm_failure(self) -> None:
+        """Make the *next* query attempt die mid-flight (retry-path drill)."""
+        self._armed_failure = True
+
+    def answer(self, queries: np.ndarray, k: int, at: float | None) -> Tuple[np.ndarray, np.ndarray]:
+        """Answer a batch, or die (armed failure / already dead)."""
+        if not self.alive:
+            raise ReplicaDeadError(f"shard {self.shard_id} replica {self.replica_id} is dead")
+        if self._armed_failure:
+            self.kill()
+            raise ReplicaDeadError(
+                f"shard {self.shard_id} replica {self.replica_id} died mid-query"
+            )
+        out = self.service.answer_batch(queries, k=k, at=at)
+        self.queries_served += int(np.atleast_2d(queries).shape[0])
+        return out
+
+
+class ReplicaGroup:
+    """All replicas of one shard, with least-loaded routing and retries."""
+
+    def __init__(self, shard_id: int, replicas: Sequence[Replica]) -> None:
+        if not replicas:
+            raise ValueError(f"shard {shard_id} needs at least one replica")
+        self.shard_id = shard_id
+        self.replicas = list(replicas)
+        self.retries = 0
+        self.deaths = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def n_alive(self) -> int:
+        return sum(1 for r in self.replicas if r.alive)
+
+    @property
+    def n_live(self) -> int:
+        """Live points of the shard (0 when every replica is dead)."""
+        for replica in self.replicas:
+            if replica.alive:
+                return replica.service.n_live
+        return 0
+
+    @property
+    def rebuilds(self) -> int:
+        """Total rebuilds across the group's replicas."""
+        return sum(r.service.rebuilds for r in self.replicas)
+
+    def primary(self) -> Replica:
+        """The least-loaded live replica (lowest id on ties)."""
+        alive = [r for r in self.replicas if r.alive]
+        if not alive:
+            raise ShardUnavailableError(f"shard {self.shard_id}: every replica is dead")
+        return min(alive, key=lambda r: (r.queries_served, r.replica_id))
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def answer(self, queries: np.ndarray, k: int, at: float | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact batch answer from the least-loaded live replica.
+
+        A replica dying mid-query is retried on the next-least-loaded peer
+        (the batch is re-executed whole — replicas are identical, so the
+        answer is the same bytes whichever one survives).
+        """
+        while True:
+            replica = self.primary()  # raises ShardUnavailableError when none left
+            try:
+                return replica.answer(queries, k, at)
+            except ReplicaDeadError:
+                self.deaths += 1
+                self.retries += 1
+
+    # ------------------------------------------------------------------
+    # Mutation (applied to every live replica, keeping them identical)
+    # ------------------------------------------------------------------
+    def insert(self, points: np.ndarray, ids: np.ndarray, at: float | None = None) -> None:
+        """Insert into every live replica; loud when none is left.
+
+        A mutation against a fully-dead shard must fail, not silently drop
+        the data (there would be no peer to heal from).
+        """
+        if self.n_alive == 0:
+            raise ShardUnavailableError(f"shard {self.shard_id}: every replica is dead")
+        for replica in self.replicas:
+            if replica.alive:
+                replica.service.insert(points, ids=ids, at=at)
+
+    def delete(self, ids: np.ndarray, at: float | None = None) -> None:
+        """Delete from every live replica; loud when none is left."""
+        if self.n_alive == 0:
+            raise ShardUnavailableError(f"shard {self.shard_id}: every replica is dead")
+        for replica in self.replicas:
+            if replica.alive:
+                replica.service.delete(ids, at=at)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def heal(self, at: float | None = None) -> int:
+        """Re-seed every dead replica from a healthy peer; returns count.
+
+        The donor's *live* arrays (tree minus tombstones plus delta) are
+        refit into a fresh service carrying the dead replica's policies —
+        a healed replica serves exactly the shard's live set from the first
+        query on (its delta buffer starts empty, so only the unspecified
+        identity of exactly-tied k-th neighbours can differ from a peer).
+        """
+        donor = self.primary()  # raises when the whole group is dead
+        points, ids = donor.service.live_arrays()
+        healed = 0
+        for replica in self.replicas:
+            if replica.alive:
+                continue
+            dead = replica.service
+            # Cancel any in-flight background rebuild FIRST: its backend may
+            # hold pooled-executor ownership (refit transfers it), and the
+            # ownership must flow dead-bg -> dead.backend -> healed backend
+            # before dead.close() runs, or the close would shut the pool
+            # under the healed replica.
+            dead._cancel_background()
+            service = KNNService(
+                dead.backend.refit(points, ids),
+                k=dead.k,
+                batch_policy=dead.batch_policy,
+                rebuild_policy=dead.rebuild_policy,
+                cache_capacity=dead.cache.capacity,
+                retention=dead.records.capacity,
+                service_time=dead._service_time,
+                background_rebuild=dead.background_rebuild,
+                snapshot_root=dead.snapshot_root,
+            )
+            if at is not None:
+                service._advance(at)
+            # The dead service's backend already transferred any pooled
+            # executor ownership through refit above; closing it now only
+            # releases what it still owns.
+            dead.close()
+            replica.service = service
+            replica.alive = True
+            replica._armed_failure = False
+            healed += 1
+        return healed

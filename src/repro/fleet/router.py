@@ -1,0 +1,168 @@
+"""Region-routed scatter-gather across the shard fleet.
+
+The router answers a query batch in the two phases of the paper's
+distributed query protocol, lifted from ranks to shards:
+
+1. **Owner phase** — each query goes to the shard whose region contains it
+   (one batched call per owner shard, served by the group's least-loaded
+   replica).  The owner's k-th neighbour distance r' bounds where any
+   better neighbour can hide.
+2. **Scatter phase** — the query fans out *only* to shards whose region box
+   intersects the r' ball (:meth:`ShardPlan.shards_within`, the exact
+   box-distance pruning of the rank protocol), again batched per shard.
+   Results fold in with one vectorised sorted merge per shard call
+   (semantically :func:`~repro.kdtree.heap.merge_topk` minus the
+   duplicate-id handling, which disjoint shards cannot need).
+
+Because every shard answers its own live set exactly and any point not in
+a visited shard lies beyond r' (which is itself >= the true k-th distance),
+the merged answer equals a single unsharded service's answer — identical
+distances, with only the identity of exactly-tied k-th neighbours
+unspecified, as everywhere else in this codebase.
+
+Plans without geometry (hash / round-robin) broadcast every query to every
+shard: still exact, never pruned.  :class:`RouterStats` records the
+measured fan-out so the benchmark can show the pruning win on clustered
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.planner import ShardPlan
+from repro.fleet.replica import ReplicaGroup
+
+
+@dataclass
+class RouterStats:
+    """Fan-out accounting across every routed query."""
+
+    queries: int = 0
+    shard_visits: int = 0
+    owner_only: int = 0
+    broadcasts: int = 0
+
+    @property
+    def mean_fanout(self) -> float:
+        """Mean shards visited per query (n_shards when never pruned)."""
+        return self.shard_visits / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": float(self.queries),
+            "shard_visits": float(self.shard_visits),
+            "mean_fanout": self.mean_fanout,
+            "owner_only": float(self.owner_only),
+            "broadcasts": float(self.broadcasts),
+        }
+
+
+class Router:
+    """Pruned scatter-gather over a fixed plan and its replica groups."""
+
+    def __init__(self, plan: ShardPlan, groups: Sequence[ReplicaGroup]) -> None:
+        if len(groups) != plan.n_shards:
+            raise ValueError(f"plan has {plan.n_shards} shards, got {len(groups)} groups")
+        self.plan = plan
+        self.groups = list(groups)
+        self.stats = RouterStats()
+
+    def answer(
+        self, queries: np.ndarray, k: int, at: float | None = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact fleet-wide ``(distances, ids)`` for a query batch."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n = queries.shape[0]
+        if n == 0:
+            return (
+                np.full((0, k), np.inf, dtype=np.float64),
+                np.full((0, k), -1, dtype=np.int64),
+            )
+        self.stats.queries += n
+        if not self.plan.supports_pruning:
+            return self._broadcast(queries, k, at)
+        return self._scatter_gather(queries, k, at)
+
+    # ------------------------------------------------------------------
+    # Non-spatial fallback: everyone answers everything
+    # ------------------------------------------------------------------
+    def _broadcast(
+        self, queries: np.ndarray, k: int, at: float | None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = queries.shape[0]
+        self.stats.shard_visits += n * len(self.groups)
+        self.stats.broadcasts += n
+        acc_d = np.full((n, k), np.inf, dtype=np.float64)
+        acc_i = np.full((n, k), -1, dtype=np.int64)
+        for group in self.groups:
+            d, i = group.answer(queries, k, at)
+            acc_d, acc_i = _merge_rows(k, acc_d, acc_i, np.arange(n), d, i)
+        return acc_d, acc_i
+
+    # ------------------------------------------------------------------
+    # Region-routed two-phase protocol
+    # ------------------------------------------------------------------
+    def _scatter_gather(
+        self, queries: np.ndarray, k: int, at: float | None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = queries.shape[0]
+        owners = self.plan.owner_of(queries)
+        acc_d = np.full((n, k), np.inf, dtype=np.float64)
+        acc_i = np.full((n, k), -1, dtype=np.int64)
+
+        # Phase 1: one batched owner call per shard that owns queries.
+        for shard in np.unique(owners):
+            rows = np.flatnonzero(owners == shard)
+            d, i = self.groups[shard].answer(queries[rows], k, at)
+            acc_d[rows] = d
+            acc_i[rows] = i
+        self.stats.shard_visits += n
+
+        # Phase 2: fan out only where the r' ball crosses a region box.
+        # r' is the owner's k-th distance; underfull owners (fewer than k
+        # in-shard neighbours) leave r' infinite and fan out everywhere.
+        radii = acc_d[:, k - 1]
+        remote = self.plan.shards_within(queries, radii, owners)
+        rows_for_shard: Dict[int, List[int]] = {}
+        for row, shards in enumerate(remote):
+            if shards.size == 0:
+                self.stats.owner_only += 1
+            for shard in shards:
+                rows_for_shard.setdefault(int(shard), []).append(row)
+        for shard, row_list in sorted(rows_for_shard.items()):
+            rows = np.array(row_list, dtype=np.int64)
+            d, i = self.groups[shard].answer(queries[rows], k, at)
+            acc_d, acc_i = _merge_rows(k, acc_d, acc_i, rows, d, i)
+            self.stats.shard_visits += rows.size
+        return acc_d, acc_i
+
+
+def _merge_rows(
+    k: int,
+    acc_d: np.ndarray,
+    acc_i: np.ndarray,
+    rows: np.ndarray,
+    new_d: np.ndarray,
+    new_i: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold per-shard answers for ``rows`` into the accumulators.
+
+    One vectorised sorted merge for the whole shard call (the same pattern
+    as the service's delta fusion).  Shards partition the id space and each
+    shard filters its own tombstones, so — unlike the rank protocol's
+    :func:`~repro.kdtree.heap.merge_topk` — no duplicate-id handling is
+    needed: an id can be live in at most one shard.
+    """
+    all_d = np.concatenate([acc_d[rows], new_d], axis=1)
+    all_i = np.concatenate([acc_i[rows], new_i], axis=1)
+    all_d = np.where(all_i >= 0, all_d, np.inf)
+    order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+    out_d = np.take_along_axis(all_d, order, axis=1)
+    out_i = np.take_along_axis(all_i, order, axis=1)
+    acc_d[rows] = out_d
+    acc_i[rows] = np.where(np.isfinite(out_d), out_i, -1)
+    return acc_d, acc_i

@@ -8,8 +8,10 @@ query set; this package turns it into a *service*:
   behind the same four-method protocol;
 * :mod:`~repro.service.service` — :class:`~repro.service.service.KNNService`
   itself: adaptive size-or-deadline micro-batching through the vectorised
-  batch query path, an LRU result cache, per-request latency accounting,
-  and streaming inserts/deletes with a policy-driven rebuild;
+  batch query path, an LRU result cache with incremental invalidation,
+  per-request latency accounting, and streaming inserts/deletes with a
+  policy-driven rebuild — foreground, or background with an atomic
+  hot-swap and versioned on-disk snapshots;
 * :mod:`~repro.service.delta` — the brute-force delta buffer and tombstone
   set that make streaming updates exact between rebuilds;
 * :mod:`~repro.service.cache` — the LRU result cache;

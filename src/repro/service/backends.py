@@ -149,6 +149,16 @@ class PandaBackend:
         """Release the index's executor workers/shared memory (if owned)."""
         self.index.close()
 
+    def transfer_executor_ownership_to(self, other: "PandaBackend") -> None:
+        """Hand pooled-executor shutdown responsibility to ``other``.
+
+        The inverse of what :meth:`refit` does implicitly: a service that
+        abandons a freshly refit backend (a cancelled background rebuild)
+        must pass ownership back to the backend that keeps serving, or no
+        live cluster would ever shut the shared pool down.
+        """
+        self.index.cluster.transfer_executor_ownership(other.index.cluster)
+
     def save(self, path, layout: str = "files") -> Path:
         """Snapshot the index; see :meth:`repro.core.panda.PandaKNN.snapshot`."""
         self.index.snapshot(path, layout=layout)

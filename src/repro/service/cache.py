@@ -3,28 +3,44 @@
 Hot-key workloads (a small set of popular queries asked over and over, the
 skewed trace of the throughput benchmark) are served from this cache without
 touching the index at all.  Entries are keyed on the exact query bytes plus
-``k``; the service clears the cache on every mutation (insert, delete,
-rebuild) so a hit is always exact with respect to the current live point
-set.
+``k``.
+
+Invalidation is the service's job and comes in two grades, counted
+separately in :class:`CacheStats`:
+
+* **full clears** (:meth:`LRUCache.clear`) on rebuilds, where the whole
+  mapping from query to answer is conservatively wiped;
+* **selective drops** (:meth:`LRUCache.drop`) on streaming inserts/deletes,
+  where the service drops only the keys whose stored k-th-distance ball can
+  intersect the mutated points — every surviving entry is still exact with
+  respect to the current live point set.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Tuple
+from typing import Hashable, Iterable, List, Tuple
 
 import numpy as np
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting of one cache instance."""
+    """Hit/miss accounting of one cache instance.
+
+    ``full_clears`` counts whole-cache wipes (one per :meth:`LRUCache.clear`
+    of a non-empty cache, regardless of how many keys died); ``keys_dropped``
+    counts individual keys removed by selective invalidation — the two are
+    deliberately separate so a whole-cache wipe is never mistaken for one
+    key drop (or vice versa).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
-    invalidations: int = 0
+    full_clears: int = 0
+    keys_dropped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -77,11 +93,31 @@ class LRUCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def items(self) -> List[Tuple[Hashable, object]]:
+        """Snapshot of the current ``(key, value)`` pairs (recency order).
+
+        A materialised list, not a live view: selective invalidation
+        iterates it while calling :meth:`drop`.
+        """
+        return list(self._entries.items())
+
+    def drop(self, keys: Iterable[Hashable]) -> int:
+        """Selectively remove ``keys`` (absent ones ignored); returns count.
+
+        Each removed key is counted in ``stats.keys_dropped``.
+        """
+        dropped = 0
+        for key in keys:
+            if self._entries.pop(key, None) is not None:
+                dropped += 1
+        self.stats.keys_dropped += dropped
+        return dropped
+
     def clear(self) -> None:
-        """Drop every entry; counted as an invalidation only when non-empty."""
+        """Drop every entry; counted as one full clear only when non-empty."""
         if self._entries:
             self._entries.clear()
-            self.stats.invalidations += 1
+            self.stats.full_clears += 1
 
 
 def query_key(query: np.ndarray, k: int) -> Tuple[int, bytes]:

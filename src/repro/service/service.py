@@ -25,19 +25,36 @@ Streaming updates (:meth:`KNNService.insert` / :meth:`KNNService.delete`)
 are absorbed by a brute-force delta buffer and a tombstone set
 (:mod:`repro.service.delta`) whose answers are fused with the tree's; a
 :class:`RebuildPolicy` folds them into a fresh index before either grows
-enough to hurt.  Every mutation invalidates the LRU result cache, so cached
-answers are always exact against the current live set.
+enough to hurt.  Mutations invalidate the LRU result cache *selectively*:
+only entries whose stored k-th-distance ball can intersect the mutated
+points are dropped, so unrelated hot keys keep hitting — and every
+surviving entry is still exact against the current live set.
+
+Rebuilds come in two disciplines.  The default foreground
+:meth:`KNNService.rebuild` blocks the single server (queries arriving
+meanwhile queue behind it).  With ``background_rebuild=True`` (or an
+explicit :meth:`KNNService.begin_background_rebuild`) the fresh index is
+built off to the side while the *old* snapshot keeps serving; once the
+build's logical completion time passes, the new index is swapped in
+atomically and the delta buffer is reconciled against it — updates that
+arrived mid-build survive the swap exactly.  With a ``snapshot_root`` every
+background build is also persisted as a versioned on-disk snapshot
+(``v0001``, ``v0002``, ...) whose ``CURRENT`` pointer is promoted at swap
+time (:mod:`repro.core.snapshot`).
 """
 
 from __future__ import annotations
 
+import shutil
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.snapshot import allocate_version_dir, promote_version
 from repro.service.cache import CacheStats, LRUCache, query_key
 from repro.service.delta import DeltaBuffer
 
@@ -262,6 +279,23 @@ class _Pending:
     query: np.ndarray
 
 
+@dataclass
+class _BackgroundRebuild:
+    """An index build running 'off to the side' of the serving path.
+
+    The replacement backend is fully materialised at begin time (the build
+    is real compute), but logically it completes at ``ready_at`` — until
+    then the service keeps answering from the old backend, exactly as a
+    real background worker would let it.
+    """
+
+    started_at: float
+    ready_at: float
+    elapsed: float
+    backend: object
+    snapshot_dir: Path | None
+
+
 class KNNService:
     """Online KNN front end: micro-batching, result cache, streaming updates.
 
@@ -289,6 +323,16 @@ class KNNService:
         wall-clock batch cost — injected by tests that need a
         deterministic logical clock.  ``None`` (default) measures real
         compute time.
+    background_rebuild:
+        When True, policy-triggered rebuilds run in the background: the old
+        index keeps serving until the fresh build's logical completion time
+        passes, then the new index hot-swaps in (the fleet layer serves
+        every replica this way).  Foreground :meth:`rebuild` stays available
+        either way.
+    snapshot_root:
+        Directory receiving one versioned snapshot (``v0001``, ``v0002``,
+        ...) per background rebuild; the ``CURRENT`` pointer is promoted
+        atomically at swap time.  ``None`` disables persistence.
     """
 
     def __init__(
@@ -300,6 +344,8 @@ class KNNService:
         cache_capacity: int = 4096,
         retention: int = 65536,
         service_time: Callable[[int], float] | None = None,
+        background_rebuild: bool = False,
+        snapshot_root: str | Path | None = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -315,6 +361,8 @@ class KNNService:
         self.version = 0
         self.rebuilds = 0
         self.rebuild_seconds = 0.0
+        self.background_rebuild = background_rebuild
+        self.snapshot_root = Path(snapshot_root) if snapshot_root is not None else None
         self._service_time = service_time
         self._pending: List[_Pending] = []
         self._results: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
@@ -325,10 +373,17 @@ class KNNService:
         self._last_arrival: float | None = None
         self._ewma_gap: float | None = None
         self._first_dirty_at: float | None = None
+        self._bg: _BackgroundRebuild | None = None
         self._reindex_ids()
 
     def close(self) -> None:
-        """Release backend resources (pooled executor workers, if owned)."""
+        """Release backend resources (pooled executor workers, if owned).
+
+        An in-flight background rebuild is cancelled first — its backend
+        may hold the pool-shutdown responsibility (refit transfers it), so
+        dropping it unclosed would leak the worker pool.
+        """
+        self._cancel_background()
         closer = getattr(self.backend, "close", None)
         if closer is not None:
             closer()
@@ -361,6 +416,11 @@ class KNNService:
     def cache_stats(self) -> CacheStats:
         """Hit/miss statistics of the result cache."""
         return self.cache.stats
+
+    @property
+    def rebuilding(self) -> bool:
+        """True while a background rebuild is in flight (old index serving)."""
+        return self._bg is not None
 
     def target_batch_size(self) -> int:
         """Current micro-batch target under the (possibly adaptive) policy."""
@@ -426,6 +486,27 @@ class KNNService:
             self._dispatch(self._now)
         return self.result(request_id)
 
+    def answer_batch(
+        self, queries: np.ndarray, k: int | None = None, at: float | None = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Synchronous exact batch answers, outside the micro-batch queue.
+
+        The scatter-gather router of the fleet layer calls this: no
+        queueing, no result cache, no per-request latency accounting — just
+        the exact live-set answer (tree + tombstone filter + delta fusion).
+        Passing ``at`` advances the logical clock first, firing deadline
+        flushes and background-rebuild swaps that were due by then.
+        """
+        k = self.k if k is None else k
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.backend.dims:
+            raise ValueError(f"queries have {queries.shape[1]} dims, index has {self.backend.dims}")
+        if at is not None:
+            self._advance(at)
+        return self._answer(queries, k)
+
     def result(self, request_id: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(distances, ids)`` of a completed request.
 
@@ -462,9 +543,10 @@ class KNNService:
         """Add points to the live set; returns their ids.
 
         Queued queries are flushed first (they answer against the pre-update
-        set), the result cache is invalidated, and a rebuild runs if the
-        delta buffer crossed its policy threshold.  Auto-assigned ids
-        continue above the largest id ever indexed.
+        set), cached entries whose k-th-distance ball can contain one of
+        the new points are dropped (the rest stay exact), and a rebuild
+        runs if the delta buffer crossed its policy threshold.
+        Auto-assigned ids continue above the largest id ever indexed.
         """
         now = self._advance(at)
         self._dispatch(now)
@@ -482,6 +564,7 @@ class KNNService:
         self.delta.insert(points, ids)
         if ids.size:
             self._next_auto_id = max(self._next_auto_id, int(ids.max()) + 1)
+        self._invalidate_for_insert(points)
         self._mark_dirty(now)
         self._maybe_rebuild(now)
         return ids
@@ -511,16 +594,52 @@ class KNNService:
                 self.delta.delete_buffered(point_id)
             else:
                 self.delta.add_tombstone(point_id)
+        self._invalidate_for_delete(np.array(id_list, dtype=np.int64))
         self._mark_dirty(now)
         self._maybe_rebuild(now)
 
     def rebuild(self, at: float | None = None) -> None:
-        """Fold tombstones and the delta buffer into a freshly built index."""
+        """Fold tombstones and the delta buffer into a freshly built index.
+
+        This is the *foreground* discipline: the single server is busy for
+        the duration of the build, so queries arriving meanwhile queue
+        behind it.  An in-flight background rebuild is cancelled (the
+        foreground build folds a strictly newer live set).
+        """
         now = self._advance(at)
         self._dispatch(now)
         self._rebuild_now(now)
 
-    def _rebuild_now(self, now: float) -> None:
+    def begin_background_rebuild(self, at: float | None = None) -> float:
+        """Start (or join) a background rebuild; returns its ready time.
+
+        The replacement index is built over the live set as of now, while
+        the current index keeps serving — the server is *not* blocked.
+        Once the logical clock passes the returned ready time, the next
+        event hot-swaps the new index in and reconciles the delta buffer
+        against it (updates that arrived mid-build survive exactly).  If a
+        build is already in flight its ready time is returned unchanged.
+        """
+        now = self._advance(at)
+        return self._begin_background(now)
+
+    def finish_rebuild(self, at: float | None = None) -> bool:
+        """Advance the clock to ``at`` (default: the build's ready time) and
+        swap in the background rebuild if one is due; returns True if a
+        swap happened."""
+        if self._bg is not None and at is None:
+            at = max(self._now, self._bg.ready_at)
+        before = self.version
+        self._advance(at)
+        return self.version != before
+
+    def live_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(points, ids)`` of the current live set (tree minus
+        tombstones plus delta buffer).
+
+        This is the state a rebuild folds; the fleet layer also uses it to
+        re-seed a dead replica from a healthy peer.
+        """
         tree_points, tree_ids = self.backend.all_points()
         if self.delta.n_tombstones:
             tomb = np.fromiter(self.delta.tombstones, dtype=np.int64, count=self.delta.n_tombstones)
@@ -529,6 +648,30 @@ class KNNService:
         delta_points, delta_ids = self.delta.live_arrays()
         points = np.concatenate([tree_points, delta_points], axis=0)
         ids = np.concatenate([tree_ids, delta_ids])
+        return points, ids
+
+    def _cancel_background(self) -> None:
+        """Abandon an in-flight background build.
+
+        Its un-promoted version directory is removed (it would otherwise
+        sit on disk forever, indistinguishable from crash leftovers), and
+        any pooled-executor shutdown responsibility the refit handed to the
+        abandoned backend is passed back to the one that keeps serving.
+        """
+        bg, self._bg = self._bg, None
+        if bg is None:
+            return
+        if bg.snapshot_dir is not None:
+            shutil.rmtree(bg.snapshot_dir, ignore_errors=True)
+        transfer = getattr(bg.backend, "transfer_executor_ownership_to", None)
+        if transfer is not None:
+            transfer(self.backend)
+
+    def _rebuild_now(self, now: float) -> None:
+        # A foreground rebuild folds the freshest live set: an in-flight
+        # background build would swap an older snapshot over it, so drop it.
+        self._cancel_background()
+        points, ids = self.live_arrays()
         if points.shape[0] == 0:
             raise RuntimeError("cannot rebuild over an empty live set")
         started = time.perf_counter()
@@ -545,6 +688,97 @@ class KNNService:
         self.cache.clear()
         self.version += 1
         self._first_dirty_at = None
+        self._reindex_ids()
+
+    def _begin_background(self, now: float) -> float:
+        if self._bg is not None:
+            return self._bg.ready_at
+        points, ids = self.live_arrays()
+        if points.shape[0] == 0:
+            raise RuntimeError("cannot rebuild over an empty live set")
+        started = time.perf_counter()
+        fresh = self.backend.refit(points, ids)
+        elapsed = time.perf_counter() - started
+        if self._service_time is not None:
+            elapsed = float(self._service_time(points.shape[0]))
+        snapshot_dir = None
+        if self.snapshot_root is not None:
+            snapshot_dir = allocate_version_dir(self.snapshot_root)
+            fresh.save(snapshot_dir / "index")
+        self._bg = _BackgroundRebuild(
+            started_at=now,
+            ready_at=now + elapsed,
+            elapsed=elapsed,
+            backend=fresh,
+            snapshot_dir=snapshot_dir,
+        )
+        return self._bg.ready_at
+
+    def _complete_swap(self, now: float) -> None:
+        """Atomically install the background-rebuilt index.
+
+        The new tree holds the live set as captured at begin time; any
+        update that arrived during the build window is reconciled here:
+
+        * a new-tree point that is no longer live becomes a tombstone;
+        * a buffered insert absorbed by the build (same id, bit-identical
+          coordinates) leaves the buffer;
+        * a buffered insert whose id is in the new tree with *different*
+          coordinates (delete + re-insert during the window) stays
+          authoritative in the buffer and the stale tree copy is
+          tombstoned;
+        * everything else buffered stays buffered.
+
+        The live set is unchanged by the swap, so answers before and after
+        are identical — which is what the fleet exactness tests assert.
+        """
+        bg = self._bg
+        self._bg = None
+        t_points, t_ids = bg.backend.all_points()
+        buf_points, buf_ids = self.delta.live_arrays()
+        backend_ids = np.fromiter(self._backend_ids, dtype=np.int64, count=len(self._backend_ids))
+        if self.delta.n_tombstones:
+            tomb = np.fromiter(
+                self.delta.tombstones, dtype=np.int64, count=self.delta.n_tombstones
+            )
+            backend_ids = backend_ids[~np.isin(backend_ids, tomb)]
+        live_now = np.concatenate([backend_ids, buf_ids])
+
+        dead_mask = ~np.isin(t_ids, live_now)
+        tombstones = set(int(i) for i in t_ids[dead_mask])
+
+        keep_buffer = np.ones(buf_ids.shape[0], dtype=bool)
+        if buf_ids.size and t_ids.size:
+            order = np.argsort(t_ids, kind="stable")
+            pos = np.searchsorted(t_ids[order], buf_ids)
+            pos_clipped = np.minimum(pos, t_ids.size - 1)
+            in_tree = t_ids[order[pos_clipped]] == buf_ids
+            rows = order[pos_clipped[in_tree]]
+            same = np.all(t_points[rows] == buf_points[in_tree], axis=1)
+            # Absorbed verbatim -> leave the buffer; stale tree copy ->
+            # keep the buffer's coordinates and kill the tree's.
+            keep_buffer[np.flatnonzero(in_tree)[same]] = False
+            for stale_id in buf_ids[in_tree][~same]:
+                tombstones.add(int(stale_id))
+
+        self.backend = bg.backend
+        self.delta = DeltaBuffer(self.backend.dims)
+        if keep_buffer.any():
+            self.delta.insert(buf_points[keep_buffer], buf_ids[keep_buffer])
+        self.delta.tombstones = tombstones
+        self.rebuilds += 1
+        self.rebuild_seconds += bg.elapsed
+        self.cache.clear()
+        self.version += 1
+        if bg.snapshot_dir is not None:
+            promote_version(self.snapshot_root, bg.snapshot_dir)
+        # Any update surviving the swap arrived after the build began; the
+        # pre-build dirty timestamp would make the staleness policy fire an
+        # immediate (pointless) extra rebuild.
+        self._first_dirty_at = None if self.delta.n_updates == 0 else max(
+            self._first_dirty_at if self._first_dirty_at is not None else bg.started_at,
+            bg.started_at,
+        )
         self._reindex_ids()
 
     # ------------------------------------------------------------------
@@ -567,13 +801,21 @@ class KNNService:
             if deadline > now:
                 break
             self._dispatch(deadline)
+        if self._bg is not None and now >= self._bg.ready_at:
+            # The background build finished somewhere in (then, now]: swap
+            # it in.  The live set is unchanged by the swap, so ordering
+            # against the deadline flushes above is answer-invisible.
+            self._complete_swap(now)
         if (
             self._first_dirty_at is not None
             and now - self._first_dirty_at >= self.rebuild_policy.max_staleness_s
             and self.n_live > 0
         ):
-            self._dispatch(now)
-            self._rebuild_now(now)
+            if self.background_rebuild:
+                self._begin_background(now)
+            else:
+                self._dispatch(now)
+                self._rebuild_now(now)
         self._now = max(self._now, now)
         return now
 
@@ -650,9 +892,57 @@ class KNNService:
         return out_d, out_i
 
     def _mark_dirty(self, now: float) -> None:
-        self.cache.clear()
         if self._first_dirty_at is None:
             self._first_dirty_at = now
+
+    def _invalidate_for_insert(self, points: np.ndarray) -> int:
+        """Drop only cached entries an insert can change.
+
+        A cached answer ``(d, i)`` for query q can change only if some new
+        point lands inside (or exactly on) its k-th-distance ball — i.e.
+        ``min_p |q - p| <= d[k-1]``.  Underfull entries (fewer than k live
+        neighbours found) have an unbounded ball: ``d[k-1]`` is ``inf`` and
+        the comparison drops them for any insert, as it must.
+        """
+        if len(self.cache) == 0 or points.shape[0] == 0:
+            return 0
+        items = self.cache.items()
+        keys = [key for key, _ in items]
+        queries = np.stack([np.frombuffer(key[1], dtype=np.float64) for key in keys])
+        balls = np.array([value[0][-1] for _, value in items])
+        # Chunk the inserted points to bound the (cached, chunk, dims)
+        # difference tensor — a bulk insert against a warm cache would
+        # otherwise materialise a multi-hundred-MB cube.
+        dims = queries.shape[1]
+        min_d2 = np.full(queries.shape[0], np.inf)
+        chunk = max(1, int(5e6 // max(queries.shape[0] * max(dims, 1), 1)))
+        for lo in range(0, points.shape[0], chunk):
+            diff = queries[:, None, :] - points[None, lo : lo + chunk, :]
+            d2 = np.einsum("qpd,qpd->qp", diff, diff).min(axis=1)
+            np.minimum(min_d2, d2, out=min_d2)
+        ball_sq = np.where(np.isfinite(balls), balls * balls, np.inf)
+        hit = np.flatnonzero(min_d2 <= ball_sq)
+        if hit.size:
+            self.cache.drop([keys[j] for j in hit])
+        return int(hit.size)
+
+    def _invalidate_for_delete(self, dead_ids: np.ndarray) -> int:
+        """Drop only cached entries a delete can change.
+
+        A delete changes a cached answer only if it removes one of the
+        answer's own ids: any live point strictly inside the k-th-distance
+        ball is already listed, and an underfull answer lists *every* live
+        in-range point — so id membership is a complete test.
+        """
+        if len(self.cache) == 0 or dead_ids.size == 0:
+            return 0
+        # A plain set test per entry beats one np.isin ufunc dispatch per
+        # entry: delete batches are small and cached id rows are length k.
+        dead = set(int(x) for x in dead_ids)
+        doomed = [key for key, (_, i) in self.cache.items() if not dead.isdisjoint(i.tolist())]
+        if doomed:
+            self.cache.drop(doomed)
+        return len(doomed)
 
     def _maybe_rebuild(self, now: float) -> None:
         policy = self.rebuild_policy
@@ -664,7 +954,10 @@ class KNNService:
             self.delta.n_inserted >= policy.max_inserts
             or self.delta.n_tombstones >= policy.max_tombstones
         ):
-            self._rebuild_now(now)
+            if self.background_rebuild:
+                self._begin_background(now)
+            else:
+                self._rebuild_now(now)
 
     def _reindex_ids(self) -> None:
         _, ids = self.backend.all_points()

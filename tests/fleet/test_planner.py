@@ -1,0 +1,77 @@
+"""Shard planner: region cuts, fallbacks, and routing of fresh inserts."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import ShardPlanner
+
+DIMS = 3
+
+
+@pytest.fixture()
+def points():
+    return np.random.default_rng(5).normal(size=(1000, DIMS)) * np.array([4.0, 2.0, 1.0])
+
+
+class TestTreeStrategy:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 5, 7, 8])
+    def test_every_shard_non_empty_and_assignment_matches_regions(self, points, n_shards):
+        plan = ShardPlanner(n_shards, strategy="tree").plan(points)
+        assert plan.supports_pruning
+        sizes = plan.shard_sizes()
+        assert sizes.sum() == points.shape[0]
+        assert sizes.min() >= 1
+        # The region lookup must agree with the assignment for every point
+        # (points exactly on a split plane go left in both).
+        np.testing.assert_array_equal(plan.owner_of(points), plan.assignment)
+
+    def test_regions_are_roughly_balanced(self, points):
+        plan = ShardPlanner(4, strategy="tree").plan(points)
+        sizes = plan.shard_sizes()
+        assert sizes.max() <= 2 * sizes.min() + 1
+
+    def test_region_boxes_cover_all_space(self, points):
+        # Any query point, however far out, has exactly one owner.
+        plan = ShardPlanner(8, strategy="tree").plan(points)
+        probes = np.random.default_rng(0).uniform(-100, 100, size=(200, DIMS))
+        owners = plan.owner_of(probes)
+        assert ((owners >= 0) & (owners < 8)).all()
+
+    def test_assign_routes_new_points_by_region(self, points):
+        plan = ShardPlanner(4, strategy="tree").plan(points)
+        fresh = np.random.default_rng(1).normal(size=(50, DIMS))
+        shards = plan.assign(fresh, np.arange(50), n_assigned_before=1000)
+        np.testing.assert_array_equal(shards, plan.owner_of(fresh))
+
+    def test_identical_points_rejected(self):
+        with pytest.raises(ValueError, match="identical"):
+            ShardPlanner(2, strategy="tree").plan(np.ones((10, 2)))
+
+    def test_too_few_points_rejected(self, points):
+        with pytest.raises(ValueError, match="cannot cut"):
+            ShardPlanner(16, strategy="tree").plan(points[:8])
+
+
+class TestNonSpatialStrategies:
+    def test_hash_assignment_and_routing(self, points):
+        ids = np.arange(1000, dtype=np.int64)
+        plan = ShardPlanner(4, strategy="hash").plan(points, ids)
+        assert not plan.supports_pruning
+        np.testing.assert_array_equal(plan.assignment, ids % 4)
+        fresh_ids = np.array([1001, 1002, 1007], dtype=np.int64)
+        np.testing.assert_array_equal(
+            plan.assign(points[:3], fresh_ids, n_assigned_before=1000), fresh_ids % 4
+        )
+        with pytest.raises(ValueError, match="no regions"):
+            plan.owner_of(points[:2])
+
+    def test_round_robin_cycles_across_inserts(self, points):
+        plan = ShardPlanner(3, strategy="round_robin").plan(points)
+        np.testing.assert_array_equal(plan.assignment, np.arange(1000) % 3)
+        # The cycle continues from the fleet-wide assignment counter.
+        shards = plan.assign(points[:4], np.arange(4), n_assigned_before=1000)
+        np.testing.assert_array_equal(shards, (1000 + np.arange(4)) % 3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ShardPlanner(2, strategy="alphabetical")

@@ -1,0 +1,350 @@
+"""Background rebuild hot-swap: old index serves, swap is atomic and exact.
+
+A background rebuild captures the live set, builds a replacement index off
+to the side (the server is NOT blocked), and swaps it in once the logical
+clock passes the build's ready time.  These tests pin the three things that
+make that safe:
+
+* answers during the build window come from the old index + delta and stay
+  exact;
+* the swap reconciles the delta buffer against the new tree — including
+  the nasty interleavings (delete of a captured point mid-build, delete +
+  re-insert of the same id with different coordinates);
+* versioned on-disk snapshots accumulate under ``snapshot_root`` and the
+  ``CURRENT`` pointer is promoted exactly at swap time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.snapshot import (
+    allocate_version_dir,
+    current_version_dir,
+    list_snapshot_versions,
+    promote_version,
+)
+from repro.kdtree.query import brute_force_knn
+from repro.service import KNNService, LocalTreeBackend, RebuildPolicy
+
+BUILD_SECONDS = 10.0
+
+
+def fixed_clock(n: int) -> float:
+    """Deterministic service-time model: every job costs BUILD_SECONDS."""
+    return BUILD_SECONDS
+
+
+@pytest.fixture()
+def points():
+    return np.random.default_rng(42).normal(size=(400, 3))
+
+
+@pytest.fixture()
+def service(points):
+    return KNNService(
+        LocalTreeBackend.fit(points),
+        k=4,
+        cache_capacity=0,
+        service_time=fixed_clock,
+    )
+
+
+def live_reference(service):
+    """Brute-force mirror of the service's current live set."""
+    pts, ids = service.live_arrays()
+    return pts, ids
+
+
+def assert_exact_now(service, queries, k=4):
+    pts, ids = live_reference(service)
+    ref_d, _ = brute_force_knn(pts, ids, np.atleast_2d(queries), k)
+    for row, q in enumerate(np.atleast_2d(queries)):
+        d, _ = service.answer_batch(q, k=k)
+        np.testing.assert_allclose(d[0], ref_d[row])
+
+
+class TestHotSwap:
+    def test_old_index_serves_until_ready(self, service, points):
+        ready = service.begin_background_rebuild(at=1.0)
+        assert ready == pytest.approx(1.0 + BUILD_SECONDS)
+        assert service.rebuilding
+        assert service.version == 0
+        # The server is NOT blocked: an interactive query completes with
+        # just its own compute cost, not behind a 10s rebuild.
+        d, i = service.query(points[0], at=2.0)
+        assert service.records[-1].latency == pytest.approx(BUILD_SECONDS)  # query cost model
+        assert service.version == 0  # still the old index
+        # Advancing past the ready time swaps atomically.
+        assert service.finish_rebuild() is True
+        assert not service.rebuilding
+        assert service.version == 1
+        d2, i2 = service.answer_batch(points[0])
+        assert np.array_equal(d[0] if d.ndim == 2 else d, d2[0])
+
+    def test_swap_fires_on_any_event_past_ready(self, service, points):
+        service.begin_background_rebuild(at=0.0)
+        service.query(points[1], at=BUILD_SECONDS + 1.0)  # any event suffices
+        assert service.version == 1
+        assert service.rebuilds == 1
+        assert service.rebuild_seconds == pytest.approx(BUILD_SECONDS)
+
+    def test_mid_build_inserts_survive_swap(self, service, points):
+        rng = np.random.default_rng(1)
+        service.begin_background_rebuild(at=0.0)
+        fresh = rng.normal(size=(7, 3))
+        new_ids = service.insert(fresh, at=1.0)  # arrives during the build
+        assert_exact_now(service, points[:5])  # old index + delta, exact
+        service.finish_rebuild()
+        assert service.version == 1
+        # The mid-build inserts were NOT in the captured set: still buffered.
+        assert service.delta.n_inserted == 7
+        assert set(int(i) for i in new_ids) <= set(int(i) for i in service.delta.live_arrays()[1])
+        assert_exact_now(service, fresh)
+
+    def test_mid_build_delete_of_captured_point_stays_dead(self, service, points):
+        # Point 5 is live at capture -> it IS in the new tree; deleting it
+        # mid-build must tombstone the new tree's copy at swap (the
+        # resurrection bug this reconciliation exists to prevent).
+        service.begin_background_rebuild(at=0.0)
+        service.delete([5], at=1.0)
+        service.finish_rebuild()
+        assert service.version == 1
+        assert 5 in service.delta.tombstones
+        d, i = service.answer_batch(points[5], k=1)
+        assert int(i[0, 0]) != 5
+        assert_exact_now(service, points[:10])
+
+    def test_mid_build_delete_of_buffered_insert_stays_dead(self, service):
+        far = np.full((1, 3), 50.0)
+        service.insert(far, ids=np.array([900]), at=0.0)  # buffered, will be captured
+        service.begin_background_rebuild(at=1.0)  # new tree contains 900
+        service.delete([900], at=2.0)  # buffered delete during the window
+        service.finish_rebuild()
+        assert 900 in service.delta.tombstones  # tree copy is dead
+        d, i = service.answer_batch(far, k=1)
+        assert int(i[0, 0]) != 900
+
+    def test_mid_build_delete_reinsert_new_coords_is_authoritative(self, service):
+        coords_a = np.full((1, 3), 40.0)
+        coords_b = np.full((1, 3), -40.0)
+        service.insert(coords_a, ids=np.array([901]), at=0.0)
+        service.begin_background_rebuild(at=1.0)  # captures 901 @ A
+        service.delete([901], at=2.0)
+        service.insert(coords_b, ids=np.array([901]), at=3.0)  # same id, new coords
+        service.finish_rebuild()
+        # The buffer's B coordinates win; the tree's stale A copy is dead.
+        d_a, i_a = service.answer_batch(coords_a, k=1)
+        d_b, i_b = service.answer_batch(coords_b, k=1)
+        assert int(i_b[0, 0]) == 901 and d_b[0, 0] == 0.0
+        assert not (int(i_a[0, 0]) == 901 and d_a[0, 0] == 0.0)
+
+    def test_untouched_buffered_insert_is_absorbed(self, service):
+        service.insert(np.full((1, 3), 30.0), ids=np.array([902]), at=0.0)
+        service.begin_background_rebuild(at=1.0)
+        service.finish_rebuild()
+        assert service.delta.n_updates == 0  # fully folded in
+        d, i = service.answer_batch(np.full((1, 3), 30.0), k=1)
+        assert int(i[0, 0]) == 902 and d[0, 0] == 0.0
+
+    def test_foreground_rebuild_cancels_background(self, service):
+        service.begin_background_rebuild(at=0.0)
+        service.insert(np.zeros((1, 3)), at=1.0)
+        service.rebuild(at=2.0)  # folds the freshest live set, drops the bg build
+        assert not service.rebuilding
+        assert service.rebuilds == 1
+        assert service.delta.n_updates == 0
+        # Nothing left to swap later.
+        service.query(np.zeros(3), at=100.0)
+        assert service.rebuilds == 1
+
+    def test_cancel_returns_executor_ownership_to_serving_backend(self, points):
+        # A refit transfers pooled-executor shutdown responsibility to the
+        # fresh backend; cancelling the background build must hand it back,
+        # or close() would leak the worker pool forever.
+        from repro.service import PandaBackend
+
+        service = KNNService(
+            PandaBackend.fit(points, n_ranks=2, executor="thread"),
+            k=3,
+            cache_capacity=0,
+            service_time=fixed_clock,
+        )
+        executor = service.backend.index.cluster.executor
+        service.begin_background_rebuild(at=0.0)
+        assert not service.backend.index.cluster._owns_executor  # moved to bg
+        service.rebuild(at=1.0)  # cancels the background build
+        assert service.backend.index.cluster._owns_executor  # handed back
+        service.close()
+        assert executor._closed
+
+    def test_close_mid_rebuild_shuts_executor_down(self, points):
+        from repro.service import PandaBackend
+
+        service = KNNService(
+            PandaBackend.fit(points, n_ranks=2, executor="thread"),
+            k=3,
+            cache_capacity=0,
+            service_time=fixed_clock,
+        )
+        executor = service.backend.index.cluster.executor
+        service.begin_background_rebuild(at=0.0)
+        service.close()  # build still in flight
+        assert executor._closed
+
+    def test_begin_is_idempotent_while_in_flight(self, service):
+        ready1 = service.begin_background_rebuild(at=0.0)
+        ready2 = service.begin_background_rebuild(at=3.0)
+        assert ready1 == ready2
+
+    def test_policy_triggers_background_when_enabled(self, points):
+        service = KNNService(
+            LocalTreeBackend.fit(points),
+            k=4,
+            cache_capacity=0,
+            service_time=fixed_clock,
+            rebuild_policy=RebuildPolicy(max_inserts=3),
+            background_rebuild=True,
+        )
+        service.insert(np.random.default_rng(2).normal(size=(3, 3)), at=0.0)
+        assert service.rebuilding  # threshold fired a background build
+        assert service.version == 0  # ...but the old index still serves
+        service.query(points[0], at=BUILD_SECONDS + 1.0)
+        assert service.version == 1
+
+    def test_swap_does_not_refire_staleness_immediately(self, points):
+        # A mid-build update survives the swap in the delta buffer; the
+        # dirty clock must restart from the build's begin time, not keep
+        # the pre-build timestamp (which would fire a pointless immediate
+        # second rebuild).
+        service = KNNService(
+            LocalTreeBackend.fit(points),
+            k=3,
+            cache_capacity=0,
+            service_time=fixed_clock,
+            rebuild_policy=RebuildPolicy(max_staleness_s=20.0),
+            background_rebuild=True,
+        )
+        service.insert(np.zeros((1, 3)), at=0.0)  # dirty since t=0
+        service.query(points[0], at=21.0)  # staleness fires: build begins, ready t=31
+        assert service.rebuilding
+        service.insert(np.ones((1, 3)), at=25.0)  # arrives mid-build
+        service.query(points[0], at=31.0)  # swap; the t=25 insert survives
+        assert service.version == 1
+        assert service.delta.n_inserted == 1
+        assert not service.rebuilding  # leftover is ~10s old, not 31s
+        service.query(points[0], at=45.0)  # 21 + 20 <= 45: now it is stale
+        assert service.rebuilding
+
+    def test_randomized_interleaving_exact_across_swaps(self, points):
+        rng = np.random.default_rng(9)
+        service = KNNService(
+            LocalTreeBackend.fit(points),
+            k=5,
+            cache_capacity=0,
+            service_time=lambda n: 2.0,
+            rebuild_policy=RebuildPolicy(max_inserts=20, max_tombstones=10),
+            background_rebuild=True,
+        )
+        live = {int(i): p for i, p in zip(range(points.shape[0]), points)}
+        t = 0.0
+        for _ in range(60):
+            t += 1.0
+            op = rng.choice(["query", "insert", "delete"], p=[0.4, 0.35, 0.25])
+            if op == "query":
+                q = rng.normal(size=(3, 3))
+                ids_arr = np.fromiter(live.keys(), dtype=np.int64)
+                pts_arr = np.stack([live[int(i)] for i in ids_arr])
+                ref_d, _ = brute_force_knn(pts_arr, ids_arr, q, 5)
+                d, _ = service.answer_batch(q, k=5, at=t)
+                np.testing.assert_allclose(d, ref_d)
+            elif op == "insert":
+                fresh = rng.normal(size=(int(rng.integers(1, 8)), 3))
+                new_ids = service.insert(fresh, at=t)
+                for i, p in zip(new_ids, fresh):
+                    live[int(i)] = p
+            else:
+                victims = rng.choice(
+                    np.fromiter(live.keys(), dtype=np.int64),
+                    size=min(4, len(live)),
+                    replace=False,
+                )
+                service.delete(victims, at=t)
+                for v in victims:
+                    del live[int(v)]
+        assert service.rebuilds > 0  # swaps actually happened mid-trace
+        assert service.n_live == len(live)
+
+
+class TestVersionedSnapshots:
+    def test_version_dirs_accumulate_and_current_promotes(self, tmp_path, points):
+        root = tmp_path / "snaps"
+        service = KNNService(
+            LocalTreeBackend.fit(points),
+            k=3,
+            cache_capacity=0,
+            service_time=fixed_clock,
+            snapshot_root=root,
+        )
+        service.begin_background_rebuild(at=0.0)
+        versions = list_snapshot_versions(root)
+        assert [v for v, _ in versions] == [1]
+        assert current_version_dir(root) is None  # not promoted until swap
+        service.finish_rebuild()
+        assert current_version_dir(root) == versions[0][1]
+        # Second rebuild: v0002 written, promoted at its own swap.
+        service.begin_background_rebuild(at=20.0)
+        assert current_version_dir(root).name == "v0001"
+        service.finish_rebuild()
+        assert current_version_dir(root).name == "v0002"
+        assert [v for v, _ in list_snapshot_versions(root)] == [1, 2]
+
+    def test_current_snapshot_answers_identically(self, tmp_path, points):
+        root = tmp_path / "snaps"
+        service = KNNService(
+            LocalTreeBackend.fit(points),
+            k=3,
+            cache_capacity=0,
+            service_time=fixed_clock,
+            snapshot_root=root,
+        )
+        service.insert(np.random.default_rng(3).normal(size=(5, 3)), at=0.0)
+        service.begin_background_rebuild(at=1.0)
+        service.finish_rebuild()
+        restored = LocalTreeBackend.load(current_version_dir(root) / "index.npz")
+        queries = points[:20]
+        d_live, i_live = service.backend.kneighbors(queries, 3)
+        d_snap, i_snap = restored.kneighbors(queries, 3)
+        assert np.array_equal(d_live, d_snap)
+        assert np.array_equal(i_live, i_snap)
+
+    def test_cancelled_background_build_removes_orphan_version(self, tmp_path, points):
+        root = tmp_path / "snaps"
+        service = KNNService(
+            LocalTreeBackend.fit(points),
+            k=3,
+            cache_capacity=0,
+            service_time=fixed_clock,
+            snapshot_root=root,
+        )
+        service.begin_background_rebuild(at=0.0)
+        assert [v for v, _ in list_snapshot_versions(root)] == [1]
+        service.rebuild(at=1.0)  # foreground rebuild cancels the bg build
+        assert list_snapshot_versions(root) == []  # the orphan dir is gone
+        # The next background build reuses nothing stale.
+        service.begin_background_rebuild(at=20.0)
+        service.finish_rebuild()
+        assert current_version_dir(root).name == "v0001"
+
+    def test_version_allocation_and_promotion_primitives(self, tmp_path):
+        root = tmp_path / "vroot"
+        assert list_snapshot_versions(root) == []
+        assert current_version_dir(root) is None
+        v1 = allocate_version_dir(root)
+        v2 = allocate_version_dir(root)
+        assert (v1.name, v2.name) == ("v0001", "v0002")
+        promote_version(root, v2)
+        assert current_version_dir(root) == v2
+        with pytest.raises(FileNotFoundError):
+            promote_version(root, root / "v0099")
+        with pytest.raises(ValueError):
+            promote_version(root, tmp_path / "elsewhere")

@@ -46,12 +46,28 @@ class TestLRUCache:
         assert cache.get("a") is None
         assert len(cache) == 0
 
-    def test_clear_counts_invalidation(self):
+    def test_clear_counts_one_full_clear(self):
+        # A whole-cache wipe is one full clear, however many keys die —
+        # it must not masquerade as per-key drops (and vice versa).
         cache = LRUCache(4)
         cache.put("a", 1)
+        cache.put("b", 2)
         cache.clear()
         assert cache.get("a") is None
-        assert cache.stats.invalidations == 1
+        assert cache.stats.full_clears == 1
+        assert cache.stats.keys_dropped == 0
+        cache.clear()  # empty: nothing invalidated
+        assert cache.stats.full_clears == 1
+
+    def test_drop_counts_keys_individually(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.drop(["a", "c", "zzz"]) == 2  # absent keys ignored
+        assert cache.stats.keys_dropped == 2
+        assert cache.stats.full_clears == 0
+        assert cache.get("b") == 2
 
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
@@ -370,11 +386,37 @@ class TestReviewRegressions:
             service.insert(np.zeros((1, 3)), ids=np.array([-1]))
         assert service.delta.n_inserted == 0
 
-    def test_invalidations_count_actual_drops(self, backend):
+    def test_mutation_on_cold_cache_drops_nothing(self, backend):
         # A mutation on a never-queried service drops nothing.
         service = make_service(backend, cache_capacity=16)
         service.insert(np.zeros((1, 3)))
-        assert service.cache_stats.invalidations == 0
+        assert service.cache_stats.full_clears == 0
+        assert service.cache_stats.keys_dropped == 0
+
+    def test_insert_far_away_keeps_cache_warm(self, backend, small_points):
+        # Selective invalidation: an insert far outside every cached
+        # k-th-distance ball must not evict those entries.
+        service = make_service(backend, k=3, cache_capacity=16)
+        q = small_points[0]
+        service.query(q, at=0.0)
+        service.insert(np.full((1, 3), 1e6), at=0.1)
+        rid = service.submit(q, at=0.2)
+        service.flush()
+        assert next(r for r in service.records if r.request_id == rid).cache_hit
+        assert service.cache_stats.keys_dropped == 0
+
+    def test_delete_of_uncached_id_keeps_cache_warm(self, backend, small_points):
+        # Deleting a point that appears in no cached answer drops nothing.
+        service = make_service(backend, k=2, cache_capacity=16)
+        _, ids_near = service.query(small_points[0], at=0.0)
+        victim = next(i for i in range(2_000) if i not in set(int(x) for x in ids_near))
+        service.delete([victim], at=0.1)
+        rid = service.submit(small_points[0], at=0.2)
+        service.flush()
+        assert next(r for r in service.records if r.request_id == rid).cache_hit
+        # Deleting a cached id does drop the entry.
+        service.delete([int(ids_near[0])], at=0.3)
+        assert service.cache_stats.keys_dropped == 1
 
 
 class TestRetentionRing:
