@@ -12,10 +12,14 @@ broadcasts every query to every shard by construction.
 
 A built-in exactness spot-check compares sampled fleet answers against
 brute force, and a streaming section pushes inserts through a background
-rebuild hot-swap mid-trace.
+rebuild hot-swap mid-trace.  A dispatch A/B section replays one trace
+through a serial-dispatched and a thread-dispatched fleet, asserts their
+answers are byte-identical, and reports both latency profiles.
 
-Results are also written as a perf-trajectory artifact to
-``benchmarks/results/BENCH_fleet.json`` so successive runs can be compared.
+Results are written as perf-trajectory artifacts — ``BENCH_fleet.json``
+and ``BENCH_dispatch.json`` at the repo root (the deterministic location
+CI asserts), with a copy under ``benchmarks/results/`` — so successive
+runs can be compared.
 
 NOTE: this harness runs every shard in one process, so absolute QPS *falls*
 as shards are added (each dispatched batch pays the scatter-gather calls
@@ -45,7 +49,10 @@ from repro.fleet import KNNFleet
 from repro.kdtree.query import brute_force_knn
 from repro.service import MicroBatchPolicy, RebuildPolicy, uniform_trace
 
-RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+#: Artifacts land at the repo root regardless of the working directory the
+#: benchmark was launched from — CI asserts these exact paths.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 FULL_SIZE = dict(n_points=60_000, n_requests=8_000, rate=40_000.0, k=8,
                  shard_counts=(1, 2, 4, 8), n_stream=2_000, stream_buffer=500)
@@ -150,6 +157,49 @@ def run_streaming(points: np.ndarray, size: dict, seed: int = 11) -> dict:
     return {"rebuilds": float(rebuilds), "n_live": float(fleet.n_live)}
 
 
+def run_dispatch_ab(points: np.ndarray, size: dict, seed: int = 13) -> dict:
+    """Serial vs threaded dispatch on the same trace, byte-equality asserted.
+
+    Both fleets see the identical open-loop trace; the threaded fleet runs
+    owner/scatter calls concurrently with hedged replica reads armed.  The
+    exactness guard of the dispatch plane is checked request by request:
+    every distance *and id* must match the serial answer bit for bit.
+    """
+    times, queries = uniform_trace(size["n_requests"], size["rate"], pool=points, seed=seed)
+    n_shards = size["shard_counts"][-1]
+    answers = {}
+    reports = {}
+    for spec in ("serial", "thread:4"):
+        fleet = KNNFleet.build(
+            points,
+            n_shards=n_shards,
+            n_replicas=2,
+            k=size["k"],
+            batch_policy=MicroBatchPolicy(max_batch=512, max_delay_s=2e-3),
+            dispatcher=spec,
+            hedge_after="p99" if spec != "serial" else None,
+        )
+        request_ids = [fleet.submit(q, at=t) for t, q in zip(times, queries)]
+        fleet.drain(at=float(times[-1]))
+        answers[spec] = [fleet.result(r) for r in request_ids]
+        stats = fleet.stats()
+        reports[spec] = {
+            "n_shards": n_shards,
+            "p50_latency_s": stats["p50_latency_s"],
+            "p99_latency_s": stats["p99_latency_s"],
+            "qps": stats["qps"],
+            "dispatch": stats["dispatch"],
+            "owner_seconds": stats["router"]["owner_seconds"],
+            "scatter_seconds": stats["router"]["scatter_seconds"],
+        }
+        fleet.close()
+    for (d_s, i_s), (d_t, i_t) in zip(answers["serial"], answers["thread:4"]):
+        assert np.array_equal(d_s, d_t) and np.array_equal(i_s, i_t), (
+            "threaded dispatch changed an answer"
+        )
+    return reports
+
+
 def format_row(row: dict) -> str:
     return (
         f"  {row['strategy']:>5s} x{row['n_shards']:<2d} "
@@ -183,6 +233,17 @@ def main() -> None:
         f"{stream['n_live']:.0f} live points   [exactness verified]"
     )
 
+    dispatch = run_dispatch_ab(points, size)
+    for spec, report in dispatch.items():
+        print(
+            f"  dispatch {spec:>9s} x{report['n_shards']:<2d} "
+            f"p50 {report['p50_latency_s'] * 1e3:8.3f} ms   "
+            f"p99 {report['p99_latency_s'] * 1e3:8.3f} ms   "
+            f"qps {report['qps']:10.0f}   "
+            f"hedges {report['dispatch']['hedges']:4.0f}"
+        )
+    print("  dispatch: serial and threaded answers byte-identical")
+
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     artifact = {
         "benchmark": "fleet_scaling",
@@ -192,9 +253,19 @@ def main() -> None:
         "rows": rows,
         "streaming": stream,
     }
-    out = RESULTS_DIR / "BENCH_fleet.json"
-    out.write_text(json.dumps(artifact, indent=2) + "\n")
-    print(f"[saved to {out}]")
+    dispatch_artifact = {
+        "benchmark": "fleet_dispatch",
+        "smoke": bool(args.smoke),
+        "config": {key: list(v) if isinstance(v, tuple) else v for key, v in size.items()},
+        "byte_identical": True,
+        "dispatchers": dispatch,
+    }
+    for name, payload in (("BENCH_fleet.json", artifact), ("BENCH_dispatch.json", dispatch_artifact)):
+        text = json.dumps(payload, indent=2) + "\n"
+        (REPO_ROOT / name).write_text(text)
+        (RESULTS_DIR / name).write_text(text)
+        assert (REPO_ROOT / name).is_file(), f"bench artifact {name} missing from repo root"
+        print(f"[saved to {REPO_ROOT / name}]")
 
 
 if __name__ == "__main__":

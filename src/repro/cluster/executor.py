@@ -41,7 +41,7 @@ import os
 import pickle
 import queue as queue_mod
 import traceback
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -119,6 +119,20 @@ class RankExecutor:
         """
         raise NotImplementedError
 
+    def submit(self, task: RankTask) -> Future:
+        """Submit one task; returns a future resolving to its result.
+
+        The futures interface backs the serving-side dispatch plane
+        (:mod:`repro.fleet.dispatch`), which needs individual completion
+        instead of the bulk-synchronous :meth:`run` barrier.  Only the
+        in-process backends implement it: the process backend's tasks close
+        over live service objects that cannot cross a process boundary.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support futures-based submit(); "
+            "use an inline or thread executor"
+        )
+
     def close(self) -> None:
         """Release workers and published shared-memory segments (idempotent)."""
 
@@ -144,6 +158,14 @@ class InlineExecutor(RankExecutor):
 
     def run(self, tasks: Sequence[Optional[RankTask]]) -> List[Any]:
         return [None if task is None else _run_task(task) for task in tasks]
+
+    def submit(self, task: RankTask) -> Future:
+        fut: Future = Future()
+        try:
+            fut.set_result(_run_task(task))
+        except BaseException as exc:
+            fut.set_exception(exc)
+        return fut
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "InlineExecutor()"
@@ -178,6 +200,13 @@ class ThreadExecutor(RankExecutor):
         for (i, _), result in zip(live, self._pool.map(_run_task, [t for _, t in live])):
             results[i] = result
         return results
+
+    def submit(self, task: RankTask) -> Future:
+        if self._pool is None:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._pool.submit(_run_task, task)
 
     def close(self) -> None:
         self._closed = True

@@ -52,6 +52,9 @@ class AdmissionStats:
     admitted: int = 0
     rejected: int = 0
     shed: int = 0
+    #: Peak pending-queue depth observed at submit time — the high-water
+    #: mark that says how close to the ``max_pending`` cliff traffic ran.
+    max_queue_depth: int = 0
 
     @property
     def offered(self) -> int:
@@ -65,6 +68,7 @@ class AdmissionStats:
             "admitted": float(self.admitted),
             "rejected": float(self.rejected),
             "shed": float(self.shed),
+            "max_queue_depth": float(self.max_queue_depth),
         }
 
 
@@ -81,6 +85,7 @@ class AdmissionController:
         Returns :data:`ADMIT`, :data:`REJECT`, or :data:`SHED` (admit the
         new request, but the caller must drop its oldest pending one).
         """
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, n_pending)
         if n_pending < self.policy.max_pending:
             self.stats.admitted += 1
             return ADMIT

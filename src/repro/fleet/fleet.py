@@ -22,6 +22,13 @@ its group.  Rebuilds are *background* per replica: the shard keeps serving
 from the old index while the fresh one builds, then hot-swaps — with an
 optional versioned snapshot trail under ``snapshot_root``
 (``shardNN/replicaM/vNNNN`` + ``CURRENT`` pointers).
+
+Every shard call travels the fleet's dispatch plane
+(:mod:`repro.fleet.dispatch`): ``dispatcher="thread"`` runs owner and
+scatter calls concurrently and enables hedged replica reads via
+``hedge_after`` — with byte-identical answers to the default serial
+dispatcher, because only wall-clock depends on completion order.  The
+``REPRO_DISPATCHER`` environment variable sets the fleet-wide default.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from typing import Callable, Deque, Dict, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.fleet.admission import ADMIT, REJECT, SHED, AdmissionController, AdmissionPolicy
+from repro.fleet.dispatch import Dispatcher, make_dispatcher
 from repro.fleet.planner import ShardPlan, ShardPlanner
 from repro.fleet.replica import Replica, ReplicaGroup, ShardUnavailableError
 from repro.fleet.router import Router
@@ -71,12 +79,22 @@ class KNNFleet:
         admission_policy: AdmissionPolicy | None = None,
         retention: int = 65536,
         service_time: Callable[[int], float] | None = None,
+        dispatcher: "Dispatcher | str | None" = None,
+        hedge_after: "float | str | None" = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         self.plan = plan
         self.groups = list(groups)
-        self.router = Router(plan, self.groups)
+        # A dispatcher built here from a spec (or the REPRO_DISPATCHER
+        # default) is owned and closed with the fleet; a passed-in instance
+        # stays owned by the caller.
+        self._owns_dispatcher = not isinstance(dispatcher, Dispatcher)
+        self.dispatcher = make_dispatcher(dispatcher)
+        if hedge_after is not None:
+            for group in self.groups:
+                group.hedge_after = hedge_after
+        self.router = Router(plan, self.groups, dispatcher=self.dispatcher)
         self.k = k
         self.batch_policy = batch_policy or MicroBatchPolicy()
         self.admission = AdmissionController(admission_policy)
@@ -127,13 +145,19 @@ class KNNFleet:
         retention: int = 65536,
         snapshot_root: str | Path | None = None,
         service_time: Callable[[int], float] | None = None,
+        dispatcher: "Dispatcher | str | None" = None,
+        hedge_after: "float | str | None" = None,
     ) -> "KNNFleet":
         """Plan, shard, replicate and wire a fleet over ``points``.
 
         Every replica service runs with ``background_rebuild=True`` (the
         old index serves during policy-triggered rebuilds) and, when
         ``snapshot_root`` is given, writes versioned snapshots under
-        ``snapshot_root/shardNN/replicaM/``.
+        ``snapshot_root/shardNN/replicaM/``.  ``dispatcher`` selects the
+        dispatch plane (``None`` consults ``REPRO_DISPATCHER``, falling
+        back to serial); ``hedge_after`` arms hedged replica reads (a
+        seconds deadline or a ``"p95"``-style latency percentile) on every
+        group — it needs a concurrent dispatcher to have any effect.
         """
         if n_replicas <= 0:
             raise ValueError(f"n_replicas must be positive, got {n_replicas}")
@@ -190,13 +214,18 @@ class KNNFleet:
             admission_policy=admission_policy,
             retention=retention,
             service_time=service_time,
+            dispatcher=dispatcher,
+            hedge_after=hedge_after,
         )
 
     def close(self) -> None:
-        """Release every replica's backend resources."""
+        """Release every replica's backend resources (and the dispatcher's
+        worker pools, when the fleet owns it)."""
         for group in self.groups:
             for replica in group.replicas:
                 replica.service.close()
+        if self._owns_dispatcher:
+            self.dispatcher.close()
 
     def __enter__(self) -> "KNNFleet":
         return self
@@ -244,6 +273,12 @@ class KNNFleet:
         summary: Dict[str, object] = dict(self.records.summary())
         summary["admission"] = self.admission.stats.as_dict()
         summary["router"] = self.router.stats.as_dict()
+        dispatch: Dict[str, object] = dict(self.dispatcher.stats.as_dict())
+        dispatch["dispatcher"] = self.dispatcher.name
+        dispatch["hedges"] = float(sum(g.hedges for g in self.groups))
+        dispatch["hedge_wins"] = float(sum(g.hedge_wins for g in self.groups))
+        dispatch["hedge_cancels"] = float(sum(g.hedge_cancels for g in self.groups))
+        summary["dispatch"] = dispatch
         summary["n_live"] = float(self.n_live)
         summary["shards"] = [
             {
@@ -254,6 +289,7 @@ class KNNFleet:
                 "rebuilds": group.rebuilds,
                 "retries": group.retries,
                 "deaths": group.deaths,
+                "hedges": group.hedges,
             }
             for group in self.groups
         ]

@@ -80,6 +80,20 @@ class ShardPlan:
             raise ValueError(f"{self.strategy!r} plan has no regions; cannot prune")
         return self.region_tree.ranks_within_batch(queries, radii, owners)
 
+    def scatter_targets(
+        self, queries: np.ndarray, radii: np.ndarray, owners: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat ``(rows, shards)`` scatter set of the second phase.
+
+        The same intersection test as :meth:`shards_within`, but returned
+        as two parallel row-major arrays (row ascending, shard ascending
+        within a row) so the router can group rows by shard with one
+        vectorised sort instead of a per-row Python loop.
+        """
+        if self.region_tree is None:
+            raise ValueError(f"{self.strategy!r} plan has no regions; cannot prune")
+        return self.region_tree.ranks_within_flat(queries, radii, owners)
+
     def assign(self, points: np.ndarray, ids: np.ndarray, n_assigned_before: int) -> np.ndarray:
         """Shard index for freshly inserted points.
 

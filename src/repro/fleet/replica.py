@@ -8,19 +8,50 @@ injected deliberately (tests and chaos drills): a replica can be killed
 outright or armed to die *mid-query*, in which case the group transparently
 retries the batch on the next-least-loaded peer — answers never change,
 only the load accounting does.
+
+Under the dispatch plane (:mod:`repro.fleet.dispatch`) a group can also
+serve **hedged reads**: when a concurrent dispatcher and a ``hedge_after``
+deadline are configured, an attempt that has not answered by the deadline
+races a second replica on the dispatcher's replica lane and the first
+answer wins — the loser is cancelled (if it never started) or discarded.
+Replicas are bit-identical, so which attempt wins cannot change a single
+byte of the answer; hedging only moves tail latency and the hedge
+counters.  Liveness and load state are lock-guarded so concurrent shard
+calls (two scatter-phase calls hitting the same group) account exactly.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
+from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.fleet.dispatch import Dispatcher, ShardCall
 from repro.service.service import KNNService
+
+#: Minimum latency samples before a percentile ``hedge_after`` spec arms
+#: (a percentile over two observations is noise, not a deadline).
+_MIN_HEDGE_SAMPLES = 8
 
 
 class ReplicaDeadError(RuntimeError):
-    """The targeted replica is (or just became) dead."""
+    """The targeted replica is (or just became) dead.
+
+    ``died_now`` distinguishes an attempt that actually killed the replica
+    (armed failure firing mid-query) from one that found it already dead —
+    the group's death counter must move exactly once per real death, even
+    when concurrent attempts race against the same dying replica.
+    """
+
+    def __init__(self, message: str, died_now: bool = True) -> None:
+        super().__init__(message)
+        self.died_now = died_now
 
 
 class ShardUnavailableError(RuntimeError):
@@ -36,41 +67,89 @@ class Replica:
         self.service = service
         self.alive = True
         self.queries_served = 0
+        #: Hedged attempts currently reserved/running on this replica;
+        #: the least-loaded pick counts them so a slow attempt does not
+        #: attract every hedge that fires while it runs.
+        self.in_flight = 0
         self._armed_failure = False
+        self._lock = threading.Lock()
 
     def kill(self) -> None:
         """Fail the replica immediately (it stops receiving everything)."""
-        self.alive = False
-        self._armed_failure = False
+        with self._lock:
+            self.alive = False
+            self._armed_failure = False
 
     def arm_failure(self) -> None:
         """Make the *next* query attempt die mid-flight (retry-path drill)."""
-        self._armed_failure = True
+        with self._lock:
+            self._armed_failure = True
 
     def answer(self, queries: np.ndarray, k: int, at: float | None) -> Tuple[np.ndarray, np.ndarray]:
-        """Answer a batch, or die (armed failure / already dead)."""
-        if not self.alive:
-            raise ReplicaDeadError(f"shard {self.shard_id} replica {self.replica_id} is dead")
-        if self._armed_failure:
-            self.kill()
-            raise ReplicaDeadError(
-                f"shard {self.shard_id} replica {self.replica_id} died mid-query"
-            )
+        """Answer a batch, or die (armed failure / already dead).
+
+        The liveness check-and-kill is atomic, so of any number of
+        concurrent attempts racing an armed replica exactly one observes
+        ``died_now`` — the one that pulled the trigger.
+        """
+        with self._lock:
+            if not self.alive:
+                raise ReplicaDeadError(
+                    f"shard {self.shard_id} replica {self.replica_id} is dead", died_now=False
+                )
+            if self._armed_failure:
+                self.alive = False
+                self._armed_failure = False
+                raise ReplicaDeadError(
+                    f"shard {self.shard_id} replica {self.replica_id} died mid-query",
+                    died_now=True,
+                )
         out = self.service.answer_batch(queries, k=k, at=at)
-        self.queries_served += int(np.atleast_2d(queries).shape[0])
+        with self._lock:
+            self.queries_served += int(np.atleast_2d(queries).shape[0])
         return out
 
 
 class ReplicaGroup:
-    """All replicas of one shard, with least-loaded routing and retries."""
+    """All replicas of one shard, with least-loaded routing and retries.
 
-    def __init__(self, shard_id: int, replicas: Sequence[Replica]) -> None:
+    Parameters
+    ----------
+    shard_id, replicas:
+        The shard and its serving copies.
+    hedge_after:
+        Hedged-read deadline: ``None`` disables hedging, a float is a fixed
+        deadline in seconds, and a ``"p95"``-style string tracks that
+        percentile of the group's recent attempt latencies (armed only once
+        :data:`_MIN_HEDGE_SAMPLES` observations exist).  Hedging needs a
+        concurrent dispatcher passed into :meth:`answer`; without one the
+        deadline is ignored and the serial retry path runs.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        replicas: Sequence[Replica],
+        hedge_after: "float | str | None" = None,
+    ) -> None:
         if not replicas:
             raise ValueError(f"shard {shard_id} needs at least one replica")
         self.shard_id = shard_id
         self.replicas = list(replicas)
+        self.hedge_after = hedge_after
         self.retries = 0
         self.deaths = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.hedge_cancels = 0
+        # _lock guards pick/accounting state; _serve_lock serialises whole
+        # answer() calls so concurrent shard calls against one group keep
+        # the exact pick-retry-account semantics of the serial router (the
+        # dispatch plane's concurrency win is across groups, and — via the
+        # replica lane — across the hedged attempts within one call).
+        self._lock = threading.Lock()
+        self._serve_lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=128)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -106,20 +185,203 @@ class ReplicaGroup:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def answer(self, queries: np.ndarray, k: int, at: float | None = None) -> Tuple[np.ndarray, np.ndarray]:
+    def answer(
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None = None,
+        dispatcher: Dispatcher | None = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Exact batch answer from the least-loaded live replica.
 
         A replica dying mid-query is retried on the next-least-loaded peer
         (the batch is re-executed whole — replicas are identical, so the
-        answer is the same bytes whichever one survives).
+        answer is the same bytes whichever one survives).  With a
+        concurrent ``dispatcher`` and an armed ``hedge_after`` deadline the
+        retry path generalises to hedged reads: a late attempt races a
+        second replica and the first answer wins.
         """
+        with self._serve_lock:
+            deadline = self._hedge_deadline()
+            if deadline is None or dispatcher is None or not dispatcher.concurrent:
+                return self._answer_serial(queries, k, at)
+            return self._answer_hedged(queries, k, at, deadline, dispatcher)
+
+    def _answer_serial(
+        self, queries: np.ndarray, k: int, at: float | None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         while True:
             replica = self.primary()  # raises ShardUnavailableError when none left
             try:
-                return replica.answer(queries, k, at)
+                started = time.perf_counter()
+                out = replica.answer(queries, k, at)
+                self._note_latency(time.perf_counter() - started)
+                return out
             except ReplicaDeadError:
+                with self._lock:
+                    self.deaths += 1
+                    self.retries += 1
+
+    def _answer_hedged(
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        deadline: float,
+        dispatcher: Dispatcher,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One hedged read: primary attempt, then race a peer past the deadline.
+
+        Every attempt runs on the dispatcher's replica lane (a leaf pool,
+        so a shard-lane worker blocked here can never deadlock the shard
+        lane).  The primary is preferred when both attempts finish; the
+        loser is cancelled if it never started, otherwise discarded — its
+        eventual death (if any) still lands in the death counter exactly
+        once via the done callback.
+        """
+        while True:
+            replica = self._reserve()  # raises ShardUnavailableError when none left
+            primary_fut = self._submit_attempt(dispatcher, replica, queries, k, at)
+            try:
+                out = primary_fut.result(timeout=deadline)
+                return out
+            except FutureTimeoutError:
+                pass
+            except ReplicaDeadError as death:
+                self._count_dead_attempt(death)
+                continue
+            hedge_replica = self._reserve(exclude=replica)
+            if hedge_replica is None:
+                # No live peer to race; ride the slow attempt out.
+                try:
+                    return primary_fut.result()
+                except ReplicaDeadError as death:
+                    self._count_dead_attempt(death)
+                    continue
+            with self._lock:
+                self.hedges += 1
+            hedge_fut = self._submit_attempt(dispatcher, hedge_replica, queries, k, at)
+            attempts = [(primary_fut, replica), (hedge_fut, hedge_replica)]
+            pending = {primary_fut, hedge_fut}
+            winner = None
+            out = None
+            while pending and winner is None:
+                done, _ = futures_wait(pending, return_when=FIRST_COMPLETED)
+                # Deterministic preference: the primary attempt wins a
+                # simultaneous finish, so hedge_wins counts true saves only.
+                for fut, _rep in attempts:
+                    if fut not in done or fut not in pending:
+                        continue
+                    pending.discard(fut)
+                    exc = fut.exception()
+                    if exc is None:
+                        winner = fut
+                        out = fut.result()
+                        break
+                    if isinstance(exc, ReplicaDeadError):
+                        self._count_dead_attempt(exc)
+                        continue
+                    self._discard([(f, r) for f, r in attempts if f in pending])
+                    raise exc
+            if winner is None:
+                continue  # both attempts died; reserve afresh (or go loud)
+            if winner is hedge_fut:
+                with self._lock:
+                    self.hedge_wins += 1
+            self._discard([(f, r) for f, r in attempts if f in pending])
+            return out
+
+    def _submit_attempt(
+        self,
+        dispatcher: Dispatcher,
+        replica: Replica,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+    ):
+        return dispatcher.submit_hedge(
+            ShardCall(self.shard_id, self._run_attempt, (replica, queries, k, at))
+        )
+
+    def _run_attempt(
+        self, replica: Replica, queries: np.ndarray, k: int, at: float | None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Replica-lane body of one hedged attempt (always releases the
+        reservation taken by :meth:`_reserve`)."""
+        try:
+            started = time.perf_counter()
+            out = replica.answer(queries, k, at)
+            self._note_latency(time.perf_counter() - started)
+            return out
+        finally:
+            with self._lock:
+                replica.in_flight -= 1
+
+    def _reserve(self, exclude: Replica | None = None) -> Optional[Replica]:
+        """Atomically pick and reserve the least-loaded live replica.
+
+        The pick key adds the reservation count to ``queries_served`` so a
+        replica already running a slow attempt does not attract the hedge
+        racing it.  With ``exclude`` set (hedge pick) a group with no other
+        live replica returns ``None`` instead of raising — the caller rides
+        out the original attempt.
+        """
+        with self._lock:
+            alive = [r for r in self.replicas if r.alive and r is not exclude]
+            if not alive:
+                if exclude is not None:
+                    return None
+                raise ShardUnavailableError(f"shard {self.shard_id}: every replica is dead")
+            best = min(alive, key=lambda r: (r.queries_served + r.in_flight, r.replica_id))
+            best.in_flight += 1
+            return best
+
+    def _discard(self, losers: List[Tuple[object, Replica]]) -> None:
+        """Cancel (or disown) losing hedge attempts.
+
+        A successful cancel means the attempt never ran, so its reservation
+        is released here; a running loser keeps its own accounting — it
+        releases the reservation itself and reports a mid-flight death
+        through the done callback.
+        """
+        for fut, replica in losers:
+            if fut.cancel():
+                with self._lock:
+                    self.hedge_cancels += 1
+                    replica.in_flight -= 1
+            else:
+                fut.add_done_callback(self._note_discarded)
+
+    def _note_discarded(self, fut) -> None:
+        if fut.cancelled():
+            return
+        exc = fut.exception()
+        if isinstance(exc, ReplicaDeadError):
+            self._count_dead_attempt(exc)
+
+    def _count_dead_attempt(self, death: ReplicaDeadError) -> None:
+        with self._lock:
+            self.retries += 1
+            if death.died_now:
                 self.deaths += 1
-                self.retries += 1
+
+    def _hedge_deadline(self) -> Optional[float]:
+        """Current hedged-read deadline in seconds, or ``None`` when off."""
+        spec = self.hedge_after
+        if spec is None:
+            return None
+        if isinstance(spec, str):
+            pct = float(spec.lstrip("pP"))
+            with self._lock:
+                if len(self._latencies) < _MIN_HEDGE_SAMPLES:
+                    return None
+                window = np.fromiter(self._latencies, dtype=np.float64, count=len(self._latencies))
+            return float(np.percentile(window, pct))
+        return float(spec)
+
+    def _note_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
 
     # ------------------------------------------------------------------
     # Mutation (applied to every live replica, keeping them identical)

@@ -8,11 +8,23 @@ distributed query protocol, lifted from ranks to shards:
    replica).  The owner's k-th neighbour distance r' bounds where any
    better neighbour can hide.
 2. **Scatter phase** — the query fans out *only* to shards whose region box
-   intersects the r' ball (:meth:`ShardPlan.shards_within`, the exact
+   intersects the r' ball (:meth:`ShardPlan.scatter_targets`, the exact
    box-distance pruning of the rank protocol), again batched per shard.
    Results fold in with one vectorised sorted merge per shard call
-   (semantically :func:`~repro.kdtree.heap.merge_topk` minus the
-   duplicate-id handling, which disjoint shards cannot need).
+   (:func:`~repro.kdtree.heap.merge_topk_rows` without duplicate-id
+   handling, which disjoint shards cannot need).
+
+Every shard call is a :class:`~repro.fleet.dispatch.ShardCall` submitted
+through a pluggable :class:`~repro.fleet.dispatch.Dispatcher`.  Under the
+default :class:`~repro.fleet.dispatch.SerialDispatcher` calls execute at
+submit time, in submission order — provably the historical call sequence.
+Under a concurrent dispatcher all owner calls run at once and each owner's
+scatter calls are submitted the moment that owner completes (no barrier on
+the whole batch).  Answers cannot differ between the two: batch answers are
+row-independent, each row's scatter results fold in ascending shard order
+either way, and every merge into the accumulators happens in the
+submitting thread — so the bytes are identical whichever dispatcher runs
+the calls.
 
 Because every shard answers its own live set exactly and any point not in
 a visited shard lies beyond r' (which is itself >= the true k-th distance),
@@ -22,29 +34,40 @@ unspecified, as everywhere else in this codebase.
 
 Plans without geometry (hash / round-robin) broadcast every query to every
 shard: still exact, never pruned.  :class:`RouterStats` records the
-measured fan-out so the benchmark can show the pruning win on clustered
-data.
+measured fan-out and per-phase wall time so the benchmark can show the
+pruning win on clustered data and the overlap win on slow shards.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.fleet.dispatch import Dispatcher, SerialDispatcher, ShardCall
 from repro.fleet.planner import ShardPlan
 from repro.fleet.replica import ReplicaGroup
+from repro.kdtree.heap import merge_topk_rows
 
 
 @dataclass
 class RouterStats:
-    """Fan-out accounting across every routed query."""
+    """Fan-out and phase-timing accounting across every routed query."""
 
     queries: int = 0
     shard_visits: int = 0
     owner_only: int = 0
     broadcasts: int = 0
+    #: Wall seconds spent in the owner phase (submitting and harvesting
+    #: owner calls).  Broadcasts have no owner phase.
+    owner_seconds: float = 0.0
+    #: Wall seconds spent in the scatter phase (and in broadcasts, which
+    #: are all fan-out).
+    scatter_seconds: float = 0.0
 
     @property
     def mean_fanout(self) -> float:
@@ -58,17 +81,30 @@ class RouterStats:
             "mean_fanout": self.mean_fanout,
             "owner_only": float(self.owner_only),
             "broadcasts": float(self.broadcasts),
+            "owner_seconds": float(self.owner_seconds),
+            "scatter_seconds": float(self.scatter_seconds),
         }
 
 
 class Router:
-    """Pruned scatter-gather over a fixed plan and its replica groups."""
+    """Pruned scatter-gather over a fixed plan and its replica groups.
 
-    def __init__(self, plan: ShardPlan, groups: Sequence[ReplicaGroup]) -> None:
+    ``dispatcher`` carries every shard call; the router does not own it
+    (the fleet — or the caller — closes it).  ``None`` falls back to a
+    private :class:`SerialDispatcher`, which is free to leave unclosed.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        groups: Sequence[ReplicaGroup],
+        dispatcher: Dispatcher | None = None,
+    ) -> None:
         if len(groups) != plan.n_shards:
             raise ValueError(f"plan has {plan.n_shards} shards, got {len(groups)} groups")
         self.plan = plan
         self.groups = list(groups)
+        self.dispatcher = dispatcher if dispatcher is not None else SerialDispatcher()
         self.stats = RouterStats()
 
     def answer(
@@ -87,6 +123,29 @@ class Router:
             return self._broadcast(queries, k, at)
         return self._scatter_gather(queries, k, at)
 
+    def _submit(self, shard: int, queries: np.ndarray, k: int, at: float | None):
+        """One shard call on the dispatch plane.
+
+        The dispatcher rides along into :meth:`ReplicaGroup.answer` so the
+        group can hedge its replica attempts on the replica lane.
+        """
+        return self.dispatcher.submit(
+            ShardCall(shard, self.groups[shard].answer, (queries, k, at, self.dispatcher))
+        )
+
+    @staticmethod
+    def _settle(futures) -> None:
+        """Cancel-and-drain outstanding shard calls before re-raising.
+
+        Nothing may still be running when the error propagates: the fleet
+        rolls back router stats and per-replica load on failure, and that
+        rollback must not race live workers.
+        """
+        for fut in futures:
+            fut.cancel()
+        if futures:
+            futures_wait(list(futures))
+
     # ------------------------------------------------------------------
     # Non-spatial fallback: everyone answers everything
     # ------------------------------------------------------------------
@@ -98,9 +157,22 @@ class Router:
         self.stats.broadcasts += n
         acc_d = np.full((n, k), np.inf, dtype=np.float64)
         acc_i = np.full((n, k), -1, dtype=np.int64)
-        for group in self.groups:
-            d, i = group.answer(queries, k, at)
-            acc_d, acc_i = _merge_rows(k, acc_d, acc_i, np.arange(n), d, i)
+        started = time.perf_counter()
+        futures = []
+        try:
+            for shard in range(len(self.groups)):
+                futures.append(self._submit(shard, queries, k, at))
+            # Harvest in submission (= ascending shard) order: the fold
+            # order fixes which exactly-tied id survives, so it must match
+            # the serial sequence bit for bit.
+            for pos, fut in enumerate(futures):
+                d, i = fut.result()
+                futures[pos] = None
+                acc_d, acc_i = merge_topk_rows(k, acc_d, acc_i, d, i)
+        except BaseException:
+            self._settle([f for f in futures if f is not None])
+            raise
+        self.stats.scatter_seconds += time.perf_counter() - started
         return acc_d, acc_i
 
     # ------------------------------------------------------------------
@@ -114,55 +186,89 @@ class Router:
         acc_d = np.full((n, k), np.inf, dtype=np.float64)
         acc_i = np.full((n, k), -1, dtype=np.int64)
 
-        # Phase 1: one batched owner call per shard that owns queries.
-        for shard in np.unique(owners):
-            rows = np.flatnonzero(owners == shard)
-            d, i = self.groups[shard].answer(queries[rows], k, at)
-            acc_d[rows] = d
-            acc_i[rows] = i
-        self.stats.shard_visits += n
+        # Phase 1: one batched owner call per shard that owns queries, all
+        # submitted up front.  Each owner's scatter calls go out the moment
+        # that owner completes — no barrier on the whole batch, so a slow
+        # owner shard cannot hold back every other row's phase 2.
+        started = time.perf_counter()
+        scatter_elapsed = 0.0
+        pending: Dict[object, np.ndarray] = {}
+        # (shard, submit sequence, global rows, future): harvested sorted
+        # by shard so each row's fold stays in ascending shard order.
+        scatter_calls: List[Tuple[int, int, np.ndarray, object]] = []
+        seq = 0
+        try:
+            for shard in np.unique(owners):
+                rows = np.flatnonzero(owners == shard)
+                pending[self._submit(int(shard), queries[rows], k, at)] = rows
+            self.stats.shard_visits += n
+            while pending:
+                done, _ = futures_wait(set(pending), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    rows = pending.pop(fut)
+                    d, i = fut.result()
+                    acc_d[rows] = d
+                    acc_i[rows] = i
+                    # Phase 2 for this owner's rows: fan out only where the
+                    # r' ball (owner's k-th distance; infinite when the
+                    # owner held fewer than k) crosses a region box.
+                    t_scatter = time.perf_counter()
+                    seq = self._submit_scatter(
+                        queries, k, at, rows, owners[rows], acc_d[rows, k - 1],
+                        scatter_calls, seq,
+                    )
+                    scatter_elapsed += time.perf_counter() - t_scatter
+            self.stats.owner_seconds += time.perf_counter() - started - scatter_elapsed
 
-        # Phase 2: fan out only where the r' ball crosses a region box.
-        # r' is the owner's k-th distance; underfull owners (fewer than k
-        # in-shard neighbours) leave r' infinite and fan out everywhere.
-        radii = acc_d[:, k - 1]
-        remote = self.plan.shards_within(queries, radii, owners)
-        rows_for_shard: Dict[int, List[int]] = {}
-        for row, shards in enumerate(remote):
-            if shards.size == 0:
-                self.stats.owner_only += 1
-            for shard in shards:
-                rows_for_shard.setdefault(int(shard), []).append(row)
-        for shard, row_list in sorted(rows_for_shard.items()):
-            rows = np.array(row_list, dtype=np.int64)
-            d, i = self.groups[shard].answer(queries[rows], k, at)
-            acc_d, acc_i = _merge_rows(k, acc_d, acc_i, rows, d, i)
-            self.stats.shard_visits += rows.size
+            # Harvest scatter calls sorted by shard (submission order breaks
+            # ties): a row's scatter set folds in ascending shard order —
+            # the same per-row sequence as a whole-batch-per-shard sweep —
+            # while calls targeting the same shard have disjoint rows.
+            started = time.perf_counter()
+            scatter_calls.sort(key=lambda c: (c[0], c[1]))
+            for pos, (_shard, _seq, rows, fut) in enumerate(scatter_calls):
+                d, i = fut.result()
+                scatter_calls[pos] = (_shard, _seq, rows, None)
+                out_d, out_i = merge_topk_rows(k, acc_d[rows], acc_i[rows], d, i)
+                acc_d[rows] = out_d
+                acc_i[rows] = out_i
+        except BaseException:
+            self._settle(
+                list(pending) + [c[3] for c in scatter_calls if c[3] is not None]
+            )
+            raise
+        self.stats.scatter_seconds += scatter_elapsed + time.perf_counter() - started
         return acc_d, acc_i
 
+    def _submit_scatter(
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        rows: np.ndarray,
+        sub_owners: np.ndarray,
+        radii: np.ndarray,
+        scatter_calls: List[Tuple[int, int, np.ndarray, object]],
+        seq: int,
+    ) -> int:
+        """Group one owner's rows by scatter shard and submit the calls.
 
-def _merge_rows(
-    k: int,
-    acc_d: np.ndarray,
-    acc_i: np.ndarray,
-    rows: np.ndarray,
-    new_d: np.ndarray,
-    new_i: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Fold per-shard answers for ``rows`` into the accumulators.
-
-    One vectorised sorted merge for the whole shard call (the same pattern
-    as the service's delta fusion).  Shards partition the id space and each
-    shard filters its own tombstones, so — unlike the rank protocol's
-    :func:`~repro.kdtree.heap.merge_topk` — no duplicate-id handling is
-    needed: an id can be live in at most one shard.
-    """
-    all_d = np.concatenate([acc_d[rows], new_d], axis=1)
-    all_i = np.concatenate([acc_i[rows], new_i], axis=1)
-    all_d = np.where(all_i >= 0, all_d, np.inf)
-    order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
-    out_d = np.take_along_axis(all_d, order, axis=1)
-    out_i = np.take_along_axis(all_i, order, axis=1)
-    acc_d[rows] = out_d
-    acc_i[rows] = np.where(np.isfinite(out_d), out_i, -1)
-    return acc_d, acc_i
+        The grouping is one vectorised stable sort over the flat
+        ``(rows, shards)`` intersection set — no per-row Python loop.
+        """
+        sub_rows, sub_shards = self.plan.scatter_targets(queries[rows], radii, sub_owners)
+        self.stats.owner_only += int(rows.size - np.unique(sub_rows).size)
+        if sub_rows.size == 0:
+            return seq
+        order = np.argsort(sub_shards, kind="stable")
+        sorted_shards = sub_shards[order]
+        sorted_rows = sub_rows[order]
+        shards, starts = np.unique(sorted_shards, return_index=True)
+        bounds = np.append(starts, sorted_rows.size)
+        for j, shard in enumerate(shards):
+            group_rows = rows[sorted_rows[starts[j]:bounds[j + 1]]]
+            fut = self._submit(int(shard), queries[group_rows], k, at)
+            scatter_calls.append((int(shard), seq, group_rows, fut))
+            seq += 1
+            self.stats.shard_visits += int(group_rows.size)
+        return seq

@@ -9,8 +9,12 @@ Three implementations live here:
 * :class:`BatchTopK` — one ``(n_queries, k)`` pair of sorted arrays holding
   the candidate sets of a whole query batch at once, used by the vectorised
   batched traversal (the k-th column *is* the per-query pruning bound);
-* :func:`merge_topk` — a vectorised helper for merging candidate sets
-  coming back from remote ranks.
+* :func:`merge_topk_rows` — the shared vectorised sorted-merge primitive:
+  fold two ``(n, *)`` candidate blocks into per-row top-k, optionally
+  deduplicating point ids.  The fleet router, the service's delta fusion
+  and the rank-level :func:`merge_topk` are all built on it;
+* :func:`merge_topk` — the 1-D rank-merge wrapper (duplicate ids removed,
+  padding stripped) used when candidate sets come back from remote ranks.
 """
 
 from __future__ import annotations
@@ -205,6 +209,76 @@ class BatchTopK:
         return self.dists.copy(), self.ids.copy()
 
 
+#: Id sentinel that sorts *after* every valid id when deduplicating (valid
+#: ids are non-negative; ``-1`` padding would sort first and break the
+#: duplicate scan, so invalid slots are remapped here and back to ``-1``
+#: on output).
+_INVALID_ID = np.iinfo(np.int64).max
+
+
+def merge_topk_rows(
+    k: int,
+    dists_a: np.ndarray,
+    ids_a: np.ndarray,
+    dists_b: np.ndarray,
+    ids_b: np.ndarray,
+    dedup_ids: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise sorted merge of two candidate blocks into per-row top-k.
+
+    Both blocks are ``(n, *)`` parallel (distances, ids) arrays padded with
+    id ``-1`` (or non-finite distance) in invalid slots; the result is the
+    ``(n, k)`` closest valid candidates per row, distance-ascending, padded
+    with ``inf`` / ``-1`` where a row holds fewer than k valid candidates.
+    Ties between the two blocks resolve in favour of block ``a`` (stable
+    sort with ``a`` first), which is what lets callers fold shard answers
+    into an accumulator deterministically.
+
+    With ``dedup_ids=True`` duplicate point ids across the blocks keep the
+    smaller distance and equal-distance ties order by ascending id —
+    exactly the tie rules of :func:`merge_topk`, which candidate sets from
+    overlapping sources (remote ranks) need.  Disjoint sources (fleet
+    shards partition the id space; the service's tree and delta buffer
+    never share a live id) skip it.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    all_d = np.concatenate(
+        [np.asarray(dists_a, dtype=np.float64), np.asarray(dists_b, dtype=np.float64)], axis=1
+    )
+    all_i = np.concatenate(
+        [np.asarray(ids_a, dtype=np.int64), np.asarray(ids_b, dtype=np.int64)], axis=1
+    )
+    if not dedup_ids:
+        all_d = np.where(all_i >= 0, all_d, np.inf)
+        order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+        out_d = np.take_along_axis(all_d, order, axis=1)
+        out_i = np.take_along_axis(all_i, order, axis=1)
+        return out_d, np.where(np.isfinite(out_d), out_i, -1)
+    invalid = (all_i < 0) | ~np.isfinite(all_d)
+    all_d = np.where(invalid, np.inf, all_d)
+    all_i = np.where(invalid, _INVALID_ID, all_i)
+    # Composed stable sorts reproduce lexsort((dists, ids)) row-wise: sort
+    # by distance, then stably by id — within each id, distances stay
+    # ascending, so keeping the first occurrence keeps the smallest.
+    by_dist = np.argsort(all_d, axis=1, kind="stable")
+    all_d = np.take_along_axis(all_d, by_dist, axis=1)
+    all_i = np.take_along_axis(all_i, by_dist, axis=1)
+    by_id = np.argsort(all_i, axis=1, kind="stable")
+    all_d = np.take_along_axis(all_d, by_id, axis=1)
+    all_i = np.take_along_axis(all_i, by_id, axis=1)
+    dup = np.zeros_like(all_i, dtype=bool)
+    dup[:, 1:] = (all_i[:, 1:] == all_i[:, :-1]) & (all_i[:, 1:] != _INVALID_ID)
+    all_d = np.where(dup, np.inf, all_d)
+    all_i = np.where(dup | (all_i == _INVALID_ID), _INVALID_ID, all_i)
+    # Final distance sort: rows are currently id-ascending, so the stable
+    # sort breaks equal-distance ties by ascending id, like merge_topk.
+    top = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+    out_d = np.take_along_axis(all_d, top, axis=1)
+    out_i = np.take_along_axis(all_i, top, axis=1)
+    return out_d, np.where(np.isfinite(out_d), out_i, -1)
+
+
 def merge_topk(
     k: int,
     dists_a: np.ndarray,
@@ -219,24 +293,16 @@ def merge_topk(
     owner already found (possible for points exactly on a domain boundary).
     Padding entries (id ``-1`` or non-finite distance), as produced by
     :func:`repro.kdtree.query.batch_knn` for queries with fewer than k
-    in-range neighbours, are dropped rather than merged.
+    in-range neighbours, are dropped rather than merged — the result is
+    unpadded and may hold fewer than k entries.
     """
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
-    dists = np.concatenate([np.asarray(dists_a, dtype=np.float64), np.asarray(dists_b, dtype=np.float64)])
-    ids = np.concatenate([np.asarray(ids_a, dtype=np.int64), np.asarray(ids_b, dtype=np.int64)])
-    valid = (ids >= 0) & np.isfinite(dists)
-    if not np.all(valid):
-        dists = dists[valid]
-        ids = ids[valid]
-    if dists.size == 0:
-        return dists, ids
-    order = np.lexsort((dists, ids))
-    ids_sorted = ids[order]
-    dists_sorted = dists[order]
-    keep_first = np.ones(ids_sorted.size, dtype=bool)
-    keep_first[1:] = ids_sorted[1:] != ids_sorted[:-1]
-    ids_unique = ids_sorted[keep_first]
-    dists_unique = dists_sorted[keep_first]
-    top = np.argsort(dists_unique, kind="stable")[:k]
-    return dists_unique[top], ids_unique[top]
+    d, i = merge_topk_rows(
+        k,
+        np.asarray(dists_a, dtype=np.float64).reshape(1, -1),
+        np.asarray(ids_a, dtype=np.int64).reshape(1, -1),
+        np.asarray(dists_b, dtype=np.float64).reshape(1, -1),
+        np.asarray(ids_b, dtype=np.int64).reshape(1, -1),
+        dedup_ids=True,
+    )
+    valid = i[0] >= 0
+    return d[0][valid], i[0][valid]

@@ -41,11 +41,24 @@ arrived mid-build survive the swap exactly.  With a ``snapshot_root`` every
 background build is also persisted as a versioned on-disk snapshot
 (``v0001``, ``v0002``, ...) whose ``CURRENT`` pointer is promoted at swap
 time (:mod:`repro.core.snapshot`).
+
+With a concurrent ``dispatcher`` (:mod:`repro.fleet.dispatch`) the service
+**pipelines** its micro-batches: batch N computes on a worker thread over a
+frozen snapshot of the index state while the submitting thread keeps
+accumulating batch N+1.  The pipeline is depth one and every fold-back
+(results, cache, records, the logical clock) happens in the submitting
+thread at harvest time, so answers and accounting are byte-identical to the
+synchronous path; mutations and closed-loop clock reads drain the pipeline
+first, which is what keeps every cached entry exact against the live set.
+The dispatcher is an explicit opt-in — ``REPRO_DISPATCHER`` never changes a
+service's behaviour, only the fleet's default.  All public methods are
+additionally safe under concurrent callers (one re-entrant lock).
 """
 
 from __future__ import annotations
 
 import shutil
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -55,6 +68,7 @@ from typing import Callable, Deque, Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.snapshot import allocate_version_dir, promote_version
+from repro.kdtree.query import brute_force_knn
 from repro.service.cache import CacheStats, LRUCache, query_key
 from repro.service.delta import DeltaBuffer
 
@@ -271,6 +285,66 @@ def summarize_records(records: Sequence[RequestRecord]) -> Dict[str, float]:
     }
 
 
+def _answer_snapshot(
+    backend,
+    tomb_ids: np.ndarray,
+    delta_points: np.ndarray,
+    delta_ids: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact live-set KNN over a frozen snapshot of the service state.
+
+    Over-fetched tree answers (tombstones filtered) fused with brute-force
+    answers over the delta arrays — byte-identical to what the service
+    would answer synchronously at the moment the snapshot was taken.  Pure
+    function of immutable inputs, so pipelined micro-batches can run it on
+    a worker thread while the service keeps mutating.
+    """
+    n_tomb = int(tomb_ids.size)
+    d_tree, i_tree = backend.kneighbors(queries, k + n_tomb)
+    if n_tomb:
+        dead = np.isin(i_tree, tomb_ids)
+        d_tree = np.where(dead, np.inf, d_tree)
+        i_tree = np.where(dead, -1, i_tree)
+    if delta_ids.size:
+        d_delta, i_delta = brute_force_knn(delta_points, delta_ids, queries, k)
+        all_d = np.concatenate([d_tree, d_delta], axis=1)
+        all_i = np.concatenate([i_tree, i_delta], axis=1)
+    elif n_tomb:
+        all_d, all_i = d_tree, i_tree
+    else:
+        return d_tree, i_tree
+    all_d = np.where(all_i >= 0, all_d, np.inf)
+    order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
+    out_d = np.take_along_axis(all_d, order, axis=1)
+    out_i = np.take_along_axis(all_i, order, axis=1)
+    out_i = np.where(np.isfinite(out_d), out_i, -1)
+    return out_d, out_i
+
+
+def _pipelined_answer_step(
+    backend,
+    tomb_ids: np.ndarray,
+    delta_points: np.ndarray,
+    delta_ids: np.ndarray,
+    groups: List[Tuple[int, List[int], np.ndarray]],
+) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray]], float]:
+    """Worker-side body of one pipelined micro-batch.
+
+    Pure compute over the snapshot (one answer call per distinct k); the
+    submitting thread folds the returned per-request answers back into
+    results, cache and records at harvest time.
+    """
+    started = time.perf_counter()
+    answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    for k, request_ids, queries in groups:
+        d, i = _answer_snapshot(backend, tomb_ids, delta_points, delta_ids, queries, k)
+        for row, request_id in enumerate(request_ids):
+            answers[request_id] = (d[row], i[row])
+    return answers, time.perf_counter() - started
+
+
 @dataclass
 class _Pending:
     request_id: int
@@ -333,6 +407,17 @@ class KNNService:
         Directory receiving one versioned snapshot (``v0001``, ``v0002``,
         ...) per background rebuild; the ``CURRENT`` pointer is promoted
         atomically at swap time.  ``None`` disables persistence.
+    dispatcher:
+        Opt-in micro-batch pipelining: a
+        :class:`~repro.fleet.dispatch.Dispatcher` (or a spec string like
+        ``"thread"`` / ``"thread:4"``).  With a concurrent dispatcher each
+        dispatched micro-batch computes on the dispatcher's replica lane
+        (a leaf pool, so nesting under a fleet cannot deadlock) while the
+        submitting thread accumulates the next batch.  ``None`` (default)
+        keeps the fully synchronous path; the ``REPRO_DISPATCHER``
+        environment variable is deliberately *not* consulted here.  A
+        dispatcher built from a spec string is owned (closed with the
+        service); a passed-in instance stays owned by the caller.
     """
 
     def __init__(
@@ -346,6 +431,7 @@ class KNNService:
         service_time: Callable[[int], float] | None = None,
         background_rebuild: bool = False,
         snapshot_root: str | Path | None = None,
+        dispatcher=None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -374,19 +460,38 @@ class KNNService:
         self._ewma_gap: float | None = None
         self._first_dirty_at: float | None = None
         self._bg: _BackgroundRebuild | None = None
+        self._lock = threading.RLock()
+        # Depth-1 micro-batch pipeline: at most one dispatched batch in
+        # flight, as (batch, dispatch_start, future).
+        self._inflight: Deque[Tuple[List[_Pending], float, object]] = deque()
+        self._dispatcher = None
+        self._owns_dispatcher = False
+        if dispatcher is not None:
+            # Imported lazily: repro.fleet imports this module at package
+            # import time, so a top-level import would be circular.
+            from repro.fleet.dispatch import Dispatcher, make_dispatcher
+
+            self._owns_dispatcher = not isinstance(dispatcher, Dispatcher)
+            self._dispatcher = make_dispatcher(dispatcher)
+        self._pipelined = self._dispatcher is not None and self._dispatcher.concurrent
         self._reindex_ids()
 
     def close(self) -> None:
         """Release backend resources (pooled executor workers, if owned).
 
-        An in-flight background rebuild is cancelled first — its backend
-        may hold the pool-shutdown responsibility (refit transfers it), so
-        dropping it unclosed would leak the worker pool.
+        Any in-flight pipelined batch is harvested (its requests complete
+        normally) and an in-flight background rebuild is cancelled — its
+        backend may hold the pool-shutdown responsibility (refit transfers
+        it), so dropping it unclosed would leak the worker pool.
         """
-        self._cancel_background()
-        closer = getattr(self.backend, "close", None)
-        if closer is not None:
-            closer()
+        with self._lock:
+            self._harvest()
+            self._cancel_background()
+            closer = getattr(self.backend, "close", None)
+            if closer is not None:
+                closer()
+            if self._owns_dispatcher and self._dispatcher is not None:
+                self._dispatcher.close()
 
     def __enter__(self) -> "KNNService":
         return self
@@ -456,35 +561,37 @@ class KNNService:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         query = np.asarray(query, dtype=np.float64).ravel()
-        if query.shape[0] != self.backend.dims:
-            raise ValueError(f"query has {query.shape[0]} dims, index has {self.backend.dims}")
-        arrival = self._advance(at)
-        self._note_arrival(arrival)
-        request_id = self._next_request_id
-        self._next_request_id += 1
+        with self._lock:
+            if query.shape[0] != self.backend.dims:
+                raise ValueError(f"query has {query.shape[0]} dims, index has {self.backend.dims}")
+            arrival = self._advance(at)
+            self._note_arrival(arrival)
+            request_id = self._next_request_id
+            self._next_request_id += 1
 
-        cached = self.cache.get(query_key(query, k))
-        if cached is not None:
-            d, i = cached
-            self._store_result(request_id, (d.copy(), i.copy()))
-            self.records.append(
-                RequestRecord(request_id, arrival, arrival, arrival, cache_hit=True, batch_size=0)
-            )
+            cached = self.cache.get(query_key(query, k))
+            if cached is not None:
+                d, i = cached
+                self._store_result(request_id, (d.copy(), i.copy()))
+                self.records.append(
+                    RequestRecord(request_id, arrival, arrival, arrival, cache_hit=True, batch_size=0)
+                )
+                return request_id
+
+            self._pending.append(_Pending(request_id, arrival, k, query))
+            if len(self._pending) >= self.target_batch_size():
+                self._dispatch(arrival)
             return request_id
-
-        self._pending.append(_Pending(request_id, arrival, k, query))
-        if len(self._pending) >= self.target_batch_size():
-            self._dispatch(arrival)
-        return request_id
 
     def query(
         self, query: np.ndarray, k: int | None = None, at: float | None = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Interactive single query: submit, flush, return ``(distances, ids)``."""
-        request_id = self.submit(query, k=k, at=at)
-        if request_id not in self._results:
-            self._dispatch(self._now)
-        return self.result(request_id)
+        with self._lock:
+            request_id = self.submit(query, k=k, at=at)
+            if request_id not in self._results:
+                self._dispatch(self._now)
+            return self.result(request_id)
 
     def answer_batch(
         self, queries: np.ndarray, k: int | None = None, at: float | None = None
@@ -501,24 +608,32 @@ class KNNService:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if queries.shape[1] != self.backend.dims:
-            raise ValueError(f"queries have {queries.shape[1]} dims, index has {self.backend.dims}")
-        if at is not None:
-            self._advance(at)
-        return self._answer(queries, k)
+        with self._lock:
+            if queries.shape[1] != self.backend.dims:
+                raise ValueError(
+                    f"queries have {queries.shape[1]} dims, index has {self.backend.dims}"
+                )
+            if at is not None:
+                self._advance(at)
+            return self._answer(queries, k)
 
     def result(self, request_id: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(distances, ids)`` of a completed request.
 
         Raises ``KeyError`` when the request is still pending or its answer
-        was already evicted by the retention ring.
+        was already evicted by the retention ring.  An answer riding the
+        in-flight pipelined batch is harvested first, so "dispatched"
+        always implies "fetchable".
         """
-        if request_id not in self._results:
-            raise KeyError(
-                f"request {request_id} has no result (still pending, or evicted "
-                f"by the retention ring of {self.records.capacity})"
-            )
-        return self._results[request_id]
+        with self._lock:
+            if request_id not in self._results and self._inflight:
+                self._harvest()
+            if request_id not in self._results:
+                raise KeyError(
+                    f"request {request_id} has no result (still pending, or evicted "
+                    f"by the retention ring of {self.records.capacity})"
+                )
+            return self._results[request_id]
 
     def _store_result(self, request_id: int, value: Tuple[np.ndarray, np.ndarray]) -> None:
         """Record a completed answer, evicting the oldest beyond retention."""
@@ -529,12 +644,17 @@ class KNNService:
 
     def flush(self, at: float | None = None) -> int:
         """Dispatch everything queued; returns the number dispatched."""
-        now = self._advance(at)
-        return self._dispatch(now)
+        with self._lock:
+            now = self._advance(at)
+            return self._dispatch(now)
 
     def drain(self, at: float | None = None) -> int:
-        """Alias of :meth:`flush` for end-of-trace use."""
-        return self.flush(at)
+        """:meth:`flush`, plus harvesting the pipeline: on return every
+        dispatched request has completed (end-of-trace use)."""
+        with self._lock:
+            n = self.flush(at)
+            self._harvest()
+            return n
 
     # ------------------------------------------------------------------
     # Streaming updates
@@ -548,26 +668,34 @@ class KNNService:
         runs if the delta buffer crossed its policy threshold.
         Auto-assigned ids continue above the largest id ever indexed.
         """
-        now = self._advance(at)
-        self._dispatch(now)
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        if ids is None:
-            ids = np.arange(self._next_auto_id, self._next_auto_id + points.shape[0], dtype=np.int64)
-        else:
-            ids = np.asarray(ids, dtype=np.int64)
-            live_backend = [
-                int(i) for i in ids
-                if int(i) in self._backend_ids and int(i) not in self.delta.tombstones
-            ]
-            if live_backend:
-                raise ValueError(f"ids already indexed: {live_backend[:5]}")
-        self.delta.insert(points, ids)
-        if ids.size:
-            self._next_auto_id = max(self._next_auto_id, int(ids.max()) + 1)
-        self._invalidate_for_insert(points)
-        self._mark_dirty(now)
-        self._maybe_rebuild(now)
-        return ids
+        with self._lock:
+            now = self._advance(at)
+            self._dispatch(now)
+            # Drain the pipeline before mutating: in-flight answers are
+            # exact against the pre-update set and must land in the cache
+            # *before* the invalidation below, or they would survive it
+            # stale.
+            self._harvest()
+            points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+            if ids is None:
+                ids = np.arange(
+                    self._next_auto_id, self._next_auto_id + points.shape[0], dtype=np.int64
+                )
+            else:
+                ids = np.asarray(ids, dtype=np.int64)
+                live_backend = [
+                    int(i) for i in ids
+                    if int(i) in self._backend_ids and int(i) not in self.delta.tombstones
+                ]
+                if live_backend:
+                    raise ValueError(f"ids already indexed: {live_backend[:5]}")
+            self.delta.insert(points, ids)
+            if ids.size:
+                self._next_auto_id = max(self._next_auto_id, int(ids.max()) + 1)
+            self._invalidate_for_insert(points)
+            self._mark_dirty(now)
+            self._maybe_rebuild(now)
+            return ids
 
     def delete(self, ids: np.ndarray | Sequence[int], at: float | None = None) -> None:
         """Remove points by id (buffered inserts or tree-resident points).
@@ -576,27 +704,31 @@ class KNNService:
         until a rebuild physically drops them; unknown ids raise
         ``KeyError``.
         """
-        now = self._advance(at)
-        self._dispatch(now)
-        id_list = [int(i) for i in np.asarray(ids, dtype=np.int64).ravel()]
-        # Validate the whole batch before mutating anything, so a bad id
-        # cannot leave the delete half-applied with a stale cache.
-        seen: set[int] = set()
-        for point_id in id_list:
-            live = self.delta.contains(point_id) or (
-                point_id in self._backend_ids and point_id not in self.delta.tombstones
-            )
-            if not live or point_id in seen:
-                raise KeyError(f"id {point_id} is not in the live set")
-            seen.add(point_id)
-        for point_id in id_list:
-            if self.delta.contains(point_id):
-                self.delta.delete_buffered(point_id)
-            else:
-                self.delta.add_tombstone(point_id)
-        self._invalidate_for_delete(np.array(id_list, dtype=np.int64))
-        self._mark_dirty(now)
-        self._maybe_rebuild(now)
+        with self._lock:
+            now = self._advance(at)
+            self._dispatch(now)
+            # Same ordering as insert: pipelined cache puts must precede
+            # the invalidation.
+            self._harvest()
+            id_list = [int(i) for i in np.asarray(ids, dtype=np.int64).ravel()]
+            # Validate the whole batch before mutating anything, so a bad id
+            # cannot leave the delete half-applied with a stale cache.
+            seen: set[int] = set()
+            for point_id in id_list:
+                live = self.delta.contains(point_id) or (
+                    point_id in self._backend_ids and point_id not in self.delta.tombstones
+                )
+                if not live or point_id in seen:
+                    raise KeyError(f"id {point_id} is not in the live set")
+                seen.add(point_id)
+            for point_id in id_list:
+                if self.delta.contains(point_id):
+                    self.delta.delete_buffered(point_id)
+                else:
+                    self.delta.add_tombstone(point_id)
+            self._invalidate_for_delete(np.array(id_list, dtype=np.int64))
+            self._mark_dirty(now)
+            self._maybe_rebuild(now)
 
     def rebuild(self, at: float | None = None) -> None:
         """Fold tombstones and the delta buffer into a freshly built index.
@@ -606,9 +738,11 @@ class KNNService:
         behind it.  An in-flight background rebuild is cancelled (the
         foreground build folds a strictly newer live set).
         """
-        now = self._advance(at)
-        self._dispatch(now)
-        self._rebuild_now(now)
+        with self._lock:
+            now = self._advance(at)
+            self._dispatch(now)
+            self._harvest()
+            self._rebuild_now(now)
 
     def begin_background_rebuild(self, at: float | None = None) -> float:
         """Start (or join) a background rebuild; returns its ready time.
@@ -620,18 +754,20 @@ class KNNService:
         against it (updates that arrived mid-build survive exactly).  If a
         build is already in flight its ready time is returned unchanged.
         """
-        now = self._advance(at)
-        return self._begin_background(now)
+        with self._lock:
+            now = self._advance(at)
+            return self._begin_background(now)
 
     def finish_rebuild(self, at: float | None = None) -> bool:
         """Advance the clock to ``at`` (default: the build's ready time) and
         swap in the background rebuild if one is due; returns True if a
         swap happened."""
-        if self._bg is not None and at is None:
-            at = max(self._now, self._bg.ready_at)
-        before = self.version
-        self._advance(at)
-        return self.version != before
+        with self._lock:
+            if self._bg is not None and at is None:
+                at = max(self._now, self._bg.ready_at)
+            before = self.version
+            self._advance(at)
+            return self.version != before
 
     def live_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Dense ``(points, ids)`` of the current live set (tree minus
@@ -640,15 +776,18 @@ class KNNService:
         This is the state a rebuild folds; the fleet layer also uses it to
         re-seed a dead replica from a healthy peer.
         """
-        tree_points, tree_ids = self.backend.all_points()
-        if self.delta.n_tombstones:
-            tomb = np.fromiter(self.delta.tombstones, dtype=np.int64, count=self.delta.n_tombstones)
-            live = ~np.isin(tree_ids, tomb)
-            tree_points, tree_ids = tree_points[live], tree_ids[live]
-        delta_points, delta_ids = self.delta.live_arrays()
-        points = np.concatenate([tree_points, delta_points], axis=0)
-        ids = np.concatenate([tree_ids, delta_ids])
-        return points, ids
+        with self._lock:
+            tree_points, tree_ids = self.backend.all_points()
+            if self.delta.n_tombstones:
+                tomb = np.fromiter(
+                    self.delta.tombstones, dtype=np.int64, count=self.delta.n_tombstones
+                )
+                live = ~np.isin(tree_ids, tomb)
+                tree_points, tree_ids = tree_points[live], tree_ids[live]
+            delta_points, delta_ids = self.delta.live_arrays()
+            points = np.concatenate([tree_points, delta_points], axis=0)
+            ids = np.concatenate([tree_ids, delta_ids])
+            return points, ids
 
     def _cancel_background(self) -> None:
         """Abandon an in-flight background build.
@@ -792,6 +931,11 @@ class KNNService:
         server finished its previous work (open-loop traces always pass
         explicit arrival timestamps instead).
         """
+        if at is None and self._inflight:
+            # Closed-loop reads of "when is the server free" must see the
+            # in-flight batch's completion, which is only known once it is
+            # harvested.
+            self._harvest()
         now = max(self._now, self._server_free_at) if at is None else float(at)
         if now < self._now:
             raise ValueError(f"time went backwards: {now} < {self._now}")
@@ -835,6 +979,8 @@ class KNNService:
         if not batch:
             return 0
         self._pending = self._pending[split:]
+        if self._pipelined:
+            return self._dispatch_pipelined(batch, flush_time)
 
         dispatch_start = max(flush_time, self._server_free_at)
         started = time.perf_counter()
@@ -848,10 +994,74 @@ class KNNService:
         elapsed = time.perf_counter() - started
         if self._service_time is not None:
             elapsed = float(self._service_time(len(batch)))
+        self._complete_batch(batch, flush_time, dispatch_start, answers, elapsed)
+        return len(batch)
+
+    def _dispatch_pipelined(self, batch: List[_Pending], flush_time: float) -> int:
+        """Submit one micro-batch to the dispatcher's replica lane.
+
+        Depth-one pipeline: the previous in-flight batch is harvested first
+        (so ``_server_free_at`` is final when this dispatch is stamped),
+        then this batch's compute runs on a worker over a frozen snapshot
+        while the caller goes back to accumulating the next batch.
+        """
+        from repro.fleet.dispatch import ShardCall
+
+        self._harvest()
+        dispatch_start = max(flush_time, self._server_free_at)
+        self._now = max(self._now, flush_time)
+        groups: List[Tuple[int, List[int], np.ndarray]] = []
+        for k in sorted({r.k for r in batch}):
+            group = [r for r in batch if r.k == k]
+            groups.append((k, [r.request_id for r in group], np.stack([r.query for r in group])))
+        # The snapshot is safe by immutability: the backend is only ever
+        # replaced (never mutated), the tombstone set is materialised here,
+        # and the delta's dense arrays are rebuilt (not written) on change.
+        n_tomb = self.delta.n_tombstones
+        tomb = (
+            np.fromiter(self.delta.tombstones, dtype=np.int64, count=n_tomb)
+            if n_tomb
+            else np.empty(0, dtype=np.int64)
+        )
+        delta_points, delta_ids = self.delta.live_arrays()
+        fut = self._dispatcher.submit_hedge(
+            ShardCall(
+                0,
+                _pipelined_answer_step,
+                (self.backend, tomb, delta_points, delta_ids, groups),
+            )
+        )
+        self._inflight.append((batch, dispatch_start, fut))
+        return len(batch)
+
+    def _harvest(self) -> None:
+        """Fold the in-flight pipelined batch (if any) back into the service.
+
+        Runs in the submitting thread under the service lock — results,
+        cache, records and the logical clock are only ever touched here and
+        in the synchronous path, never by workers.
+        """
+        while self._inflight:
+            batch, dispatch_start, fut = self._inflight.popleft()
+            answers, elapsed = fut.result()
+            if self._service_time is not None:
+                elapsed = float(self._service_time(len(batch)))
+            # The clock already advanced to the flush time at submit;
+            # passing `_now` keeps the max() a no-op.
+            self._complete_batch(batch, self._now, dispatch_start, answers, elapsed)
+
+    def _complete_batch(
+        self,
+        batch: List[_Pending],
+        flush_time: float,
+        dispatch_start: float,
+        answers: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        elapsed: float,
+    ) -> None:
+        """Shared tail of both dispatch paths: clock, results, cache, records."""
         completion = dispatch_start + elapsed
         self._server_free_at = completion
         self._now = max(self._now, flush_time)
-
         for r in batch:
             d_row, i_row = answers[r.request_id]
             self._store_result(r.request_id, (d_row, i_row))
@@ -864,32 +1074,19 @@ class KNNService:
                     cache_hit=False, batch_size=len(batch),
                 )
             )
-        return len(batch)
 
     def _answer(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Exact live-set KNN: over-fetched tree answers (tombstones
-        filtered) fused with the delta buffer's brute-force answers."""
+        filtered) fused with the delta buffer's brute-force answers
+        (:func:`_answer_snapshot` over the current state)."""
         n_tomb = self.delta.n_tombstones
-        d_tree, i_tree = self.backend.kneighbors(queries, k + n_tomb)
-        if n_tomb:
-            tomb = np.fromiter(self.delta.tombstones, dtype=np.int64, count=n_tomb)
-            dead = np.isin(i_tree, tomb)
-            d_tree = np.where(dead, np.inf, d_tree)
-            i_tree = np.where(dead, -1, i_tree)
-        if self.delta.n_inserted:
-            d_delta, i_delta = self.delta.query(queries, k)
-            all_d = np.concatenate([d_tree, d_delta], axis=1)
-            all_i = np.concatenate([i_tree, i_delta], axis=1)
-        elif n_tomb:
-            all_d, all_i = d_tree, i_tree
-        else:
-            return d_tree, i_tree
-        all_d = np.where(all_i >= 0, all_d, np.inf)
-        order = np.argsort(all_d, axis=1, kind="stable")[:, :k]
-        out_d = np.take_along_axis(all_d, order, axis=1)
-        out_i = np.take_along_axis(all_i, order, axis=1)
-        out_i = np.where(np.isfinite(out_d), out_i, -1)
-        return out_d, out_i
+        tomb = (
+            np.fromiter(self.delta.tombstones, dtype=np.int64, count=n_tomb)
+            if n_tomb
+            else np.empty(0, dtype=np.int64)
+        )
+        delta_points, delta_ids = self.delta.live_arrays()
+        return _answer_snapshot(self.backend, tomb, delta_points, delta_ids, queries, k)
 
     def _mark_dirty(self, now: float) -> None:
         if self._first_dirty_at is None:

@@ -53,6 +53,28 @@ class TestFanout:
         assert stats.owner_only > 0
         assert stats.broadcasts == 0
 
+    def test_phase_wall_time_accounting(self, clustered):
+        # Scatter-gather splits its wall time into the owner and scatter
+        # phases; broadcast charges everything to scatter.  Both fields
+        # surface in as_dict and only ever grow.
+        fleet = fleet_over(clustered, n_shards=4)
+        stats = fleet.router.stats
+        assert stats.owner_seconds == 0.0 and stats.scatter_seconds == 0.0
+        fleet.router.answer(clustered[::10] + 0.01, 5)
+        assert stats.owner_seconds > 0.0
+        assert stats.scatter_seconds >= 0.0
+        first_owner = stats.owner_seconds
+        fleet.router.answer(clustered[::10] + 0.01, 5)
+        assert stats.owner_seconds > first_owner
+        flat = stats.as_dict()
+        assert flat["owner_seconds"] == stats.owner_seconds
+        assert flat["scatter_seconds"] == stats.scatter_seconds
+
+        broadcast = fleet_over(clustered, n_shards=4, strategy="hash")
+        broadcast.router.answer(clustered[:5], 5)
+        assert broadcast.router.stats.owner_seconds == 0.0
+        assert broadcast.router.stats.scatter_seconds > 0.0
+
     def test_nonspatial_plan_always_broadcasts(self, clustered):
         fleet = fleet_over(clustered, n_shards=4, strategy="hash")
         queries = clustered[::40]

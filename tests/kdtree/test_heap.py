@@ -1,11 +1,11 @@
-"""Tests for the bounded max-heap, the batched top-k and the top-k merge."""
+"""Tests for the bounded max-heap, the batched top-k and the top-k merges."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kdtree.heap import BatchTopK, BoundedMaxHeap, merge_topk
+from repro.kdtree.heap import BatchTopK, BoundedMaxHeap, merge_topk, merge_topk_rows
 
 
 class TestBoundedMaxHeap:
@@ -223,3 +223,109 @@ class TestMergeTopk:
         assert len(d) <= k
         assert np.all(np.diff(d) >= 0)
         assert len(set(i.tolist())) == len(i)
+
+
+class TestMergeTopkRows:
+    def test_requires_positive_k(self):
+        empty = np.empty((1, 0))
+        empty_i = np.empty((1, 0), dtype=np.int64)
+        with pytest.raises(ValueError):
+            merge_topk_rows(0, empty, empty_i, empty, empty_i)
+
+    def test_merges_each_row_independently(self):
+        d, i = merge_topk_rows(
+            2,
+            np.array([[1.0, 4.0], [9.0, 10.0]]),
+            np.array([[1, 4], [9, 10]]),
+            np.array([[2.0, 3.0], [0.5, 11.0]]),
+            np.array([[2, 3], [5, 11]]),
+        )
+        assert d.shape == (2, 2) and i.shape == (2, 2)
+        assert list(i[0]) == [1, 2]
+        assert list(i[1]) == [5, 9]
+        assert list(d[1]) == [0.5, 9.0]
+
+    def test_pads_short_rows_with_inf_minus_one(self):
+        d, i = merge_topk_rows(
+            4,
+            np.array([[0.5, np.inf, np.inf]]),
+            np.array([[3, -1, -1]]),
+            np.array([[1.5, np.inf]]),
+            np.array([[8, -1]]),
+        )
+        assert list(i[0]) == [3, 8, -1, -1]
+        assert list(d[0][:2]) == [0.5, 1.5]
+        assert np.all(np.isinf(d[0][2:]))
+
+    def test_all_padding_rows_stay_padded(self):
+        d, i = merge_topk_rows(
+            3,
+            np.full((2, 2), np.inf),
+            np.full((2, 2), -1, dtype=np.int64),
+            np.full((2, 1), np.inf),
+            np.full((2, 1), -1, dtype=np.int64),
+        )
+        assert np.all(np.isinf(d))
+        assert np.all(i == -1)
+
+    def test_dedup_keeps_min_distance_per_id(self):
+        d, i = merge_topk_rows(
+            3,
+            np.array([[1.0, 2.0]]),
+            np.array([[10, 20]]),
+            np.array([[0.5, 2.5]]),
+            np.array([[20, 30]]),
+            dedup_ids=True,
+        )
+        assert list(i[0]) == [20, 10, 30]
+        assert list(d[0]) == [0.5, 1.0, 2.5]
+
+    def test_no_dedup_keeps_duplicate_ids(self):
+        d, i = merge_topk_rows(
+            4,
+            np.array([[1.0, 2.0]]),
+            np.array([[10, 20]]),
+            np.array([[0.5, 2.5]]),
+            np.array([[20, 30]]),
+        )
+        # Disjoint-source merges skip the dedup pass: id 20 appears twice.
+        assert sorted(i[0].tolist()) == [10, 20, 20, 30]
+        assert list(d[0]) == [0.5, 1.0, 2.0, 2.5]
+
+    def test_matches_merge_topk_row_by_row(self):
+        rng = np.random.default_rng(42)
+        rows, k = 5, 4
+        d_a = np.sort(rng.uniform(size=(rows, 6)), axis=1)
+        d_b = np.sort(rng.uniform(size=(rows, 3)), axis=1)
+        i_a = rng.permutation(rows * 6).reshape(rows, 6)
+        i_b = rng.permutation(np.arange(1000, 1000 + rows * 3)).reshape(rows, 3)
+        for dedup in (False, True):
+            d, i = merge_topk_rows(k, d_a, i_a, d_b, i_b, dedup_ids=dedup)
+            for r in range(rows):
+                ref_d, ref_i = merge_topk(k, d_a[r], i_a[r], d_b[r], i_b[r])
+                assert np.array_equal(d[r][: ref_d.size], ref_d)
+                assert np.array_equal(i[r][: ref_i.size], ref_i)
+
+    def test_dedup_matches_merge_topk_on_overlapping_ids(self):
+        rng = np.random.default_rng(7)
+        rows, k = 4, 3
+        d_a = np.sort(rng.uniform(size=(rows, 5)), axis=1)
+        d_b = np.sort(rng.uniform(size=(rows, 5)), axis=1)
+        # Overlapping id pools per row force the dedup path to matter.
+        i_a = np.stack([rng.choice(6, size=5, replace=False) for _ in range(rows)])
+        i_b = np.stack([rng.choice(6, size=5, replace=False) for _ in range(rows)])
+        d, i = merge_topk_rows(k, d_a, i_a, d_b, i_b, dedup_ids=True)
+        for r in range(rows):
+            ref_d, ref_i = merge_topk(k, d_a[r], i_a[r], d_b[r], i_b[r])
+            assert np.array_equal(d[r][: ref_d.size], ref_d)
+            assert np.array_equal(i[r][: ref_i.size], ref_i)
+
+    def test_does_not_mutate_inputs(self):
+        d_a = np.array([[3.0, 1.0]])
+        i_a = np.array([[3, 1]])
+        d_b = np.array([[2.0]])
+        i_b = np.array([[2]])
+        copies = [arr.copy() for arr in (d_a, i_a, d_b, i_b)]
+        merge_topk_rows(2, d_a, i_a, d_b, i_b, dedup_ids=True)
+        for arr, ref in zip((d_a, i_a, d_b, i_b), copies):
+            assert np.array_equal(arr, ref)

@@ -1,0 +1,178 @@
+"""Pipelined micro-batch dispatch: byte-equality with the synchronous path.
+
+A service handed a concurrent dispatcher computes each micro-batch on a
+worker thread while the submitting thread accumulates the next — but the
+answers, the request records, and every interaction with mutations must be
+indistinguishable from the synchronous service (cache-fill *timing* is the
+one allowed difference: pipelined puts land at harvest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet.dispatch import DISPATCHER_ENV, ThreadDispatcher
+from repro.service import KNNService, LocalTreeBackend, MicroBatchPolicy, RebuildPolicy
+
+
+@pytest.fixture(scope="module")
+def points(small_points):
+    return small_points[:800]
+
+
+def make_service(points, dispatcher, cache_capacity=64, **kwargs):
+    return KNNService(
+        LocalTreeBackend.fit(points),
+        k=4,
+        batch_policy=MicroBatchPolicy(max_batch=8, max_delay_s=0.5),
+        cache_capacity=cache_capacity,
+        dispatcher=dispatcher,
+        **kwargs,
+    )
+
+
+def scripted_trace(service, points, seed=5):
+    """Queries interleaved with inserts, deletes and an explicit rebuild."""
+    rng = np.random.default_rng(seed)
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    answers = []
+    t = 0.0
+    inserted = []
+    for step in range(12):
+        t += 1.0
+        queries = rng.uniform(lo, hi, size=(int(rng.integers(2, 10)), points.shape[1]))
+        rids = [service.submit(q, at=t + 0.01 * j) for j, q in enumerate(queries)]
+        if step % 4 == 1:
+            fresh = rng.uniform(lo, hi, size=(5, points.shape[1]))
+            inserted.append(service.insert(fresh, at=t + 0.5))
+        if step % 4 == 3 and inserted:
+            service.delete(inserted.pop(0)[:2], at=t + 0.5)
+        if step == 7:
+            service.rebuild(at=t + 0.6)
+        # Re-submit an identical query so the cache path is exercised.
+        rids.append(service.submit(queries[0], at=t + 0.9))
+        service.drain(at=t + 1.0)
+        answers.extend(service.result(r) for r in rids)
+    return answers
+
+
+def test_pipelined_answers_byte_identical_to_sync(points):
+    sync = make_service(points, dispatcher=None)
+    pipelined = make_service(points, dispatcher="thread:2")
+    try:
+        a_sync = scripted_trace(sync, points)
+        a_pipe = scripted_trace(pipelined, points)
+        assert len(a_sync) == len(a_pipe)
+        for row, ((d_s, i_s), (d_p, i_p)) in enumerate(zip(a_sync, a_pipe)):
+            assert np.array_equal(d_s, d_p), f"distances diverge at answer {row}"
+            assert np.array_equal(i_s, i_p), f"ids diverge at answer {row}"
+    finally:
+        sync.close()
+        pipelined.close()
+
+
+def test_result_harvests_in_flight_batch(points):
+    service = make_service(points, dispatcher="thread:2")
+    try:
+        rid = service.submit(points[0], at=1.0)
+        service.flush(at=2.0)  # dispatched to the worker, not yet harvested
+        d, i = service.result(rid)  # must harvest, not raise
+        ref_d, ref_i = service.query(points[0], k=4, at=3.0)
+        assert np.array_equal(d, ref_d) and np.array_equal(i, ref_i)
+    finally:
+        service.close()
+
+
+def test_drain_completes_all_records(points):
+    service = make_service(points, dispatcher="thread:2")
+    try:
+        for j in range(20):
+            service.submit(points[j], at=float(j) * 0.01)
+        service.drain(at=1.0)
+        assert not service._inflight
+        records = list(service.records)
+        assert len(records) == 20
+        assert all(r.completion >= r.dispatch >= 0.0 for r in records if not r.cache_hit)
+    finally:
+        service.close()
+
+
+def test_pipelined_cache_fills_at_harvest(points):
+    service = make_service(points, dispatcher="thread:2")
+    try:
+        service.query(points[0], k=4, at=1.0)  # compute + (harvested) put
+        service.query(points[0], k=4, at=2.0)  # identical key: cache hit
+        assert service.latency_summary()["cache_hit_rate"] > 0.0
+    finally:
+        service.close()
+
+
+def test_close_releases_owned_dispatcher_only(points):
+    service = make_service(points, dispatcher="thread:2")
+    owned = service._dispatcher
+    service.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        from repro.fleet.dispatch import ShardCall
+
+        owned.submit(ShardCall(0, lambda: None))
+
+    shared = ThreadDispatcher(n_workers=2)
+    try:
+        service = make_service(points, dispatcher=shared)
+        service.query(points[0], k=4, at=1.0)
+        service.close()
+        from repro.fleet.dispatch import ShardCall
+
+        assert shared.submit(ShardCall(0, lambda: 3)).result(timeout=30.0) == 3
+    finally:
+        shared.close()
+
+
+def test_env_var_does_not_opt_services_in(points, monkeypatch):
+    # REPRO_DISPATCHER is a *fleet* default; a standalone service pipelines
+    # only on explicit opt-in (fleet replicas must stay synchronous — their
+    # concurrency comes from the fleet's own dispatch plane).
+    monkeypatch.setenv(DISPATCHER_ENV, "thread:2")
+    service = make_service(points, dispatcher=None)
+    try:
+        assert service._dispatcher is None and not service._pipelined
+    finally:
+        service.close()
+
+
+def test_mutations_see_in_flight_batches(points):
+    # An insert/delete arriving while a batch is on the worker must not
+    # reorder effects: the batch's answers reflect the pre-mutation state
+    # and land in the cache before invalidation.
+    service = make_service(points, dispatcher="thread:2")
+    try:
+        rid = service.submit(points[0], at=1.0)
+        service.flush(at=1.1)
+        service.delete(np.array([0]), at=1.2)  # point 0 was its own neighbour
+        d, i = service.result(rid)
+        assert 0 in i  # answered against the pre-delete snapshot
+        d2, i2 = service.query(points[0], k=4, at=2.0)
+        assert 0 not in i2  # post-delete queries never see it
+    finally:
+        service.close()
+
+
+def test_rebuild_policy_triggers_with_pipeline(points):
+    service = KNNService(
+        LocalTreeBackend.fit(points),
+        k=4,
+        batch_policy=MicroBatchPolicy(max_batch=8, max_delay_s=0.5),
+        rebuild_policy=RebuildPolicy(max_inserts=16),
+        dispatcher="thread:2",
+    )
+    try:
+        rng = np.random.default_rng(9)
+        lo, hi = points.min(axis=0), points.max(axis=0)
+        t = 0.0
+        for _ in range(6):
+            t += 1.0
+            service.insert(rng.uniform(lo, hi, size=(8, points.shape[1])), at=t)
+            service.query(points[0], k=4, at=t + 0.5)
+        assert service.rebuilds > 0
+        assert service.delta.n_updates < 16
+    finally:
+        service.close()
