@@ -1,0 +1,37 @@
+"""Concurrency correctness toolkit for the serving stack.
+
+Two halves sharing one set of declarations (``GUARDED_BY`` dicts,
+``@requires_lock``, ``@exactness_path``):
+
+* a **static analyzer** (``python -m repro.analysis``) running five
+  repo-specific AST rules — guarded-by, worker-purity, lock-order,
+  determinism, published-mutation — over ``src/`` with an annotated
+  suppression file and a non-zero exit on unsuppressed findings;
+* a **runtime detector** (:mod:`repro.analysis.runtime`, enabled with
+  ``REPRO_ANALYSIS=1``) that instruments every lock in the stack and
+  canaries guarded fields while the ordinary test suite runs, reporting
+  real acquisition-order cycles and cross-thread unguarded writes.
+"""
+
+from .annotations import exactness_path, requires_lock
+from .engine import CodeIndex, Finding, run_rules
+from .runtime import ANALYSIS_ENV, InstrumentedLock, enabled, guarded, monitor, new_lock, new_rlock
+from .suppressions import SuppressionError, apply_suppressions, load_suppressions
+
+__all__ = [
+    "ANALYSIS_ENV",
+    "CodeIndex",
+    "Finding",
+    "InstrumentedLock",
+    "SuppressionError",
+    "apply_suppressions",
+    "enabled",
+    "exactness_path",
+    "guarded",
+    "load_suppressions",
+    "monitor",
+    "new_lock",
+    "new_rlock",
+    "requires_lock",
+    "run_rules",
+]

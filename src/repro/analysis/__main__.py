@@ -1,0 +1,102 @@
+"""CLI: ``python -m repro.analysis [root] [--suppressions FILE]``.
+
+Runs every rule over the source tree (default: the ``src/`` directory the
+installed ``repro`` package lives in), prints ``file:line`` findings with
+their suppression keys, and exits non-zero when any finding is
+unsuppressed or any suppression has gone stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import CodeIndex, run_rules
+from .rules import ALL_RULES
+from .suppressions import SuppressionError, apply_suppressions, load_suppressions
+
+
+def default_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parents[1]
+
+
+def default_suppressions(root: Path) -> Path:
+    return root.parent / "analysis-suppressions.txt"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific concurrency lint: guarded-by, worker-purity, "
+        "lock-order, determinism, published-mutation.",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="directory to analyze (default: the src/ tree of the installed repro package)",
+    )
+    parser.add_argument(
+        "--suppressions",
+        type=Path,
+        default=None,
+        help="annotated suppression file (default: <root>/../analysis-suppressions.txt)",
+    )
+    parser.add_argument(
+        "--list-suppressed",
+        action="store_true",
+        help="also print findings covered by the suppression file",
+    )
+    opts = parser.parse_args(argv)
+
+    root = (opts.root or default_root()).resolve()
+    supp_path = opts.suppressions or default_suppressions(root)
+
+    try:
+        suppressions = load_suppressions(supp_path)
+    except SuppressionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    index = CodeIndex(root)
+    findings = run_rules(index, ALL_RULES)
+    # One finding per key: a suppression covers every occurrence of its key,
+    # so showing the first occurrence per key keeps output and suppression
+    # files in one-to-one correspondence.
+    unique = {}
+    for finding in findings:
+        unique.setdefault(finding.key, finding)
+    unsuppressed, suppressed, stale = apply_suppressions(
+        list(unique.values()), suppressions
+    )
+
+    for finding in unsuppressed:
+        print(finding.render())
+        print(f"    key: {finding.key}")
+    if opts.list_suppressed:
+        for finding in suppressed:
+            just = suppressions[finding.key].justification
+            print(f"[suppressed] {finding.render()}")
+            print(f"    justification: {just}")
+    for entry in stale:
+        print(
+            f"error: stale suppression at {supp_path}:{entry.line} — no finding "
+            f"matches key {entry.key!r}; delete the line",
+            file=sys.stderr,
+        )
+
+    n = len(unsuppressed)
+    print(
+        f"repro.analysis: {n} unsuppressed finding{'s' if n != 1 else ''}, "
+        f"{len(suppressed)} suppressed, {len(stale)} stale suppression(s) "
+        f"({root})"
+    )
+    return 1 if (unsuppressed or stale) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Rule registry: each rule is ``rule(index: CodeIndex) -> list[Finding]``."""
+
+from __future__ import annotations
+
+from .determinism import determinism_rule
+from .guarded_by import guarded_by_rule
+from .lock_order import lock_order_rule
+from .published_mutation import published_mutation_rule
+from .worker_purity import worker_purity_rule
+
+ALL_RULES = (
+    guarded_by_rule,
+    worker_purity_rule,
+    lock_order_rule,
+    determinism_rule,
+    published_mutation_rule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "determinism_rule",
+    "guarded_by_rule",
+    "lock_order_rule",
+    "published_mutation_rule",
+    "worker_purity_rule",
+]

@@ -1,0 +1,145 @@
+"""Determinism rule: exactness-path functions fold the same way every run.
+
+Functions decorated ``@exactness_path`` (top-k merges, harvest/fold
+sections, scatter-gather settle loops) must produce byte-identical output
+for identical input.  Three classes of nondeterminism are forbidden
+inside them:
+
+* **wall-clock reads** — ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` (monotonic/perf_counter are allowed: they may feed
+  stats but cannot reorder a fold by themselves — flagging them would bury
+  the signal);
+* **randomness** — any use of the ``random`` module, ``np.random``, or
+  generator constructors like ``default_rng``;
+* **set/dict-iteration-order dependence** — iterating a ``set`` or
+  ``frozenset`` (directly, via a comprehension, or by materializing with
+  ``list``/``tuple``/``np.fromiter``) without ``sorted(...)``.  Set
+  *membership* is fine; it is the iteration order that varies run-to-run
+  under hash randomization.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..engine import CodeIndex, Finding, FunctionInfo, _is_setish
+
+RULE = "determinism"
+
+_WALLCLOCK = {("time", "time"), ("time", "time_ns"), ("datetime", "now")}
+_RANDOM_CALLS = {
+    "default_rng", "shuffle", "permutation", "choice", "randint",
+    "rand", "randn", "sample", "seed", "random_sample",
+}
+_MATERIALIZERS = {"list", "tuple", "iter"}
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _local_set_names(func: FunctionInfo) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and _is_setish(node.value):
+                names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and _is_setish(node.value):
+                names.add(node.target.id)
+    return names
+
+
+def determinism_rule(index: CodeIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for func in index.all_functions:
+        if not func.exactness:
+            continue
+        local_sets = _local_set_names(func)
+
+        def setish_name(expr: ast.AST) -> Optional[str]:
+            """Name of a set-valued expression, or None."""
+            if isinstance(expr, ast.Name) and expr.id in local_sets:
+                return expr.id
+            if isinstance(expr, ast.Attribute) and expr.attr in index.set_attrs:
+                return expr.attr
+            if isinstance(expr, (ast.Set, ast.SetComp)):
+                return "<set literal>"
+            if isinstance(expr, ast.Call) and _call_name(expr) in ("set", "frozenset"):
+                return _call_name(expr)
+            return None
+
+        def flag(node: ast.AST, kind: str, what: str, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=RULE,
+                    path=func.relpath,
+                    line=node.lineno,
+                    symbol=func.qualname,
+                    message=message,
+                    token=f"{kind}:{what}",
+                )
+            )
+
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                f = node.func
+                if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name):
+                    if (f.value.id, f.attr) in _WALLCLOCK:
+                        flag(
+                            node, "wallclock", f"{f.value.id}.{f.attr}",
+                            f"wall-clock read '{f.value.id}.{f.attr}()' inside an "
+                            f"@exactness_path function",
+                        )
+                name = _call_name(node)
+                if name in _RANDOM_CALLS:
+                    flag(
+                        node, "random", name,
+                        f"randomness ('{name}') inside an @exactness_path function",
+                    )
+                # Materializing a set: list(s), tuple(s), np.fromiter(s, ...)
+                if name in _MATERIALIZERS or name == "fromiter":
+                    if node.args:
+                        setname = setish_name(node.args[0])
+                        if setname is not None:
+                            flag(
+                                node, "set-iter", setname,
+                                f"'{name}(...)' materializes set '{setname}' in "
+                                f"arbitrary order inside an @exactness_path "
+                                f"function; wrap in sorted(...)",
+                            )
+            elif isinstance(node, ast.Name) and node.id == "random":
+                flag(
+                    node, "random", "random",
+                    "use of the 'random' module inside an @exactness_path function",
+                )
+            elif isinstance(node, ast.Attribute) and node.attr == "random":
+                flag(
+                    node, "random", "np.random",
+                    "use of 'np.random' inside an @exactness_path function",
+                )
+            elif isinstance(node, ast.For):
+                setname = setish_name(node.iter)
+                if setname is not None:
+                    flag(
+                        node, "set-iter", setname,
+                        f"iteration over set '{setname}' in arbitrary order inside "
+                        f"an @exactness_path function; wrap in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    setname = setish_name(gen.iter)
+                    if setname is not None:
+                        flag(
+                            node, "set-iter", setname,
+                            f"comprehension over set '{setname}' in arbitrary order "
+                            f"inside an @exactness_path function; wrap in sorted(...)",
+                        )
+    return findings

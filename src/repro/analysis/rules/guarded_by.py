@@ -1,0 +1,135 @@
+"""Guarded-by rule: ``GUARDED_BY`` fields are only touched under their lock.
+
+Three checks, all driven by the class-level ``GUARDED_BY`` declarations:
+
+* **within the declaring class** — every load/store of ``self.<field>`` in a
+  method must sit lexically inside ``with self.<lock>:`` or in a method
+  annotated ``@requires_lock("<lock>")``;
+* **everywhere else** — a *store* to an attribute whose name is guarded by
+  some class must sit inside *some* with-lock scope (cross-object writes
+  like ``replica.alive = False`` must take the object's lock; loads are
+  left to the declaring class's own API discipline);
+* **call discipline** — calling a ``@requires_lock`` method requires the
+  caller to lexically hold the named lock (``self.<lock>`` for same-class
+  calls, any ``with <obj>.<lock>:`` for cross-object calls).
+
+``__init__`` bodies are exempt: the object is not shared yet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..engine import (
+    CodeIndex,
+    Finding,
+    FunctionInfo,
+    held_matches,
+    iter_with_held,
+    stored_attributes,
+)
+
+RULE = "guarded-by"
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__del__"}
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def guarded_by_rule(index: CodeIndex) -> List[Finding]:
+    findings: List[Finding] = []
+
+    for func in index.all_functions:
+        if func.name in _EXEMPT_METHODS:
+            continue
+        own_guarded = {}
+        if func.class_name is not None:
+            cls = index.class_named(func.class_name)
+            if cls is not None:
+                own_guarded = cls.guarded_by
+
+        for node, held in iter_with_held(func):
+            # -- accesses of self.<field> in the declaring class ---------
+            if _is_self_attr(node) and node.attr in own_guarded:
+                lock_attr = own_guarded[node.attr]
+                if f"self.{lock_attr}" not in held:
+                    findings.append(
+                        Finding(
+                            rule=RULE,
+                            path=func.relpath,
+                            line=node.lineno,
+                            symbol=func.qualname,
+                            message=(
+                                f"access of guarded field 'self.{node.attr}' outside "
+                                f"'with self.{lock_attr}:' (declared in "
+                                f"{func.class_name}.GUARDED_BY)"
+                            ),
+                            token=node.attr,
+                        )
+                    )
+            # -- cross-object stores to any guarded field name -----------
+            for target in stored_attributes(node):
+                if _is_self_attr(target):
+                    continue  # covered above (or the class author's own field)
+                entries = index.guarded_fields.get(target.attr)
+                if entries and not held:
+                    owners = ", ".join(sorted({cls.name for cls, _ in entries}))
+                    findings.append(
+                        Finding(
+                            rule=RULE,
+                            path=func.relpath,
+                            line=target.lineno,
+                            symbol=func.qualname,
+                            message=(
+                                f"store to '{ast.unparse(target)}' outside any "
+                                f"with-lock scope; '{target.attr}' is guarded "
+                                f"(GUARDED_BY of {owners})"
+                            ),
+                            token=f"store:{target.attr}",
+                        )
+                    )
+            # -- call discipline for @requires_lock methods ---------------
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                findings.extend(_check_call(index, func, node, held))
+
+    return findings
+
+
+def _check_call(
+    index: CodeIndex, func: FunctionInfo, call: ast.Call, held: frozenset
+) -> List[Finding]:
+    out: List[Finding] = []
+    base = call.func.value  # type: ignore[union-attr]
+    is_self_call = isinstance(base, ast.Name) and base.id == "self"
+    for callee in index.resolve_callable(call.func, func):
+        if not callee.requires_locks:
+            continue
+        if callee.qualname == func.qualname and callee.relpath == func.relpath:
+            continue  # recursion: caller already proved the lock once
+        for lock_attr in callee.requires_locks:
+            if is_self_call and callee.class_name == func.class_name:
+                ok = f"self.{lock_attr}" in held
+            else:
+                ok = held_matches(held, lock_attr)
+            if not ok:
+                out.append(
+                    Finding(
+                        rule=RULE,
+                        path=func.relpath,
+                        line=call.lineno,
+                        symbol=func.qualname,
+                        message=(
+                            f"call to {callee.qualname}() without holding "
+                            f"'{lock_attr}' (method is @requires_lock"
+                            f"({lock_attr!r}))"
+                        ),
+                        token=f"call:{callee.qualname}",
+                    )
+                )
+    return out

@@ -1,0 +1,78 @@
+"""Annotated suppression file for analyzer findings.
+
+Format — one suppression per line, justification mandatory::
+
+    # comments and blank lines are ignored
+    <finding-key> -- <why this finding is a false positive / acceptable>
+
+``<finding-key>`` is the stable key printed with each finding
+(``rule:path:symbol:token`` — no line numbers, so suppressions survive
+unrelated edits).  A key without a justification is itself an error, and
+so is a *stale* suppression whose key no longer matches any finding: the
+file can only shrink when the underlying finding is actually gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .engine import Finding
+
+SEPARATOR = " -- "
+
+
+@dataclass(frozen=True)
+class Suppression:
+    key: str
+    justification: str
+    line: int
+
+
+class SuppressionError(ValueError):
+    """Malformed suppression file (missing justification, duplicate key)."""
+
+
+def load_suppressions(path: Path) -> Dict[str, Suppression]:
+    """Parse a suppression file; missing file means no suppressions."""
+    if not path.exists():
+        return {}
+    out: Dict[str, Suppression] = {}
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if SEPARATOR not in line:
+            raise SuppressionError(
+                f"{path}:{lineno}: suppression without a justification "
+                f"(expected '<key>{SEPARATOR}<why>'): {line!r}"
+            )
+        key, justification = line.split(SEPARATOR, 1)
+        key = key.strip()
+        justification = justification.strip()
+        if not key or not justification:
+            raise SuppressionError(
+                f"{path}:{lineno}: empty key or justification: {line!r}"
+            )
+        if key in out:
+            raise SuppressionError(f"{path}:{lineno}: duplicate suppression key {key!r}")
+        out[key] = Suppression(key=key, justification=justification, line=lineno)
+    return out
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], suppressions: Dict[str, Suppression]
+) -> Tuple[List[Finding], List[Finding], List[Suppression]]:
+    """Split findings into (unsuppressed, suppressed) and return stale entries."""
+    used: Set[str] = set()
+    unsuppressed: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        if finding.key in suppressions:
+            used.add(finding.key)
+            suppressed.append(finding)
+        else:
+            unsuppressed.append(finding)
+    stale = [s for key, s in sorted(suppressions.items()) if key not in used]
+    return unsuppressed, suppressed, stale

@@ -47,6 +47,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import guarded, new_lock
+
 #: Arrays smaller than this are shipped inline inside the task frame rather
 #: than through a shared-memory segment (segment setup costs more than the
 #: copy for tiny payloads, and zero-size segments are not representable).
@@ -171,48 +173,61 @@ class InlineExecutor(RankExecutor):
         return "InlineExecutor()"
 
 
+@guarded
 class ThreadExecutor(RankExecutor):
     """Run rank steps across a persistent thread pool.
 
     Worthwhile when steps spend their time in GIL-releasing NumPy kernels
     (batched traversals, partition scans); pure-Python steps serialise on
-    the GIL and see no speedup.
+    the GIL and see no speedup.  The lazy pool start and the closed flag
+    are lock-guarded, so concurrent submitters racing a close either get
+    the pool or a clean "executor is closed" error — never a pool created
+    after shutdown.
     """
 
     name = "thread"
+
+    GUARDED_BY = {"_pool": "_lock", "_closed": "_lock"}
 
     def __init__(self, n_workers: int | None = None) -> None:
         self.n_workers = _default_workers() if n_workers is None else n_workers
         if self.n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        self._lock = new_lock("ThreadExecutor._lock")
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
+
+    def _live_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+            return self._pool
 
     def run(self, tasks: Sequence[Optional[RankTask]]) -> List[Any]:
         live = [(i, task) for i, task in enumerate(tasks) if task is not None]
         results: List[Any] = [None] * len(tasks)
         if not live:
             return results
-        if self._pool is None:
-            if self._closed:
-                raise RuntimeError("executor is closed")
-            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
-        for (i, _), result in zip(live, self._pool.map(_run_task, [t for _, t in live])):
+        pool = self._live_pool()
+        for (i, _), result in zip(live, pool.map(_run_task, [t for _, t in live])):
             results[i] = result
         return results
 
     def submit(self, task: RankTask) -> Future:
-        if self._pool is None:
-            if self._closed:
-                raise RuntimeError("executor is closed")
-            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
-        return self._pool.submit(_run_task, task)
+        return self._live_pool().submit(_run_task, task)
 
     def close(self) -> None:
-        self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        # Flip the flag under the lock, shut the pool down outside it: a
+        # second closer returns immediately while the first waits for
+        # workers, and no submitter can resurrect the pool in between.
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if not already and pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadExecutor(n_workers={self.n_workers})"
@@ -361,6 +376,7 @@ def _worker_main(task_queue, result_queue) -> None:
             shm.close()
 
 
+@guarded
 class ProcessExecutor(RankExecutor):
     """Run rank steps on a persistent pool of worker processes.
 
@@ -384,6 +400,8 @@ class ProcessExecutor(RankExecutor):
     """
 
     name = "process"
+
+    GUARDED_BY = {"_closed": "_lock"}
 
     def __init__(
         self,
@@ -414,6 +432,7 @@ class ProcessExecutor(RankExecutor):
         self._next_pub_id = 0
         self._run_counter = 0
         self._result_timeout_s = result_timeout_s
+        self._lock = new_lock("ProcessExecutor._lock")
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -422,8 +441,9 @@ class ProcessExecutor(RankExecutor):
     def _ensure_started(self) -> None:
         if self._workers:
             return
-        if self._closed:
-            raise RuntimeError("executor is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
         try:
             # Start the shared-memory resource tracker *before* the workers
             # exist, so the whole process family shares one tracker: worker
@@ -447,9 +467,12 @@ class ProcessExecutor(RankExecutor):
             self._workers.append(proc)
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+        # Atomic check-and-set: exactly one closer runs the teardown, any
+        # concurrent or repeated close returns immediately.
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._workers:
             for _ in self._workers:
                 self._task_queue.put(None)

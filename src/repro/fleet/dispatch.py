@@ -39,6 +39,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.analysis.runtime import guarded, new_lock
 from repro.cluster.executor import (
     InlineExecutor,
     RankExecutor,
@@ -76,6 +77,11 @@ class ShardCall:
     tag: Any = None
 
 
+def _new_stats_lock() -> threading.Lock:
+    return new_lock("DispatchStats._lock")
+
+
+@guarded
 @dataclass
 class DispatchStats:
     """Counters of one dispatcher instance (thread-safe to update).
@@ -87,6 +93,16 @@ class DispatchStats:
     up to the pool width under concurrent dispatch.
     """
 
+    GUARDED_BY = {
+        "submitted": "_lock",
+        "completed": "_lock",
+        "failed": "_lock",
+        "cancelled": "_lock",
+        "hedge_submitted": "_lock",
+        "queue_depth": "_lock",
+        "max_queue_depth": "_lock",
+    }
+
     submitted: int = 0
     completed: int = 0
     failed: int = 0
@@ -94,7 +110,7 @@ class DispatchStats:
     hedge_submitted: int = 0
     queue_depth: int = 0
     max_queue_depth: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(default_factory=_new_stats_lock, repr=False)
 
     def note_submit(self, hedge: bool = False) -> None:
         with self._lock:
@@ -217,6 +233,7 @@ def _dispatch_step(state: Any, hook: Optional[Callable[[int], None]], fn, args) 
     return fn(*args)
 
 
+@guarded
 class ThreadDispatcher(Dispatcher):
     """Bounded concurrent dispatch on the cluster executor backends.
 
@@ -238,6 +255,8 @@ class ThreadDispatcher(Dispatcher):
 
     name = "thread"
     concurrent = True
+
+    GUARDED_BY = {"_closed": "_lock"}
 
     def __init__(
         self,
@@ -263,6 +282,7 @@ class ThreadDispatcher(Dispatcher):
         width = getattr(executor, "n_workers", 2) or 2
         self._replica_lane = ThreadExecutor(max(2, 2 * width))
         self._call_hook = call_hook
+        self._lock = new_lock("ThreadDispatcher._lock")
         self._closed = False
 
     @property
@@ -270,8 +290,9 @@ class ThreadDispatcher(Dispatcher):
         return getattr(self._executor, "n_workers", 1)
 
     def _submit_lane(self, lane: RankExecutor, call: ShardCall, hedge: bool) -> Future:
-        if self._closed:
-            raise RuntimeError("dispatcher is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
         hook = None if hedge else self._call_hook
         task = RankTask(call.shard, _dispatch_step, (hook, call.fn, call.args))
         self.stats.note_submit(hedge=hedge)
@@ -295,9 +316,13 @@ class ThreadDispatcher(Dispatcher):
         return self._submit_lane(self._replica_lane, call, hedge=True)
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+        # Check-and-set under the lock, pool shutdown outside it: repeated
+        # and concurrent closes are no-ops, and no lock is held while
+        # waiting on workers (the executors serialise their own teardown).
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._executor.close()
         self._replica_lane.close()
 
@@ -310,6 +335,14 @@ def default_dispatcher_spec() -> str:
     return os.environ.get(DISPATCHER_ENV, "serial")
 
 
+#: Spelled out in every spec error so a typo'd ``REPRO_DISPATCHER`` tells
+#: the user what would have worked.
+_ACCEPTED_SPECS = "'serial', 'thread', or 'thread:N' with N a positive integer"
+
+_SERIAL_KINDS = ("serial", "sync", "")
+_THREAD_KINDS = ("thread", "threads", "threaded")
+
+
 def make_dispatcher(
     spec: "str | Dispatcher | None" = None, n_workers: int | None = None
 ) -> Dispatcher:
@@ -318,19 +351,41 @@ def make_dispatcher(
     ``None`` consults ``REPRO_DISPATCHER`` (falling back to serial);
     ``"serial"`` / ``"thread"`` / ``"thread:4"`` build fresh instances; an
     existing dispatcher passes through (the caller keeps ownership).
+    Malformed specs raise a :class:`ValueError` naming the accepted forms
+    (and the environment variable, when that is where the spec came from).
     """
     if isinstance(spec, Dispatcher):
         return spec
+    origin = "dispatcher spec"
     if spec is None:
         spec = default_dispatcher_spec()
+        origin = f"{DISPATCHER_ENV} environment variable"
     if not isinstance(spec, str):
         raise TypeError(f"dispatcher spec must be a string or Dispatcher, got {type(spec).__name__}")
-    kind, _, count = spec.partition(":")
-    if count:
-        n_workers = int(count)
+    kind, sep, count = spec.partition(":")
     kind = kind.strip().lower()
-    if kind in ("serial", "sync", ""):
+    if sep:
+        if kind not in _THREAD_KINDS:
+            raise ValueError(
+                f"invalid {origin} {spec!r}: only the thread dispatcher takes a "
+                f"worker count; accepted forms are {_ACCEPTED_SPECS}"
+            )
+        try:
+            n_workers = int(count.strip())
+        except ValueError:
+            raise ValueError(
+                f"invalid {origin} {spec!r}: {count.strip()!r} is not an integer "
+                f"worker count; accepted forms are {_ACCEPTED_SPECS}"
+            ) from None
+        if n_workers <= 0:
+            raise ValueError(
+                f"invalid {origin} {spec!r}: worker count must be positive; "
+                f"accepted forms are {_ACCEPTED_SPECS}"
+            )
+    if kind in _SERIAL_KINDS:
         return SerialDispatcher()
-    if kind in ("thread", "threads", "threaded"):
+    if kind in _THREAD_KINDS:
         return ThreadDispatcher(n_workers)
-    raise ValueError(f"unknown dispatcher spec {spec!r}; expected serial or thread")
+    raise ValueError(
+        f"unknown {origin} {spec!r}; accepted forms are {_ACCEPTED_SPECS}"
+    )

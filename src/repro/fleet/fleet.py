@@ -41,6 +41,7 @@ from typing import Callable, Deque, Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import guarded, new_lock
 from repro.fleet.admission import ADMIT, REJECT, SHED, AdmissionController, AdmissionPolicy
 from repro.fleet.dispatch import Dispatcher, make_dispatcher
 from repro.fleet.planner import ShardPlan, ShardPlanner
@@ -62,12 +63,19 @@ class RequestRejectedError(KeyError):
     """The request was refused (or shed) by admission control."""
 
 
+@guarded
 class KNNFleet:
     """Region-routed, replicated, admission-controlled serving fleet.
 
     Build one with :meth:`KNNFleet.build`; the constructor wires
     pre-assembled parts (tests exercise it directly).
+
+    The query/mutation API is single-caller (one driving thread, like
+    :class:`KNNService` callers that share a service take its lock);
+    only :meth:`close` is safe to race, guarded by ``_close_lock``.
     """
+
+    GUARDED_BY = {"_closed": "_close_lock"}
 
     def __init__(
         self,
@@ -125,6 +133,8 @@ class KNNFleet:
         }
         self._n_assigned = int(initial_ids.shape[0])
         self._next_auto_id = int(initial_ids.max()) + 1 if initial_ids.size else 0
+        self._close_lock = new_lock("KNNFleet._close_lock")
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -220,7 +230,15 @@ class KNNFleet:
 
     def close(self) -> None:
         """Release every replica's backend resources (and the dispatcher's
-        worker pools, when the fleet owns it)."""
+        worker pools, when the fleet owns it).
+
+        Idempotent and safe under concurrent callers: exactly one caller
+        wins the ``_closed`` flag and performs the teardown.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         for group in self.groups:
             for replica in group.replicas:
                 replica.service.close()
@@ -470,7 +488,7 @@ class KNNFleet:
     def kill_replica(self, shard: int, replica: int) -> None:
         """Fail a replica immediately (chaos drill)."""
         self.groups[shard].replicas[replica].kill()
-        self.groups[shard].deaths += 1
+        self.groups[shard].note_death()
 
     def arm_replica_failure(self, shard: int, replica: int) -> None:
         """Make a replica die mid-query on its next pick (retry drill)."""
@@ -567,7 +585,7 @@ class KNNFleet:
             self.router.stats = stats_before
             for g in self.groups:
                 for r in g.replicas:
-                    r.queries_served = load_before[(g.shard_id, r.replica_id)]
+                    r.restore_load(load_before[(g.shard_id, r.replica_id)])
             self._pending = batch + self._pending
             self._stalled = True
             raise

@@ -22,7 +22,6 @@ calls (two scatter-phase calls hitting the same group) account exactly.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED
@@ -32,6 +31,8 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import exactness_path, requires_lock
+from repro.analysis.runtime import guarded, new_lock
 from repro.fleet.dispatch import Dispatcher, ShardCall
 from repro.service.service import KNNService
 
@@ -58,8 +59,17 @@ class ShardUnavailableError(RuntimeError):
     """Every replica of a shard is dead; the fleet cannot answer exactly."""
 
 
+@guarded
 class Replica:
     """One serving copy of a shard: a service plus liveness/load state."""
+
+    GUARDED_BY = {
+        "service": "_lock",
+        "alive": "_lock",
+        "queries_served": "_lock",
+        "in_flight": "_lock",
+        "_armed_failure": "_lock",
+    }
 
     def __init__(self, shard_id: int, replica_id: int, service: KNNService) -> None:
         self.shard_id = shard_id
@@ -72,7 +82,7 @@ class Replica:
         #: attract every hedge that fires while it runs.
         self.in_flight = 0
         self._armed_failure = False
-        self._lock = threading.Lock()
+        self._lock = new_lock("Replica._lock")
 
     def kill(self) -> None:
         """Fail the replica immediately (it stops receiving everything)."""
@@ -104,12 +114,22 @@ class Replica:
                     f"shard {self.shard_id} replica {self.replica_id} died mid-query",
                     died_now=True,
                 )
-        out = self.service.answer_batch(queries, k=k, at=at)
+            # Pin the service under the same lock as the liveness check:
+            # heal() swaps self.service while holding _lock, so an attempt
+            # that saw alive=True always serves on the matching service.
+            service = self.service
+        out = service.answer_batch(queries, k=k, at=at)
         with self._lock:
             self.queries_served += int(np.atleast_2d(queries).shape[0])
         return out
 
+    def restore_load(self, queries_served: int) -> None:
+        """Reset the served-query counter (fleet rollback after a failed batch)."""
+        with self._lock:
+            self.queries_served = queries_served
 
+
+@guarded
 class ReplicaGroup:
     """All replicas of one shard, with least-loaded routing and retries.
 
@@ -125,6 +145,15 @@ class ReplicaGroup:
         concurrent dispatcher passed into :meth:`answer`; without one the
         deadline is ignored and the serial retry path runs.
     """
+
+    GUARDED_BY = {
+        "retries": "_lock",
+        "deaths": "_lock",
+        "hedges": "_lock",
+        "hedge_wins": "_lock",
+        "hedge_cancels": "_lock",
+        "_latencies": "_lock",
+    }
 
     def __init__(
         self,
@@ -147,8 +176,8 @@ class ReplicaGroup:
         # the exact pick-retry-account semantics of the serial router (the
         # dispatch plane's concurrency win is across groups, and — via the
         # replica lane — across the hedged attempts within one call).
-        self._lock = threading.Lock()
-        self._serve_lock = threading.Lock()
+        self._lock = new_lock("ReplicaGroup._lock")
+        self._serve_lock = new_lock("ReplicaGroup._serve_lock")
         self._latencies: Deque[float] = deque(maxlen=128)
 
     # ------------------------------------------------------------------
@@ -207,6 +236,8 @@ class ReplicaGroup:
                 return self._answer_serial(queries, k, at)
             return self._answer_hedged(queries, k, at, deadline, dispatcher)
 
+    @exactness_path
+    @requires_lock("_serve_lock")
     def _answer_serial(
         self, queries: np.ndarray, k: int, at: float | None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -222,6 +253,8 @@ class ReplicaGroup:
                     self.deaths += 1
                     self.retries += 1
 
+    @exactness_path
+    @requires_lock("_serve_lock")
     def _answer_hedged(
         self,
         queries: np.ndarray,
@@ -314,7 +347,10 @@ class ReplicaGroup:
             self._note_latency(time.perf_counter() - started)
             return out
         finally:
-            with self._lock:
+            # in_flight is the replica's own guarded state: reservations are
+            # *picked* under the group lock but counted under the replica
+            # lock, so replica-lane threads release without racing the pick.
+            with replica._lock:
                 replica.in_flight -= 1
 
     def _reserve(self, exclude: Replica | None = None) -> Optional[Replica]:
@@ -333,7 +369,8 @@ class ReplicaGroup:
                     return None
                 raise ShardUnavailableError(f"shard {self.shard_id}: every replica is dead")
             best = min(alive, key=lambda r: (r.queries_served + r.in_flight, r.replica_id))
-            best.in_flight += 1
+            with best._lock:
+                best.in_flight += 1
             return best
 
     def _discard(self, losers: List[Tuple[object, Replica]]) -> None:
@@ -348,7 +385,8 @@ class ReplicaGroup:
             if fut.cancel():
                 with self._lock:
                     self.hedge_cancels += 1
-                    replica.in_flight -= 1
+                    with replica._lock:
+                        replica.in_flight -= 1
             else:
                 fut.add_done_callback(self._note_discarded)
 
@@ -364,6 +402,11 @@ class ReplicaGroup:
             self.retries += 1
             if death.died_now:
                 self.deaths += 1
+
+    def note_death(self) -> None:
+        """Count one externally-injected replica death (fleet kill switch)."""
+        with self._lock:
+            self.deaths += 1
 
     def _hedge_deadline(self) -> Optional[float]:
         """Current hedged-read deadline in seconds, or ``None`` when off."""
@@ -430,7 +473,7 @@ class ReplicaGroup:
             # ownership must flow dead-bg -> dead.backend -> healed backend
             # before dead.close() runs, or the close would shut the pool
             # under the healed replica.
-            dead._cancel_background()
+            dead.cancel_background()
             service = KNNService(
                 dead.backend.refit(points, ids),
                 k=dead.k,
@@ -443,13 +486,19 @@ class ReplicaGroup:
                 snapshot_root=dead.snapshot_root,
             )
             if at is not None:
-                service._advance(at)
+                # flush() on an empty queue is exactly a locked clock
+                # advance (nothing is pending on a fresh service).
+                service.flush(at)
             # The dead service's backend already transferred any pooled
             # executor ownership through refit above; closing it now only
             # releases what it still owns.
             dead.close()
-            replica.service = service
-            replica.alive = True
-            replica._armed_failure = False
+            # Swap service and flip liveness atomically: a concurrent
+            # attempt either sees (dead, old service) and raises, or
+            # (alive, healed service) — never a half-healed replica.
+            with replica._lock:
+                replica.service = service
+                replica.alive = True
+                replica._armed_failure = False
             healed += 1
         return healed

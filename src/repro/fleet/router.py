@@ -48,6 +48,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import exactness_path
 from repro.fleet.dispatch import Dispatcher, SerialDispatcher, ShardCall
 from repro.fleet.planner import ShardPlan
 from repro.fleet.replica import ReplicaGroup
@@ -149,6 +150,7 @@ class Router:
     # ------------------------------------------------------------------
     # Non-spatial fallback: everyone answers everything
     # ------------------------------------------------------------------
+    @exactness_path
     def _broadcast(
         self, queries: np.ndarray, k: int, at: float | None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -178,6 +180,7 @@ class Router:
     # ------------------------------------------------------------------
     # Region-routed two-phase protocol
     # ------------------------------------------------------------------
+    @exactness_path
     def _scatter_gather(
         self, queries: np.ndarray, k: int, at: float | None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -240,6 +243,7 @@ class Router:
         self.stats.scatter_seconds += scatter_elapsed + time.perf_counter() - started
         return acc_d, acc_i
 
+    @exactness_path
     def _submit_scatter(
         self,
         queries: np.ndarray,

@@ -23,6 +23,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import exactness_path
+
 
 class BoundedMaxHeap:
     """Fixed-capacity max-heap of (distance, id) pairs.
@@ -216,6 +218,7 @@ class BatchTopK:
 _INVALID_ID = np.iinfo(np.int64).max
 
 
+@exactness_path
 def merge_topk_rows(
     k: int,
     dists_a: np.ndarray,
@@ -279,6 +282,7 @@ def merge_topk_rows(
     return out_d, np.where(np.isfinite(out_d), out_i, -1)
 
 
+@exactness_path
 def merge_topk(
     k: int,
     dists_a: np.ndarray,

@@ -58,7 +58,6 @@ additionally safe under concurrent callers (one re-entrant lock).
 from __future__ import annotations
 
 import shutil
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -67,6 +66,8 @@ from typing import Callable, Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import exactness_path, requires_lock
+from repro.analysis.runtime import guarded, new_rlock
 from repro.core.snapshot import allocate_version_dir, promote_version
 from repro.kdtree.query import brute_force_knn
 from repro.service.cache import CacheStats, LRUCache, query_key
@@ -285,6 +286,7 @@ def summarize_records(records: Sequence[RequestRecord]) -> Dict[str, float]:
     }
 
 
+@exactness_path
 def _answer_snapshot(
     backend,
     tomb_ids: np.ndarray,
@@ -323,6 +325,7 @@ def _answer_snapshot(
     return out_d, out_i
 
 
+@exactness_path
 def _pipelined_answer_step(
     backend,
     tomb_ids: np.ndarray,
@@ -370,6 +373,7 @@ class _BackgroundRebuild:
     snapshot_dir: Path | None
 
 
+@guarded
 class KNNService:
     """Online KNN front end: micro-batching, result cache, streaming updates.
 
@@ -420,6 +424,30 @@ class KNNService:
         service); a passed-in instance stays owned by the caller.
     """
 
+    GUARDED_BY = {
+        "backend": "_lock",
+        "delta": "_lock",
+        "cache": "_lock",
+        "records": "_lock",
+        "version": "_lock",
+        "rebuilds": "_lock",
+        "rebuild_seconds": "_lock",
+        "_pending": "_lock",
+        "_results": "_lock",
+        "_result_order": "_lock",
+        "_now": "_lock",
+        "_server_free_at": "_lock",
+        "_next_request_id": "_lock",
+        "_last_arrival": "_lock",
+        "_ewma_gap": "_lock",
+        "_first_dirty_at": "_lock",
+        "_bg": "_lock",
+        "_inflight": "_lock",
+        "_backend_ids": "_lock",
+        "_next_auto_id": "_lock",
+        "_closed": "_lock",
+    }
+
     def __init__(
         self,
         backend,
@@ -460,7 +488,8 @@ class KNNService:
         self._ewma_gap: float | None = None
         self._first_dirty_at: float | None = None
         self._bg: _BackgroundRebuild | None = None
-        self._lock = threading.RLock()
+        self._lock = new_rlock("KNNService._lock")
+        self._closed = False
         # Depth-1 micro-batch pipeline: at most one dispatched batch in
         # flight, as (batch, dispatch_start, future).
         self._inflight: Deque[Tuple[List[_Pending], float, object]] = deque()
@@ -485,13 +514,26 @@ class KNNService:
         it), so dropping it unclosed would leak the worker pool.
         """
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             self._harvest()
             self._cancel_background()
             closer = getattr(self.backend, "close", None)
-            if closer is not None:
-                closer()
-            if self._owns_dispatcher and self._dispatcher is not None:
-                self._dispatcher.close()
+            dispatcher = self._dispatcher if self._owns_dispatcher else None
+        # Teardown of owned resources happens outside the lock: pool
+        # shutdown can block on worker completion, and no service state is
+        # touched past this point (the _closed flag already bars re-entry).
+        if closer is not None:
+            closer()
+        if dispatcher is not None:
+            dispatcher.close()
+
+    def cancel_background(self) -> None:
+        """Discard any in-flight background rebuild and keep serving the
+        old index.  Safe to call when no rebuild is in flight."""
+        with self._lock:
+            self._cancel_background()
 
     def __enter__(self) -> "KNNService":
         return self
@@ -505,34 +547,41 @@ class KNNService:
     @property
     def now(self) -> float:
         """Current logical time (max event time seen so far)."""
-        return self._now
+        with self._lock:
+            return self._now
 
     @property
     def n_pending(self) -> int:
         """Requests queued but not yet dispatched."""
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     @property
     def n_live(self) -> int:
         """Points currently visible to queries (tree - tombstones + delta)."""
-        return self.backend.n_points - self.delta.n_tombstones + self.delta.n_inserted
+        with self._lock:
+            return self.backend.n_points - self.delta.n_tombstones + self.delta.n_inserted
 
     @property
     def cache_stats(self) -> CacheStats:
         """Hit/miss statistics of the result cache."""
-        return self.cache.stats
+        with self._lock:
+            return self.cache.stats
 
     @property
     def rebuilding(self) -> bool:
         """True while a background rebuild is in flight (old index serving)."""
-        return self._bg is not None
+        with self._lock:
+            return self._bg is not None
 
     def target_batch_size(self) -> int:
         """Current micro-batch target under the (possibly adaptive) policy."""
         policy = self.batch_policy
-        if not policy.adaptive or self._ewma_gap is None or self._ewma_gap <= 0:
+        with self._lock:
+            gap = self._ewma_gap
+        if not policy.adaptive or gap is None or gap <= 0:
             return policy.max_batch
-        target = int(policy.max_delay_s / self._ewma_gap)
+        target = int(policy.max_delay_s / gap)
         return int(np.clip(target, policy.min_batch, policy.max_batch))
 
     def latency_summary(self) -> Dict[str, float]:
@@ -542,7 +591,8 @@ class KNNService:
         exact over the full history even after the retention ring evicted
         old records; p50/p99 are over the retained window.
         """
-        return self.records.summary()
+        with self._lock:
+            return self.records.summary()
 
     # ------------------------------------------------------------------
     # Query path
@@ -635,6 +685,7 @@ class KNNService:
                 )
             return self._results[request_id]
 
+    @requires_lock("_lock")
     def _store_result(self, request_id: int, value: Tuple[np.ndarray, np.ndarray]) -> None:
         """Record a completed answer, evicting the oldest beyond retention."""
         self._results[request_id] = value
@@ -789,6 +840,7 @@ class KNNService:
             ids = np.concatenate([tree_ids, delta_ids])
             return points, ids
 
+    @requires_lock("_lock")
     def _cancel_background(self) -> None:
         """Abandon an in-flight background build.
 
@@ -806,6 +858,7 @@ class KNNService:
         if transfer is not None:
             transfer(self.backend)
 
+    @requires_lock("_lock")
     def _rebuild_now(self, now: float) -> None:
         # A foreground rebuild folds the freshest live set: an in-flight
         # background build would swap an older snapshot over it, so drop it.
@@ -829,6 +882,7 @@ class KNNService:
         self._first_dirty_at = None
         self._reindex_ids()
 
+    @requires_lock("_lock")
     def _begin_background(self, now: float) -> float:
         if self._bg is not None:
             return self._bg.ready_at
@@ -853,6 +907,7 @@ class KNNService:
         )
         return self._bg.ready_at
 
+    @requires_lock("_lock")
     def _complete_swap(self, now: float) -> None:
         """Atomically install the background-rebuilt index.
 
@@ -923,6 +978,7 @@ class KNNService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @requires_lock("_lock")
     def _advance(self, at: float | None) -> float:
         """Move the logical clock to ``at``, firing deadline flushes and
         staleness rebuilds that were due on the way.
@@ -963,6 +1019,7 @@ class KNNService:
         self._now = max(self._now, now)
         return now
 
+    @requires_lock("_lock")
     def _note_arrival(self, arrival: float) -> None:
         if self._last_arrival is not None:
             gap = max(arrival - self._last_arrival, 1e-9)
@@ -970,6 +1027,7 @@ class KNNService:
             self._ewma_gap = gap if self._ewma_gap is None else (1 - alpha) * self._ewma_gap + alpha * gap
         self._last_arrival = arrival
 
+    @requires_lock("_lock")
     def _dispatch(self, flush_time: float) -> int:
         """Dispatch every queued request that arrived by ``flush_time``."""
         split = 0
@@ -997,6 +1055,7 @@ class KNNService:
         self._complete_batch(batch, flush_time, dispatch_start, answers, elapsed)
         return len(batch)
 
+    @requires_lock("_lock")
     def _dispatch_pipelined(self, batch: List[_Pending], flush_time: float) -> int:
         """Submit one micro-batch to the dispatcher's replica lane.
 
@@ -1034,6 +1093,8 @@ class KNNService:
         self._inflight.append((batch, dispatch_start, fut))
         return len(batch)
 
+    @exactness_path
+    @requires_lock("_lock")
     def _harvest(self) -> None:
         """Fold the in-flight pipelined batch (if any) back into the service.
 
@@ -1050,6 +1111,8 @@ class KNNService:
             # passing `_now` keeps the max() a no-op.
             self._complete_batch(batch, self._now, dispatch_start, answers, elapsed)
 
+    @exactness_path
+    @requires_lock("_lock")
     def _complete_batch(
         self,
         batch: List[_Pending],
@@ -1075,6 +1138,8 @@ class KNNService:
                 )
             )
 
+    @exactness_path
+    @requires_lock("_lock")
     def _answer(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Exact live-set KNN: over-fetched tree answers (tombstones
         filtered) fused with the delta buffer's brute-force answers
@@ -1088,10 +1153,12 @@ class KNNService:
         delta_points, delta_ids = self.delta.live_arrays()
         return _answer_snapshot(self.backend, tomb, delta_points, delta_ids, queries, k)
 
+    @requires_lock("_lock")
     def _mark_dirty(self, now: float) -> None:
         if self._first_dirty_at is None:
             self._first_dirty_at = now
 
+    @requires_lock("_lock")
     def _invalidate_for_insert(self, points: np.ndarray) -> int:
         """Drop only cached entries an insert can change.
 
@@ -1123,6 +1190,7 @@ class KNNService:
             self.cache.drop([keys[j] for j in hit])
         return int(hit.size)
 
+    @requires_lock("_lock")
     def _invalidate_for_delete(self, dead_ids: np.ndarray) -> int:
         """Drop only cached entries a delete can change.
 
@@ -1141,6 +1209,7 @@ class KNNService:
             self.cache.drop(doomed)
         return len(doomed)
 
+    @requires_lock("_lock")
     def _maybe_rebuild(self, now: float) -> None:
         policy = self.rebuild_policy
         if self.n_live == 0:
@@ -1156,6 +1225,7 @@ class KNNService:
             else:
                 self._rebuild_now(now)
 
+    @requires_lock("_lock")
     def _reindex_ids(self) -> None:
         _, ids = self.backend.all_points()
         self._backend_ids = frozenset(int(i) for i in ids)

@@ -1,0 +1,16 @@
+"""Every forbidden nondeterminism class inside an exactness path."""
+
+import time
+
+from repro.analysis.annotations import exactness_path
+
+
+@exactness_path
+def fold(rows):
+    stamp = time.time()  # BAD: wall-clock read
+    rng = default_rng(0)  # noqa: F821  BAD: randomness
+    seen = {1, 2, 3}
+    order = list(seen)  # BAD: materializes a set in hash order
+    for row in {4, 5}:  # BAD: iterates a set literal
+        stamp += row
+    return stamp, rng, order

@@ -1,0 +1,16 @@
+"""Deterministic folds: monotonic clocks, sorted set iteration."""
+
+import time
+
+from repro.analysis.annotations import exactness_path
+
+
+@exactness_path
+def fold(rows):
+    started = time.perf_counter()  # fine: monotonic, never reorders a fold
+    seen = {1, 2, 3}
+    order = sorted(seen)  # fine: sorted() pins the order
+    total = 0
+    for row in sorted({4, 5}):
+        total += row
+    return total, order, time.perf_counter() - started

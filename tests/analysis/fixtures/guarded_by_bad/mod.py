@@ -1,0 +1,28 @@
+"""Guarded-by violations: unlocked access, unlocked cross-object store,
+and a @requires_lock call without the lock."""
+
+import threading
+
+from repro.analysis.annotations import requires_lock
+
+
+class Counter:
+    GUARDED_BY = {"count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        self.count += 1  # BAD: guarded field touched without the lock
+
+    @requires_lock("_lock")
+    def _drop(self):
+        self.count = 0
+
+    def reset(self):
+        self._drop()  # BAD: @requires_lock callee, lock not held
+
+
+def poke(counter):
+    counter.count = 9  # BAD: cross-object store to a guarded field name

@@ -1,0 +1,30 @@
+"""Clean guarded-by discipline: every touch under the declared lock."""
+
+import threading
+
+from repro.analysis.annotations import requires_lock
+
+
+class Counter:
+    GUARDED_BY = {"count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    @requires_lock("_lock")
+    def _drop(self):
+        self.count = 0
+
+    def reset(self):
+        with self._lock:
+            self._drop()
+
+
+def poke(counter):
+    with counter._lock:
+        counter.count = 9

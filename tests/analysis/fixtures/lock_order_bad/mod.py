@@ -1,0 +1,32 @@
+"""Two deadlock shapes: an A/B ordering cycle and a plain-Lock re-entry."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def backward(self):
+        with self._b_lock:
+            with self._a_lock:  # BAD: opposite order to forward()
+                pass
+
+
+class Single:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()  # BAD: re-acquires a non-reentrant lock
+
+    def inner(self):
+        with self._lock:
+            pass

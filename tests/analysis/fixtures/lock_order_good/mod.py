@@ -1,0 +1,32 @@
+"""Clean ordering: one global order, and re-entry only on an RLock."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def again(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+
+class Single:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()  # fine: the lock is reentrant
+
+    def inner(self):
+        with self._lock:
+            pass

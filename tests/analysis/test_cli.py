@@ -1,0 +1,58 @@
+"""CLI behavior: exit codes, finding keys, suppression round-trip."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "guarded_by_bad"
+GOOD = FIXTURES / "guarded_by_good"
+
+
+def test_findings_exit_nonzero(tmp_path, capsys):
+    rc = main([str(BAD), "--suppressions", str(tmp_path / "s.txt")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "[guarded-by]" in out
+    assert "key: guarded-by:mod.py:" in out
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    rc = main([str(GOOD), "--suppressions", str(tmp_path / "s.txt")])
+    assert rc == 0
+    assert "0 unsuppressed findings" in capsys.readouterr().out
+
+
+def test_suppressed_findings_exit_zero(tmp_path, capsys):
+    rc = main([str(BAD), "--suppressions", str(tmp_path / "s.txt")])
+    assert rc == 1
+    keys = [
+        line.split("key: ", 1)[1]
+        for line in capsys.readouterr().out.splitlines()
+        if "key: " in line
+    ]
+    supp = tmp_path / "s.txt"
+    supp.write_text("".join(f"{k} -- fixture, intentionally bad\n" for k in keys))
+    rc = main([str(BAD), "--suppressions", str(supp), "--list-suppressed"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[suppressed]" in out
+    assert "justification: fixture, intentionally bad" in out
+
+
+def test_stale_suppression_exits_nonzero(tmp_path, capsys):
+    supp = tmp_path / "s.txt"
+    supp.write_text("guarded-by:mod.py:Nothing.here:x -- no longer exists\n")
+    rc = main([str(GOOD), "--suppressions", str(supp)])
+    assert rc == 1
+    assert "stale suppression" in capsys.readouterr().err
+
+
+def test_malformed_suppression_file_exits_two(tmp_path, capsys):
+    supp = tmp_path / "s.txt"
+    supp.write_text("some-key-without-justification\n")
+    rc = main([str(GOOD), "--suppressions", str(supp)])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err

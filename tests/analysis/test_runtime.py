@@ -1,0 +1,110 @@
+"""Runtime detector: instrumented-lock edges, cycle detection, write canary."""
+
+from __future__ import annotations
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import runtime
+
+
+def make_lock(name):
+    return SimpleNamespace(name=name)
+
+
+def test_monitor_records_edges_and_cycles():
+    mon = runtime.LockMonitor()
+    a, b = make_lock("A"), make_lock("B")
+    mon.note_acquire(a)
+    mon.note_acquire(b)  # A held -> edge A->B
+    mon.note_release(b)
+    mon.note_release(a)
+    assert mon.edges == {("A", "B"): 1}
+    assert mon.cycles() == []
+    mon.note_acquire(b)
+    mon.note_acquire(a)  # B held -> edge B->A closes the cycle
+    mon.note_release(a)
+    mon.note_release(b)
+    assert any(set(cycle) == {"A", "B"} for cycle in mon.cycles())
+
+
+def test_monitor_ignores_reentrant_reacquire():
+    mon = runtime.LockMonitor()
+    a = make_lock("A")
+    mon.note_acquire(a)
+    mon.note_acquire(a)  # same object: re-entry, not an ordering edge
+    assert mon.edges == {}
+    mon.note_release(a)
+    mon.note_release(a)
+
+
+def test_same_name_different_objects_is_a_self_edge():
+    mon = runtime.LockMonitor()
+    first, second = make_lock("Replica._lock"), make_lock("Replica._lock")
+    mon.note_acquire(first)
+    mon.note_acquire(second)
+    assert ("Replica._lock", "Replica._lock") in mon.edges
+    assert any(set(cycle) == {"Replica._lock"} for cycle in mon.cycles())
+
+
+def test_factories_return_plain_locks_when_disabled(monkeypatch):
+    monkeypatch.delenv(runtime.ANALYSIS_ENV, raising=False)
+    assert not isinstance(runtime.new_lock("x"), runtime.InstrumentedLock)
+    assert not isinstance(runtime.new_rlock("x"), runtime.InstrumentedLock)
+
+
+def test_factories_instrument_when_enabled(monkeypatch):
+    monkeypatch.setenv(runtime.ANALYSIS_ENV, "1")
+    lock = runtime.new_lock("T.lock")
+    rlock = runtime.new_rlock("T.rlock")
+    assert isinstance(lock, runtime.InstrumentedLock) and not lock.reentrant
+    assert isinstance(rlock, runtime.InstrumentedLock) and rlock.reentrant
+    with lock:
+        assert lock.held_by_current()
+    assert not lock.held_by_current()
+    runtime.monitor().reset()
+
+
+@pytest.fixture
+def canary_box(monkeypatch):
+    monkeypatch.setenv(runtime.ANALYSIS_ENV, "1")
+
+    @runtime.guarded
+    class Box:
+        GUARDED_BY = {"value": "_lock"}
+
+        def __init__(self):
+            self._lock = runtime.new_lock("Box._lock")
+            self.value = 0
+
+    yield Box()
+    # The singleton monitor is shared with the session fixture: drop this
+    # test's deliberate violations so they cannot poison an instrumented run.
+    runtime.monitor().reset()
+
+
+def test_canary_allows_owner_and_locked_writes(canary_box):
+    before = len(runtime.monitor().report()["violations"])
+    canary_box.value = 1  # constructing thread: allowed
+
+    def locked_write():
+        with canary_box._lock:
+            canary_box.value = 2
+
+    t = threading.Thread(target=locked_write)
+    t.start()
+    t.join()
+    assert len(runtime.monitor().report()["violations"]) == before
+
+
+def test_canary_flags_unlocked_cross_thread_write(canary_box):
+    def unlocked_write():
+        canary_box.value = 3
+
+    t = threading.Thread(target=unlocked_write)
+    t.start()
+    t.join()
+    violations = runtime.monitor().report()["violations"]
+    assert any(cls == "Box" and field == "value" for cls, field, _ in violations)

@@ -1,0 +1,56 @@
+"""Suppression file parsing and application semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.engine import Finding
+from repro.analysis.suppressions import (
+    SuppressionError,
+    apply_suppressions,
+    load_suppressions,
+)
+
+
+def make(rule="guarded-by", path="a.py", token="x", line=3):
+    return Finding(
+        rule=rule, path=path, line=line, symbol="C.m", message="boom", token=token
+    )
+
+
+def test_missing_file_is_empty(tmp_path):
+    assert load_suppressions(tmp_path / "nope.txt") == {}
+
+
+def test_parse_and_apply(tmp_path):
+    f1, f2 = make(token="x"), make(token="y")
+    supp = tmp_path / "s.txt"
+    supp.write_text(
+        "# comment\n"
+        "\n"
+        f"{f1.key} -- single-driver protocol, see executor docstring\n"
+        "guarded-by:gone.py:C.m:z -- this one went stale\n"
+    )
+    loaded = load_suppressions(supp)
+    unsuppressed, suppressed, stale = apply_suppressions([f1, f2], loaded)
+    assert [f.key for f in unsuppressed] == [f2.key]
+    assert [f.key for f in suppressed] == [f1.key]
+    assert [e.key for e in stale] == ["guarded-by:gone.py:C.m:z"]
+
+
+def test_justification_is_mandatory(tmp_path):
+    supp = tmp_path / "s.txt"
+    supp.write_text("guarded-by:a.py:C.m:x\n")
+    with pytest.raises(SuppressionError):
+        load_suppressions(supp)
+    supp.write_text("guarded-by:a.py:C.m:x -- \n")
+    with pytest.raises(SuppressionError):
+        load_suppressions(supp)
+
+
+def test_duplicate_keys_rejected(tmp_path):
+    supp = tmp_path / "s.txt"
+    key = make().key
+    supp.write_text(f"{key} -- first\n{key} -- second\n")
+    with pytest.raises(SuppressionError):
+        load_suppressions(supp)

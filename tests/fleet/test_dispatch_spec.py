@@ -1,0 +1,58 @@
+"""make_dispatcher spec validation: clear errors naming the accepted forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.dispatch import (
+    DISPATCHER_ENV,
+    SerialDispatcher,
+    ThreadDispatcher,
+    make_dispatcher,
+)
+
+
+def closing(dispatcher):
+    try:
+        return type(dispatcher)
+    finally:
+        dispatcher.close()
+
+
+def test_accepted_forms():
+    assert closing(make_dispatcher("serial")) is SerialDispatcher
+    assert closing(make_dispatcher("thread")) is ThreadDispatcher
+    assert closing(make_dispatcher("Thread:4")) is ThreadDispatcher
+    assert closing(make_dispatcher(" thread : 2 ")) is ThreadDispatcher
+
+
+def test_instance_passes_through():
+    dispatcher = SerialDispatcher()
+    assert make_dispatcher(dispatcher) is dispatcher
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["bogus", "serial:2", "thread:x", "thread:0", "thread:-3", "thread:1.5"],
+)
+def test_malformed_specs_name_accepted_forms(spec):
+    with pytest.raises(ValueError, match="accepted forms"):
+        make_dispatcher(spec)
+
+
+def test_non_string_spec_is_a_type_error():
+    with pytest.raises(TypeError, match="dispatcher spec"):
+        make_dispatcher(3)
+
+
+def test_env_origin_is_named(monkeypatch):
+    monkeypatch.setenv(DISPATCHER_ENV, "turbo")
+    with pytest.raises(ValueError, match=DISPATCHER_ENV):
+        make_dispatcher(None)
+
+
+def test_env_default_builds(monkeypatch):
+    monkeypatch.setenv(DISPATCHER_ENV, "thread:3")
+    assert closing(make_dispatcher(None)) is ThreadDispatcher
+    monkeypatch.delenv(DISPATCHER_ENV)
+    assert closing(make_dispatcher(None)) is SerialDispatcher
