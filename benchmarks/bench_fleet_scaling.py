@@ -47,6 +47,8 @@ import numpy as np
 from repro.datasets.cosmology import cosmology_particles
 from repro.fleet import KNNFleet
 from repro.kdtree.query import brute_force_knn
+from repro.obs import Tracer, parse_prometheus_text
+from repro.perf import BENCH_SCHEMA_VERSION, run_metadata
 from repro.service import MicroBatchPolicy, RebuildPolicy, uniform_trace
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -200,6 +202,66 @@ def run_dispatch_ab(points: np.ndarray, size: dict, seed: int = 13) -> dict:
     return reports
 
 
+def run_observability_check(points: np.ndarray, size: dict, seed: int = 17) -> dict:
+    """Observability A/B: plain vs fully-instrumented run of one trace.
+
+    Three assertions CI depends on: answers stay byte-identical with
+    tracing every micro-batch, the metrics snapshot round-trips the strict
+    Prometheus parser, and the instrumented run costs < 5% wall clock over
+    the plain run (plus a 0.25 s absolute slack floor so sub-second smoke
+    runs cannot flake on scheduler noise).
+    """
+    times, queries = uniform_trace(size["n_requests"], size["rate"], pool=points, seed=seed)
+    n_shards = size["shard_counts"][-1]
+
+    def one(tracer: Tracer) -> tuple:
+        fleet = KNNFleet.build(
+            points,
+            n_shards=n_shards,
+            n_replicas=2,
+            k=size["k"],
+            batch_policy=MicroBatchPolicy(max_batch=512, max_delay_s=2e-3),
+            dispatcher="thread:4",
+            hedge_after="p99",
+            tracer=tracer,
+        )
+        started = time.perf_counter()
+        request_ids = [fleet.submit(q, at=t) for t, q in zip(times, queries)]
+        fleet.drain(at=float(times[-1]))
+        elapsed = time.perf_counter() - started
+        answers = [fleet.result(r) for r in request_ids]
+        text = fleet.metrics_text()
+        traces = fleet.tracer.traces()
+        fleet.close()
+        return answers, elapsed, text, traces
+
+    plain_answers, plain_s, _, _ = one(Tracer(enabled=False))
+    obs_answers, obs_s, text, traces = one(Tracer(enabled=True, sample_every=1, capacity=16))
+
+    for (d_p, i_p), (d_o, i_o) in zip(plain_answers, obs_answers):
+        assert np.array_equal(d_p, d_o) and np.array_equal(i_p, i_o), (
+            "observability changed an answer"
+        )
+    families = parse_prometheus_text(text)
+    assert "repro_fleet_requests_total" in families, "metrics scrape missing core family"
+    assert traces, "tracing produced no span trees"
+    cats = {span.cat for record in traces for span in record.root.walk()}
+    assert {"batch", "router", "phase", "shard_call", "replica_attempt"} <= cats, (
+        f"span tree incomplete: {sorted(cats)}"
+    )
+    assert obs_s <= plain_s * 1.05 + 0.25, (
+        f"observability overhead too high: {obs_s:.3f}s vs {plain_s:.3f}s plain"
+    )
+    return {
+        "plain_s": plain_s,
+        "observed_s": obs_s,
+        "overhead_pct": (obs_s / plain_s - 1.0) * 100.0 if plain_s > 0 else 0.0,
+        "metric_families": len(families),
+        "traces": len(traces),
+        "span_categories": sorted(cats),
+    }
+
+
 def format_row(row: dict) -> str:
     return (
         f"  {row['strategy']:>5s} x{row['n_shards']:<2d} "
@@ -244,18 +306,31 @@ def main() -> None:
         )
     print("  dispatch: serial and threaded answers byte-identical")
 
+    obs = run_observability_check(points, size)
+    print(
+        f"  observability: {obs['metric_families']} metric families, "
+        f"{obs['traces']} traces, overhead {obs['overhead_pct']:+.1f}% "
+        "[byte-identical, strict-parsed]"
+    )
+
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    metadata = run_metadata()
     artifact = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "fleet_scaling",
         "smoke": bool(args.smoke),
+        "run": metadata,
         "elapsed_s": time.perf_counter() - started,
         "config": {key: list(v) if isinstance(v, tuple) else v for key, v in size.items()},
         "rows": rows,
         "streaming": stream,
+        "observability": obs,
     }
     dispatch_artifact = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "fleet_dispatch",
         "smoke": bool(args.smoke),
+        "run": metadata,
         "config": {key: list(v) if isinstance(v, tuple) else v for key, v in size.items()},
         "byte_identical": True,
         "dispatchers": dispatch,

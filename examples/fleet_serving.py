@@ -11,7 +11,9 @@ fan-out stay near 1 while the shard count is 4), a replica dying mid-query
 and being retried transparently, streaming inserts that trigger background
 rebuild hot-swaps with a versioned snapshot trail on disk, and admission
 control shedding load when the queue fills — all with answers verified
-against brute force along the way.
+against brute force along the way. It finishes on the observability
+plane: a strict-parsed Prometheus metrics scrape, the structured ops
+event log, and a Perfetto-loadable trace of sampled queries.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ import numpy as np
 from repro.core.snapshot import current_version_dir, list_snapshot_versions
 from repro.fleet import AdmissionPolicy, KNNFleet
 from repro.kdtree.query import brute_force_knn
+from repro.obs import Tracer, parse_prometheus_text
 from repro.service import RebuildPolicy
 
 
@@ -42,6 +45,7 @@ def main() -> None:
             rebuild_policy=RebuildPolicy(max_inserts=300),
             admission_policy=AdmissionPolicy(max_pending=2048, mode="shed"),
             snapshot_root=Path(tmp) / "fleet_snapshots",
+            tracer=Tracer(enabled=True, sample_every=20, capacity=32),
         )
         sizes = fleet.plan.shard_sizes()
         print(f"plan: {fleet.n_shards} region shards x 2 replicas, "
@@ -112,6 +116,22 @@ def main() -> None:
               f"{final['admission']['offered']:.0f} requests offered, "
               f"{final['admission']['shed']:.0f} shed, "
               f"fan-out {final['router']['mean_fanout']:.2f}")
+
+        # 5. Observability: scrape the Prometheus endpoint through the
+        #    strict parser, summarise the ops event log, and drop a
+        #    Perfetto-loadable trace of the sampled queries.
+        families = parse_prometheus_text(fleet.metrics_text())
+        served = families["repro_fleet_requests_total"]
+        print(f"metrics: {len(families)} families scraped and strict-parsed "
+              f"(repro_fleet_requests_total={next(iter(served.samples.values())):.0f})")
+        kinds = fleet.events.counts()
+        print("events: " + ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())))
+        trace_path = Path(tmp) / "fleet_trace.json"
+        fleet.tracer.write_chrome(trace_path)
+        held = fleet.tracer.stats()
+        print(f"tracing: sampled {held['batches_sampled']} of "
+              f"{held['batches_seen']} batches — chrome trace at {trace_path.name} "
+              "(load in ui.perfetto.dev)")
         fleet.close()
 
 

@@ -69,12 +69,24 @@ class ShardCall:
     tag:
         Optional caller correlation (e.g. the query rows a scatter call
         answers); the dispatcher carries it untouched.
+    sink:
+        Optional :class:`~repro.obs.tracing.SpanSink` riding with the
+        call.  When set, whichever worker executes the call records a
+        timed span into it (the sink's single writer until the future
+        resolves); the submitting thread folds the sink into the batch
+        trace at harvest.  ``None`` (the default, and always the case
+        when tracing is off) costs nothing.
+    label / cat:
+        Span name and category used when ``sink`` is set.
     """
 
     shard: int
     fn: Callable[..., Any]
     args: Tuple[Any, ...] = ()
     tag: Any = None
+    sink: Any = None
+    label: str = ""
+    cat: str = "shard_call"
 
 
 def _new_stats_lock() -> threading.Lock:
@@ -182,12 +194,53 @@ class Dispatcher:
         self.close()
 
 
+def _run_call(call: ShardCall) -> Any:
+    """Execute a shard call, recording its span when a sink rides along.
+
+    Runs in whichever thread the dispatcher picked; the call's sink (if
+    any) is private to this execution until the future resolves, so the
+    span writes need no lock.  Spans the callee added to the sink while
+    running (e.g. replica attempts under a shard call) fold in as
+    children of this call's span.
+    """
+    sink = call.sink
+    if sink is None:
+        return call.fn(*call.args)
+    clock = sink.clock
+    mark = sink.mark()
+    started = clock.monotonic()
+    try:
+        result = call.fn(*call.args)
+    except BaseException as exc:
+        sink.fold(
+            mark,
+            call.label or f"shard{call.shard}",
+            call.cat,
+            started,
+            clock.monotonic(),
+            shard=call.shard,
+            ok=False,
+            error=type(exc).__name__,
+        )
+        raise
+    sink.fold(
+        mark,
+        call.label or f"shard{call.shard}",
+        call.cat,
+        started,
+        clock.monotonic(),
+        shard=call.shard,
+        ok=True,
+    )
+    return result
+
+
 def _resolved_future(stats: DispatchStats, call: ShardCall, hedge: bool) -> Future:
     """Execute ``call`` now; return a completed future or raise (shard lane)."""
     stats.note_submit(hedge=hedge)
     fut: Future = Future()
     try:
-        result = call.fn(*call.args)
+        result = _run_call(call)
     except BaseException as exc:
         if not hedge:
             stats.note_done("failed")
@@ -226,11 +279,11 @@ class SerialDispatcher(Dispatcher):
         return "SerialDispatcher()"
 
 
-def _dispatch_step(state: Any, hook: Optional[Callable[[int], None]], fn, args) -> Any:
+def _dispatch_step(state: Any, hook: Optional[Callable[[int], None]], call: ShardCall) -> Any:
     """Executor step wrapping one shard call (module-level for RankTask)."""
     if hook is not None:
         hook(state.rank)
-    return fn(*args)
+    return _run_call(call)
 
 
 @guarded
@@ -294,7 +347,7 @@ class ThreadDispatcher(Dispatcher):
             if self._closed:
                 raise RuntimeError("dispatcher is closed")
         hook = None if hedge else self._call_hook
-        task = RankTask(call.shard, _dispatch_step, (hook, call.fn, call.args))
+        task = RankTask(call.shard, _dispatch_step, (hook, call))
         self.stats.note_submit(hedge=hedge)
         fut = lane.submit(task)
         if not hedge:

@@ -34,7 +34,6 @@ dispatcher, because only wall-clock depends on completion order.  The
 from __future__ import annotations
 
 import dataclasses
-import time
 from collections import deque
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Sequence, Set, Tuple
@@ -48,6 +47,11 @@ from repro.fleet.planner import ShardPlan, ShardPlanner
 from repro.fleet.replica import Replica, ReplicaGroup, ShardUnavailableError
 from repro.fleet.router import Router
 from repro.kdtree.tree import KDTreeConfig
+from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.collectors import fleet_families
+from repro.obs.events import EventLog
+from repro.obs.metrics import ObsRegistry, log_buckets
+from repro.obs.tracing import Tracer
 from repro.service.backends import LocalTreeBackend
 from repro.service.service import (
     KNNService,
@@ -89,11 +93,31 @@ class KNNFleet:
         service_time: Callable[[int], float] | None = None,
         dispatcher: "Dispatcher | str | None" = None,
         hedge_after: "float | str | None" = None,
+        clock: Clock | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         self.plan = plan
         self.groups = list(groups)
+        # Observability plane: one injectable clock for every wall-time
+        # read, a sampled tracer (REPRO_OBS; off by default), a structured
+        # ops event log, and a metrics registry scraping the whole fleet.
+        self._clock = clock if clock is not None else MONOTONIC
+        self.tracer = tracer if tracer is not None else Tracer(clock=self._clock)
+        self.events = events if events is not None else EventLog(clock=self._clock)
+        # Pre-assembled groups/replicas that came without an event sink get
+        # shard/replica-scoped views of the fleet log (replica deaths,
+        # heals, hedges, rebuild swaps all land in one stream).
+        for group in self.groups:
+            if group.events is None:
+                group.events = self.events.scoped(shard=group.shard_id)
+            for replica in group.replicas:
+                if replica.service.events is None:
+                    replica.service.events = self.events.scoped(
+                        shard=group.shard_id, replica=replica.replica_id
+                    )
         # A dispatcher built here from a spec (or the REPRO_DISPATCHER
         # default) is owned and closed with the fleet; a passed-in instance
         # stays owned by the caller.
@@ -102,7 +126,19 @@ class KNNFleet:
         if hedge_after is not None:
             for group in self.groups:
                 group.hedge_after = hedge_after
-        self.router = Router(plan, self.groups, dispatcher=self.dispatcher)
+        self.router = Router(plan, self.groups, dispatcher=self.dispatcher, clock=self._clock)
+        self.metrics = ObsRegistry()
+        self._latency_hist = self.metrics.histogram(
+            "repro_fleet_request_latency_seconds",
+            "End-to-end request latency (arrival to completion, logical time).",
+            buckets=log_buckets(1e-6, 10.0, 3),
+        )
+        self._batch_hist = self.metrics.histogram(
+            "repro_fleet_batch_size",
+            "Dispatched micro-batch sizes.",
+            buckets=log_buckets(1.0, 4096.0, 3),
+        )
+        self.metrics.register_callback(lambda: fleet_families(self))
         self.k = k
         self.batch_policy = batch_policy or MicroBatchPolicy()
         self.admission = AdmissionController(admission_policy)
@@ -157,6 +193,9 @@ class KNNFleet:
         service_time: Callable[[int], float] | None = None,
         dispatcher: "Dispatcher | str | None" = None,
         hedge_after: "float | str | None" = None,
+        clock: Clock | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> "KNNFleet":
         """Plan, shard, replicate and wire a fleet over ``points``.
 
@@ -168,6 +207,12 @@ class KNNFleet:
         back to serial); ``hedge_after`` arms hedged replica reads (a
         seconds deadline or a ``"p95"``-style latency percentile) on every
         group — it needs a concurrent dispatcher to have any effect.
+
+        ``clock`` / ``tracer`` / ``events`` inject the observability
+        plane (see :mod:`repro.obs`): one monotonic clock threaded through
+        every wall-time read, a sampled per-batch tracer (``REPRO_OBS``),
+        and the structured ops event log.  All default to real-clock /
+        env-controlled instances; :meth:`metrics_text` works either way.
         """
         if n_replicas <= 0:
             raise ValueError(f"n_replicas must be positive, got {n_replicas}")
@@ -212,9 +257,10 @@ class KNNFleet:
                     service_time=service_time,
                     background_rebuild=True,
                     snapshot_root=root,
+                    clock=clock,
                 )
                 replicas.append(Replica(shard, r, service))
-            groups.append(ReplicaGroup(shard, replicas))
+            groups.append(ReplicaGroup(shard, replicas, clock=clock))
         return cls(
             plan,
             groups,
@@ -226,6 +272,9 @@ class KNNFleet:
             service_time=service_time,
             dispatcher=dispatcher,
             hedge_after=hedge_after,
+            clock=clock,
+            tracer=tracer,
+            events=events,
         )
 
     def close(self) -> None:
@@ -313,6 +362,20 @@ class KNNFleet:
         ]
         return summary
 
+    def metrics_text(self) -> str:
+        """One Prometheus text-format (0.0.4) scrape of the whole fleet.
+
+        Combines the registry's own instruments (latency / batch-size
+        histograms) with every scrape-time collector family
+        (:func:`repro.obs.collectors.fleet_families`): admission ledger,
+        router phases and fan-out, dispatch-plane counters, per-replica
+        health and load, per-service cache/rebuild accounting, executor
+        byte totals (distributed backends), ops event counts and tracer
+        sampling stats.  The output round-trips through the strict parser
+        in :func:`repro.obs.prometheus.parse_prometheus_text`.
+        """
+        return self.metrics.render()
+
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
@@ -340,10 +403,19 @@ class KNNFleet:
         verdict = self.admission.on_submit(len(self._pending))
         if verdict == REJECT:
             self._note_rejected(request_id)
+            self.events.emit(
+                "admission_reject", request_id=request_id, queue_depth=len(self._pending)
+            )
             return request_id
         if verdict == SHED:
             victim = self._pending.pop(0)
             self._note_rejected(victim.request_id)
+            self.events.emit(
+                "admission_shed",
+                request_id=victim.request_id,
+                shed_for=request_id,
+                queue_depth=len(self._pending),
+            )
         self._pending.append(_Pending(request_id, arrival, k, query))
         if len(self._pending) >= self.target_batch_size():
             # Quiet on a dead shard: the request was admitted and stays
@@ -488,7 +560,7 @@ class KNNFleet:
     def kill_replica(self, shard: int, replica: int) -> None:
         """Fail a replica immediately (chaos drill)."""
         self.groups[shard].replicas[replica].kill()
-        self.groups[shard].note_death()
+        self.groups[shard].note_death(replica_id=replica)
 
     def arm_replica_failure(self, shard: int, replica: int) -> None:
         """Make a replica die mid-query on its next pick (retry drill)."""
@@ -557,7 +629,19 @@ class KNNFleet:
         self._pending = self._pending[split:]
 
         dispatch_start = max(flush_time, self._server_free_at)
-        started = time.perf_counter()
+        trace = self.tracer.start()
+        started = self._clock.monotonic()
+        if trace is not None:
+            ledger = self.admission.stats.as_dict()
+            trace.instant(
+                "admission",
+                "admission",
+                batch=len(batch),
+                queued=len(self._pending),
+                admitted=ledger.get("admitted", 0),
+                rejected=ledger.get("rejected", 0),
+                shed=ledger.get("shed", 0),
+            )
         answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         stats_before = dataclasses.replace(self.router.stats)
         load_before = {
@@ -569,7 +653,19 @@ class KNNFleet:
             for k in sorted({r.k for r in batch}):
                 group = [r for r in batch if r.k == k]
                 queries = np.stack([r.query for r in group])
-                d, i = self.router.answer(queries, k, at=flush_time)
+                k_mark = trace.mark() if trace is not None else 0
+                k_start = self._clock.monotonic()
+                d, i = self.router.answer(queries, k, at=flush_time, trace=trace)
+                if trace is not None:
+                    trace.fold(
+                        k_mark,
+                        f"router k={k}",
+                        "router",
+                        k_start,
+                        self._clock.monotonic(),
+                        k=k,
+                        queries=len(group),
+                    )
                 for row, r in enumerate(group):
                     answers[r.request_id] = (d[row], i[row])
         except ShardUnavailableError:
@@ -588,15 +684,29 @@ class KNNFleet:
                     r.restore_load(load_before[(g.shard_id, r.replica_id)])
             self._pending = batch + self._pending
             self._stalled = True
+            self.tracer.finish(
+                trace,
+                "fleet.batch",
+                started,
+                self._clock.monotonic(),
+                batch=len(batch),
+                error="ShardUnavailableError",
+            )
             raise
-        elapsed = time.perf_counter() - started
+        ended = self._clock.monotonic()
+        elapsed = ended - started
         if self._service_time is not None:
             elapsed = float(self._service_time(len(batch)))
         completion = dispatch_start + elapsed
         self._server_free_at = completion
         self._now = max(self._now, flush_time)
 
+        self.tracer.finish(
+            trace, "fleet.batch", started, ended, batch=len(batch), flush_time=flush_time
+        )
+        self._batch_hist.observe(float(len(batch)))
         for r in batch:
+            self._latency_hist.observe(completion - r.arrival)
             self._store_result(r.request_id, answers[r.request_id])
             self.records.append(
                 RequestRecord(

@@ -22,7 +22,6 @@ calls (two scatter-phase calls hitting the same group) account exactly.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -34,6 +33,8 @@ import numpy as np
 from repro.analysis.annotations import exactness_path, requires_lock
 from repro.analysis.runtime import guarded, new_lock
 from repro.fleet.dispatch import Dispatcher, ShardCall
+from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.tracing import Span, SpanSink
 from repro.service.service import KNNService
 
 #: Minimum latency samples before a percentile ``hedge_after`` spec arms
@@ -144,6 +145,13 @@ class ReplicaGroup:
         :data:`_MIN_HEDGE_SAMPLES` observations exist).  Hedging needs a
         concurrent dispatcher passed into :meth:`answer`; without one the
         deadline is ignored and the serial retry path runs.
+    clock:
+        Injectable monotonic clock for latency samples and attempt spans
+        (defaults to the shared production clock).
+    events:
+        Optional ops event emitter (an :class:`~repro.obs.events.EventLog`
+        or a scoped facade); the group reports replica deaths/heals and
+        hedge firings through it.
     """
 
     GUARDED_BY = {
@@ -160,12 +168,16 @@ class ReplicaGroup:
         shard_id: int,
         replicas: Sequence[Replica],
         hedge_after: "float | str | None" = None,
+        clock: Clock | None = None,
+        events=None,
     ) -> None:
         if not replicas:
             raise ValueError(f"shard {shard_id} needs at least one replica")
         self.shard_id = shard_id
         self.replicas = list(replicas)
         self.hedge_after = hedge_after
+        self._clock = clock if clock is not None else MONOTONIC
+        self.events = events
         self.retries = 0
         self.deaths = 0
         self.hedges = 0
@@ -220,6 +232,7 @@ class ReplicaGroup:
         k: int,
         at: float | None = None,
         dispatcher: Dispatcher | None = None,
+        sink: SpanSink | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Exact batch answer from the least-loaded live replica.
 
@@ -229,29 +242,65 @@ class ReplicaGroup:
         concurrent ``dispatcher`` and an armed ``hedge_after`` deadline the
         retry path generalises to hedged reads: a late attempt races a
         second replica and the first answer wins.
+
+        ``sink`` (the enclosing shard call's span sink when the batch is
+        traced) collects one ``replica_attempt`` span per attempt, hedges
+        and retries included.
         """
         with self._serve_lock:
             deadline = self._hedge_deadline()
             if deadline is None or dispatcher is None or not dispatcher.concurrent:
-                return self._answer_serial(queries, k, at)
-            return self._answer_hedged(queries, k, at, deadline, dispatcher)
+                return self._answer_serial(queries, k, at, sink)
+            return self._answer_hedged(queries, k, at, deadline, dispatcher, sink)
 
     @exactness_path
     @requires_lock("_serve_lock")
     def _answer_serial(
-        self, queries: np.ndarray, k: int, at: float | None
+        self, queries: np.ndarray, k: int, at: float | None, sink: SpanSink | None = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         while True:
             replica = self.primary()  # raises ShardUnavailableError when none left
+            started = self._clock.monotonic()
             try:
-                started = time.perf_counter()
                 out = replica.answer(queries, k, at)
-                self._note_latency(time.perf_counter() - started)
+                ended = self._clock.monotonic()
+                self._note_latency(ended - started)
+                if sink is not None:
+                    sink.add(
+                        Span(
+                            f"replica_attempt r{replica.replica_id}",
+                            "replica_attempt",
+                            started,
+                            ended,
+                            {"shard": self.shard_id, "replica": replica.replica_id, "ok": True},
+                        )
+                    )
                 return out
-            except ReplicaDeadError:
+            except ReplicaDeadError as death:
+                if sink is not None:
+                    sink.add(
+                        Span(
+                            f"replica_attempt r{replica.replica_id}",
+                            "replica_attempt",
+                            started,
+                            self._clock.monotonic(),
+                            {
+                                "shard": self.shard_id,
+                                "replica": replica.replica_id,
+                                "ok": False,
+                                "died_now": death.died_now,
+                            },
+                        )
+                    )
                 with self._lock:
                     self.deaths += 1
                     self.retries += 1
+                self._emit(
+                    "replica_death",
+                    replica=replica.replica_id,
+                    died_now=death.died_now,
+                    retried=True,
+                )
 
     @exactness_path
     @requires_lock("_serve_lock")
@@ -262,6 +311,7 @@ class ReplicaGroup:
         at: float | None,
         deadline: float,
         dispatcher: Dispatcher,
+        sink: SpanSink | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One hedged read: primary attempt, then race a peer past the deadline.
 
@@ -271,30 +321,56 @@ class ReplicaGroup:
         loser is cancelled if it never started, otherwise discarded — its
         eventual death (if any) still lands in the death counter exactly
         once via the done callback.
+
+        Traced attempts record into per-attempt sinks (the replica-lane
+        worker is each sink's single writer); a resolved attempt's spans
+        fold into the shard call's ``sink`` here, in the submitting
+        thread.  A discarded-while-running loser's spans are dropped —
+        nothing may read a sink a worker might still be writing — but the
+        submitting thread leaves an instant marker span in its place so a
+        fired hedge is always visible in the trace.
         """
         while True:
             replica = self._reserve()  # raises ShardUnavailableError when none left
-            primary_fut = self._submit_attempt(dispatcher, replica, queries, k, at)
+            primary_fut, primary_sink = self._submit_attempt(
+                dispatcher, replica, queries, k, at, sink
+            )
             try:
                 out = primary_fut.result(timeout=deadline)
+                self._fold_attempt(sink, primary_sink)
                 return out
             except FutureTimeoutError:
                 pass
             except ReplicaDeadError as death:
+                self._fold_attempt(sink, primary_sink)
                 self._count_dead_attempt(death)
                 continue
             hedge_replica = self._reserve(exclude=replica)
             if hedge_replica is None:
                 # No live peer to race; ride the slow attempt out.
                 try:
-                    return primary_fut.result()
+                    out = primary_fut.result()
+                    self._fold_attempt(sink, primary_sink)
+                    return out
                 except ReplicaDeadError as death:
+                    self._fold_attempt(sink, primary_sink)
                     self._count_dead_attempt(death)
                     continue
             with self._lock:
                 self.hedges += 1
-            hedge_fut = self._submit_attempt(dispatcher, hedge_replica, queries, k, at)
-            attempts = [(primary_fut, replica), (hedge_fut, hedge_replica)]
+            self._emit(
+                "hedge_fired",
+                replica=replica.replica_id,
+                hedge_replica=hedge_replica.replica_id,
+                deadline_s=deadline,
+            )
+            hedge_fut, hedge_sink = self._submit_attempt(
+                dispatcher, hedge_replica, queries, k, at, sink
+            )
+            attempts = [
+                (primary_fut, replica, primary_sink),
+                (hedge_fut, hedge_replica, hedge_sink),
+            ]
             pending = {primary_fut, hedge_fut}
             winner = None
             out = None
@@ -302,11 +378,12 @@ class ReplicaGroup:
                 done, _ = futures_wait(pending, return_when=FIRST_COMPLETED)
                 # Deterministic preference: the primary attempt wins a
                 # simultaneous finish, so hedge_wins counts true saves only.
-                for fut, _rep in attempts:
+                for fut, _rep, attempt_sink in attempts:
                     if fut not in done or fut not in pending:
                         continue
                     pending.discard(fut)
                     exc = fut.exception()
+                    self._fold_attempt(sink, attempt_sink)
                     if exc is None:
                         winner = fut
                         out = fut.result()
@@ -314,14 +391,14 @@ class ReplicaGroup:
                     if isinstance(exc, ReplicaDeadError):
                         self._count_dead_attempt(exc)
                         continue
-                    self._discard([(f, r) for f, r in attempts if f in pending])
+                    self._discard([a for a in attempts if a[0] in pending], sink)
                     raise exc
             if winner is None:
                 continue  # both attempts died; reserve afresh (or go loud)
             if winner is hedge_fut:
                 with self._lock:
                     self.hedge_wins += 1
-            self._discard([(f, r) for f, r in attempts if f in pending])
+            self._discard([a for a in attempts if a[0] in pending], sink)
             return out
 
     def _submit_attempt(
@@ -331,10 +408,32 @@ class ReplicaGroup:
         queries: np.ndarray,
         k: int,
         at: float | None,
+        sink: SpanSink | None = None,
     ):
-        return dispatcher.submit_hedge(
-            ShardCall(self.shard_id, self._run_attempt, (replica, queries, k, at))
+        """Submit one replica-lane attempt: ``(future, attempt sink)``."""
+        attempt_sink = SpanSink(self._clock) if sink is not None else None
+        fut = dispatcher.submit_hedge(
+            ShardCall(
+                self.shard_id,
+                self._run_attempt,
+                (replica, queries, k, at),
+                sink=attempt_sink,
+                label=f"replica_attempt r{replica.replica_id}",
+                cat="replica_attempt",
+            )
         )
+        return fut, attempt_sink
+
+    @staticmethod
+    def _fold_attempt(sink: SpanSink | None, attempt_sink: SpanSink | None) -> None:
+        """Move a resolved attempt's spans into the shard call's sink.
+
+        Only legal after the attempt's future resolved in this thread:
+        the future's own synchronisation orders the worker's last span
+        write before this read.
+        """
+        if sink is not None and attempt_sink is not None:
+            sink.extend(attempt_sink.spans)
 
     def _run_attempt(
         self, replica: Replica, queries: np.ndarray, k: int, at: float | None
@@ -342,9 +441,9 @@ class ReplicaGroup:
         """Replica-lane body of one hedged attempt (always releases the
         reservation taken by :meth:`_reserve`)."""
         try:
-            started = time.perf_counter()
+            started = self._clock.monotonic()
             out = replica.answer(queries, k, at)
-            self._note_latency(time.perf_counter() - started)
+            self._note_latency(self._clock.monotonic() - started)
             return out
         finally:
             # in_flight is the replica's own guarded state: reservations are
@@ -373,22 +472,49 @@ class ReplicaGroup:
                 best.in_flight += 1
             return best
 
-    def _discard(self, losers: List[Tuple[object, Replica]]) -> None:
+    def _discard(
+        self,
+        losers: List[Tuple[object, Replica, SpanSink | None]],
+        sink: SpanSink | None = None,
+    ) -> None:
         """Cancel (or disown) losing hedge attempts.
 
         A successful cancel means the attempt never ran, so its reservation
         is released here; a running loser keeps its own accounting — it
         releases the reservation itself and reports a mid-flight death
         through the done callback.
+
+        Tracing: a loser that already *resolved* is safe to fold (the
+        future's synchronisation ordered the worker's span writes before
+        this read); a loser still running gets an instant marker span
+        written by this thread instead — its own sink stays untouched.
         """
-        for fut, replica in losers:
+        for fut, replica, attempt_sink in losers:
             if fut.cancel():
                 with self._lock:
                     self.hedge_cancels += 1
                     with replica._lock:
                         replica.in_flight -= 1
-            else:
-                fut.add_done_callback(self._note_discarded)
+                if sink is not None:
+                    sink.instant(
+                        f"replica_attempt r{replica.replica_id} cancelled",
+                        "replica_attempt",
+                        shard=self.shard_id,
+                        replica=replica.replica_id,
+                        cancelled=True,
+                    )
+                continue
+            if fut.done():
+                self._fold_attempt(sink, attempt_sink)
+            elif sink is not None:
+                sink.instant(
+                    f"replica_attempt r{replica.replica_id} discarded",
+                    "replica_attempt",
+                    shard=self.shard_id,
+                    replica=replica.replica_id,
+                    discarded=True,
+                )
+            fut.add_done_callback(self._note_discarded)
 
     def _note_discarded(self, fut) -> None:
         if fut.cancelled():
@@ -402,11 +528,23 @@ class ReplicaGroup:
             self.retries += 1
             if death.died_now:
                 self.deaths += 1
+        if death.died_now:
+            self._emit("replica_death", died_now=True, retried=True)
 
-    def note_death(self) -> None:
+    def note_death(self, replica_id: int | None = None) -> None:
         """Count one externally-injected replica death (fleet kill switch)."""
         with self._lock:
             self.deaths += 1
+        self._emit("replica_death", replica=replica_id, died_now=True, injected=True)
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Report one ops event (no-op without an event log attached).
+
+        Never called while holding ``self._lock`` — the event log is a
+        leaf lock and stays out of this group's acquisition order.
+        """
+        if self.events is not None:
+            self.events.emit(kind, **fields)
 
     def _hedge_deadline(self) -> Optional[float]:
         """Current hedged-read deadline in seconds, or ``None`` when off."""
@@ -484,6 +622,8 @@ class ReplicaGroup:
                 service_time=dead._service_time,
                 background_rebuild=dead.background_rebuild,
                 snapshot_root=dead.snapshot_root,
+                clock=dead._clock,
+                events=dead.events,
             )
             if at is not None:
                 # flush() on an empty queue is exactly a locked clock
@@ -501,4 +641,10 @@ class ReplicaGroup:
                 replica.alive = True
                 replica._armed_failure = False
             healed += 1
+            self._emit(
+                "replica_heal",
+                replica=replica.replica_id,
+                donor=donor.replica_id,
+                points=int(np.asarray(ids).size),
+            )
         return healed

@@ -40,7 +40,6 @@ pruning win on clustered data and the overlap win on slow shards.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
@@ -53,6 +52,8 @@ from repro.fleet.dispatch import Dispatcher, SerialDispatcher, ShardCall
 from repro.fleet.planner import ShardPlan
 from repro.fleet.replica import ReplicaGroup
 from repro.kdtree.heap import merge_topk_rows
+from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.tracing import Span, SpanSink
 
 
 @dataclass
@@ -100,18 +101,29 @@ class Router:
         plan: ShardPlan,
         groups: Sequence[ReplicaGroup],
         dispatcher: Dispatcher | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if len(groups) != plan.n_shards:
             raise ValueError(f"plan has {plan.n_shards} shards, got {len(groups)} groups")
         self.plan = plan
         self.groups = list(groups)
         self.dispatcher = dispatcher if dispatcher is not None else SerialDispatcher()
+        self._clock = clock if clock is not None else MONOTONIC
         self.stats = RouterStats()
 
     def answer(
-        self, queries: np.ndarray, k: int, at: float | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None = None,
+        trace: SpanSink | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact fleet-wide ``(distances, ids)`` for a query batch."""
+        """Exact fleet-wide ``(distances, ids)`` for a query batch.
+
+        ``trace`` (a sampled batch's span sink) collects the phase spans,
+        per-shard call spans and merge spans of this batch; ``None`` —
+        the untraced common case — records nothing.
+        """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n = queries.shape[0]
         if n == 0:
@@ -121,18 +133,37 @@ class Router:
             )
         self.stats.queries += n
         if not self.plan.supports_pruning:
-            return self._broadcast(queries, k, at)
-        return self._scatter_gather(queries, k, at)
+            return self._broadcast(queries, k, at, trace)
+        return self._scatter_gather(queries, k, at, trace)
 
-    def _submit(self, shard: int, queries: np.ndarray, k: int, at: float | None):
-        """One shard call on the dispatch plane.
+    def _submit(
+        self,
+        shard: int,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        trace: SpanSink | None = None,
+        label: str = "",
+    ):
+        """One shard call on the dispatch plane: ``(future, call sink)``.
 
         The dispatcher rides along into :meth:`ReplicaGroup.answer` so the
-        group can hedge its replica attempts on the replica lane.
+        group can hedge its replica attempts on the replica lane.  When
+        the batch is traced, the call gets a private sink the executing
+        worker records into; the harvester folds it into ``trace`` after
+        the future resolves.
         """
-        return self.dispatcher.submit(
-            ShardCall(shard, self.groups[shard].answer, (queries, k, at, self.dispatcher))
+        sink = SpanSink(self._clock) if trace is not None else None
+        fut = self.dispatcher.submit(
+            ShardCall(
+                shard,
+                self.groups[shard].answer,
+                (queries, k, at, self.dispatcher, sink),
+                sink=sink,
+                label=label or f"shard_call shard{shard}",
+            )
         )
+        return fut, sink
 
     @staticmethod
     def _settle(futures) -> None:
@@ -152,29 +183,54 @@ class Router:
     # ------------------------------------------------------------------
     @exactness_path
     def _broadcast(
-        self, queries: np.ndarray, k: int, at: float | None
+        self, queries: np.ndarray, k: int, at: float | None, trace: SpanSink | None
     ) -> Tuple[np.ndarray, np.ndarray]:
         n = queries.shape[0]
         self.stats.shard_visits += n * len(self.groups)
         self.stats.broadcasts += n
         acc_d = np.full((n, k), np.inf, dtype=np.float64)
         acc_i = np.full((n, k), -1, dtype=np.int64)
-        started = time.perf_counter()
-        futures = []
+        mark = trace.mark() if trace is not None else 0
+        started = self._clock.monotonic()
+        calls: List[tuple] = []
         try:
             for shard in range(len(self.groups)):
-                futures.append(self._submit(shard, queries, k, at))
+                calls.append(self._submit(shard, queries, k, at, trace))
             # Harvest in submission (= ascending shard) order: the fold
             # order fixes which exactly-tied id survives, so it must match
             # the serial sequence bit for bit.
-            for pos, fut in enumerate(futures):
+            for pos, (fut, sink) in enumerate(calls):
                 d, i = fut.result()
-                futures[pos] = None
+                calls[pos] = (None, sink)
+                if trace is not None:
+                    trace.extend(sink.spans)
+                merge_t0 = self._clock.monotonic()
                 acc_d, acc_i = merge_topk_rows(k, acc_d, acc_i, d, i)
+                if trace is not None:
+                    trace.add(
+                        Span(
+                            f"merge shard{pos}",
+                            "merge",
+                            merge_t0,
+                            self._clock.monotonic(),
+                            {"shard": pos, "rows": int(n)},
+                        )
+                    )
         except BaseException:
-            self._settle([f for f in futures if f is not None])
+            self._settle([fut for fut, _ in calls if fut is not None])
             raise
-        self.stats.scatter_seconds += time.perf_counter() - started
+        ended = self._clock.monotonic()
+        self.stats.scatter_seconds += ended - started
+        if trace is not None:
+            trace.fold(
+                mark,
+                "broadcast_phase",
+                "phase",
+                started,
+                ended,
+                shards=len(self.groups),
+                queries=int(n),
+            )
         return acc_d, acc_i
 
     # ------------------------------------------------------------------
@@ -182,7 +238,7 @@ class Router:
     # ------------------------------------------------------------------
     @exactness_path
     def _scatter_gather(
-        self, queries: np.ndarray, k: int, at: float | None
+        self, queries: np.ndarray, k: int, at: float | None, trace: SpanSink | None
     ) -> Tuple[np.ndarray, np.ndarray]:
         n = queries.shape[0]
         owners = self.plan.owner_of(queries)
@@ -193,54 +249,97 @@ class Router:
         # submitted up front.  Each owner's scatter calls go out the moment
         # that owner completes — no barrier on the whole batch, so a slow
         # owner shard cannot hold back every other row's phase 2.
-        started = time.perf_counter()
+        owner_mark = trace.mark() if trace is not None else 0
+        started = self._clock.monotonic()
         scatter_elapsed = 0.0
-        pending: Dict[object, np.ndarray] = {}
-        # (shard, submit sequence, global rows, future): harvested sorted
-        # by shard so each row's fold stays in ascending shard order.
-        scatter_calls: List[Tuple[int, int, np.ndarray, object]] = []
+        # future -> (global rows, call sink)
+        pending: Dict[object, Tuple[np.ndarray, object]] = {}
+        # (shard, submit sequence, global rows, future, call sink):
+        # harvested sorted by shard so each row's fold stays in ascending
+        # shard order.
+        scatter_calls: List[Tuple[int, int, np.ndarray, object, object]] = []
         seq = 0
         try:
             for shard in np.unique(owners):
                 rows = np.flatnonzero(owners == shard)
-                pending[self._submit(int(shard), queries[rows], k, at)] = rows
+                fut, sink = self._submit(
+                    int(shard), queries[rows], k, at, trace,
+                    label=f"owner_call shard{int(shard)}",
+                )
+                pending[fut] = (rows, sink)
             self.stats.shard_visits += n
             while pending:
                 done, _ = futures_wait(set(pending), return_when=FIRST_COMPLETED)
                 for fut in done:
-                    rows = pending.pop(fut)
+                    rows, sink = pending.pop(fut)
                     d, i = fut.result()
+                    if trace is not None:
+                        trace.extend(sink.spans)
                     acc_d[rows] = d
                     acc_i[rows] = i
                     # Phase 2 for this owner's rows: fan out only where the
                     # r' ball (owner's k-th distance; infinite when the
                     # owner held fewer than k) crosses a region box.
-                    t_scatter = time.perf_counter()
+                    t_scatter = self._clock.monotonic()
                     seq = self._submit_scatter(
                         queries, k, at, rows, owners[rows], acc_d[rows, k - 1],
-                        scatter_calls, seq,
+                        scatter_calls, seq, trace,
                     )
-                    scatter_elapsed += time.perf_counter() - t_scatter
-            self.stats.owner_seconds += time.perf_counter() - started - scatter_elapsed
+                    scatter_elapsed += self._clock.monotonic() - t_scatter
+            owner_ended = self._clock.monotonic()
+            self.stats.owner_seconds += owner_ended - started - scatter_elapsed
+            if trace is not None:
+                trace.fold(
+                    mark=owner_mark,
+                    name="owner_phase",
+                    cat="phase",
+                    start=started,
+                    end=owner_ended,
+                    queries=int(n),
+                )
 
             # Harvest scatter calls sorted by shard (submission order breaks
             # ties): a row's scatter set folds in ascending shard order —
             # the same per-row sequence as a whole-batch-per-shard sweep —
             # while calls targeting the same shard have disjoint rows.
-            started = time.perf_counter()
+            scatter_mark = trace.mark() if trace is not None else 0
+            started = self._clock.monotonic()
             scatter_calls.sort(key=lambda c: (c[0], c[1]))
-            for pos, (_shard, _seq, rows, fut) in enumerate(scatter_calls):
+            for pos, (_shard, _seq, rows, fut, sink) in enumerate(scatter_calls):
                 d, i = fut.result()
-                scatter_calls[pos] = (_shard, _seq, rows, None)
+                scatter_calls[pos] = (_shard, _seq, rows, None, sink)
+                if trace is not None:
+                    trace.extend(sink.spans)
+                merge_t0 = self._clock.monotonic()
                 out_d, out_i = merge_topk_rows(k, acc_d[rows], acc_i[rows], d, i)
                 acc_d[rows] = out_d
                 acc_i[rows] = out_i
+                if trace is not None:
+                    trace.add(
+                        Span(
+                            f"merge shard{_shard}",
+                            "merge",
+                            merge_t0,
+                            self._clock.monotonic(),
+                            {"shard": int(_shard), "rows": int(rows.size)},
+                        )
+                    )
+            scatter_ended = self._clock.monotonic()
+            if trace is not None:
+                trace.fold(
+                    mark=scatter_mark,
+                    name="scatter_phase",
+                    cat="phase",
+                    start=started,
+                    end=scatter_ended,
+                    calls=len(scatter_calls),
+                )
         except BaseException:
             self._settle(
                 list(pending) + [c[3] for c in scatter_calls if c[3] is not None]
             )
             raise
-        self.stats.scatter_seconds += scatter_elapsed + time.perf_counter() - started
+        self.stats.scatter_seconds += scatter_elapsed + scatter_ended - started
         return acc_d, acc_i
 
     @exactness_path
@@ -252,8 +351,9 @@ class Router:
         rows: np.ndarray,
         sub_owners: np.ndarray,
         radii: np.ndarray,
-        scatter_calls: List[Tuple[int, int, np.ndarray, object]],
+        scatter_calls: List[Tuple[int, int, np.ndarray, object, object]],
         seq: int,
+        trace: SpanSink | None = None,
     ) -> int:
         """Group one owner's rows by scatter shard and submit the calls.
 
@@ -271,8 +371,11 @@ class Router:
         bounds = np.append(starts, sorted_rows.size)
         for j, shard in enumerate(shards):
             group_rows = rows[sorted_rows[starts[j]:bounds[j + 1]]]
-            fut = self._submit(int(shard), queries[group_rows], k, at)
-            scatter_calls.append((int(shard), seq, group_rows, fut))
+            fut, sink = self._submit(
+                int(shard), queries[group_rows], k, at, trace,
+                label=f"scatter_call shard{int(shard)}",
+            )
+            scatter_calls.append((int(shard), seq, group_rows, fut, sink))
             seq += 1
             self.stats.shard_visits += int(group_rows.size)
         return seq

@@ -1,0 +1,58 @@
+"""Injectable monotonic clocks for the observability plane.
+
+Every wall-time read in the serving stack goes through a :class:`Clock`
+so tests can drive deterministic timestamps (:class:`ManualClock`) and
+the `@exactness_path` determinism rule stays clean: ``clock.monotonic()``
+is an attribute call on an injected object, not a direct ``time.time()``
+read, and the production implementation wraps ``time.perf_counter`` —
+the one timer the analysis rules explicitly allow on exactness paths.
+
+Timestamps from these clocks are *durations-since-an-arbitrary-origin*:
+good for intervals and ordering within one process, meaningless across
+processes.  Nothing in the repo compares clock readings across clock
+instances.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: a monotonic, float-seconds timestamp source."""
+
+    def monotonic(self) -> float:
+        """Seconds since an arbitrary fixed origin; never decreases."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Production clock: thin wrapper over :func:`time.perf_counter`."""
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """Test clock: advances only when told to.
+
+    Not thread-safe by design — deterministic tests drive it from a
+    single thread; concurrent readers would defeat the point.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._t = float(start)
+
+    def monotonic(self) -> float:
+        return self._t
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be >= 0); returns now."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._t += float(seconds)
+        return self._t
+
+
+#: Shared production default.  Stateless, so one instance serves everyone.
+MONOTONIC = MonotonicClock()

@@ -1,0 +1,353 @@
+"""Scrape-time collectors: serving-stack stats as metric families.
+
+The serving classes already keep exact, locked counters (admission
+ledger, router fan-out, dispatch pool, replica health, service cache and
+rebuild accounting, executor byte totals).  Rather than double-book every
+increment into instruments, a collector reads those sources once per
+scrape and emits them as gauge/counter families.
+
+Everything is duck-typed against the fleet's public surface — ``obs``
+never imports from ``repro.fleet``/``repro.service``, so the dependency
+arrow points one way (serving → obs) and no import cycle can form.
+
+Scrapes are expected from the thread driving the fleet (the same
+single-caller discipline as :meth:`KNNFleet.stats`); every source read
+here is either behind the owning class's lock or an atomic attribute
+read of the kind ``KNNFleet.stats`` already performs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.metrics import MetricFamily, counter_family, gauge_family
+
+_QUANTILES = (("p50_latency_s", "0.5"), ("p99_latency_s", "0.99"))
+
+
+def fleet_families(fleet) -> List[MetricFamily]:
+    """Every scrape-time family for one :class:`~repro.fleet.fleet.KNNFleet`."""
+    families: List[MetricFamily] = []
+    families.extend(_request_families(fleet))
+    families.extend(_admission_families(fleet))
+    families.extend(_router_families(fleet))
+    families.extend(_dispatch_families(fleet))
+    families.extend(_shard_families(fleet))
+    families.extend(_service_families(fleet))
+    families.extend(_executor_families(fleet))
+    families.extend(_ops_families(fleet))
+    return families
+
+
+def _request_families(fleet) -> List[MetricFamily]:
+    summary = fleet.records.summary()
+    return [
+        counter_family(
+            "repro_fleet_requests_total",
+            "Requests completed by the fleet (evicted records included).",
+            [({}, float(fleet.records.n_total))],
+        ),
+        gauge_family(
+            "repro_fleet_pending_requests",
+            "Requests accepted but not yet dispatched.",
+            [({}, float(fleet.n_pending))],
+        ),
+        gauge_family(
+            "repro_fleet_live_points",
+            "Live (non-tombstoned) points across every shard.",
+            [({}, float(fleet.n_live))],
+        ),
+        gauge_family(
+            "repro_fleet_latency_quantile_seconds",
+            "Request latency order statistics over the retained window.",
+            [
+                ({"quantile": quantile}, float(summary.get(key, 0.0)))
+                for key, quantile in _QUANTILES
+            ],
+        ),
+        gauge_family(
+            "repro_fleet_mean_latency_seconds",
+            "Exact mean request latency over the full history.",
+            [({}, float(summary.get("mean_latency_s", 0.0)))],
+        ),
+        gauge_family(
+            "repro_fleet_qps",
+            "Completed requests per second of trace span.",
+            [({}, _finite(summary.get("qps", 0.0)))],
+        ),
+    ]
+
+
+def _admission_families(fleet) -> List[MetricFamily]:
+    ledger = fleet.admission.stats.as_dict()
+    return [
+        counter_family(
+            "repro_admission_requests_total",
+            "Admission verdicts over every offered request.",
+            [
+                ({"verdict": verdict}, float(ledger.get(verdict, 0.0)))
+                for verdict in ("admitted", "rejected", "shed")
+            ],
+        ),
+        gauge_family(
+            "repro_admission_max_queue_depth",
+            "Deepest pending queue the admission controller has seen.",
+            [({}, float(ledger.get("max_queue_depth", 0.0)))],
+        ),
+    ]
+
+
+def _router_families(fleet) -> List[MetricFamily]:
+    stats = fleet.router.stats.as_dict()
+    return [
+        counter_family(
+            "repro_router_queries_total",
+            "Query rows routed through the fleet router.",
+            [({}, float(stats["queries"]))],
+        ),
+        counter_family(
+            "repro_router_shard_visits_total",
+            "Per-query shard visits (fan-out numerator).",
+            [({}, float(stats["shard_visits"]))],
+        ),
+        counter_family(
+            "repro_router_owner_only_total",
+            "Query rows answered by their owner shard alone.",
+            [({}, float(stats["owner_only"]))],
+        ),
+        counter_family(
+            "repro_router_broadcast_queries_total",
+            "Query rows broadcast to every shard (non-spatial plans).",
+            [({}, float(stats["broadcasts"]))],
+        ),
+        counter_family(
+            "repro_router_phase_seconds_total",
+            "Wall seconds per routing phase.",
+            [
+                ({"phase": "owner"}, float(stats["owner_seconds"])),
+                ({"phase": "scatter"}, float(stats["scatter_seconds"])),
+            ],
+        ),
+        gauge_family(
+            "repro_router_mean_fanout",
+            "Mean shards visited per query (n_shards when never pruned).",
+            [({}, float(stats["mean_fanout"]))],
+        ),
+    ]
+
+
+def _dispatch_families(fleet) -> List[MetricFamily]:
+    stats = fleet.dispatcher.stats.as_dict()
+    dispatcher = str(getattr(fleet.dispatcher, "name", type(fleet.dispatcher).__name__))
+    return [
+        counter_family(
+            "repro_dispatch_calls_total",
+            "Shard/replica calls by outcome on the dispatch plane.",
+            [
+                ({"dispatcher": dispatcher, "outcome": outcome}, float(stats[outcome]))
+                for outcome in ("completed", "failed", "cancelled")
+            ],
+        ),
+        counter_family(
+            "repro_dispatch_submitted_total",
+            "Calls submitted to the dispatcher (hedges included).",
+            [({"dispatcher": dispatcher}, float(stats["submitted"]))],
+        ),
+        counter_family(
+            "repro_dispatch_hedge_submitted_total",
+            "Hedge attempts submitted on the replica lane.",
+            [({"dispatcher": dispatcher}, float(stats["hedge_submitted"]))],
+        ),
+        gauge_family(
+            "repro_dispatch_max_queue_depth",
+            "Deepest in-flight call count the dispatcher has seen.",
+            [({"dispatcher": dispatcher}, float(stats["max_queue_depth"]))],
+        ),
+    ]
+
+
+def _shard_families(fleet) -> List[MetricFamily]:
+    live_rows, alive_rows = [], []
+    death_rows, retry_rows = [], []
+    hedge_rows = []
+    replica_alive, replica_served, replica_inflight = [], [], []
+    for group in fleet.groups:
+        shard = {"shard": group.shard_id}
+        live_rows.append((shard, float(group.n_live)))
+        alive_rows.append((shard, float(group.n_alive)))
+        death_rows.append((shard, float(group.deaths)))
+        retry_rows.append((shard, float(group.retries)))
+        hedge_rows.extend(
+            [
+                ({**shard, "event": "fired"}, float(group.hedges)),
+                ({**shard, "event": "won"}, float(group.hedge_wins)),
+                ({**shard, "event": "cancelled"}, float(group.hedge_cancels)),
+            ]
+        )
+        for replica in group.replicas:
+            labels = {"shard": group.shard_id, "replica": replica.replica_id}
+            replica_alive.append((labels, 1.0 if replica.alive else 0.0))
+            replica_served.append((labels, float(replica.queries_served)))
+            replica_inflight.append((labels, float(replica.in_flight)))
+    return [
+        gauge_family(
+            "repro_shard_live_points", "Live points per shard.", live_rows
+        ),
+        gauge_family(
+            "repro_shard_replicas_alive", "Alive replicas per shard.", alive_rows
+        ),
+        counter_family(
+            "repro_replica_deaths_total", "Replica deaths per shard.", death_rows
+        ),
+        counter_family(
+            "repro_replica_retries_total",
+            "Failed attempts retried on a peer replica, per shard.",
+            retry_rows,
+        ),
+        counter_family(
+            "repro_replica_hedges_total",
+            "Hedged-read lifecycle events per shard.",
+            hedge_rows,
+        ),
+        gauge_family(
+            "repro_replica_alive", "Liveness flag per replica.", replica_alive
+        ),
+        counter_family(
+            "repro_replica_queries_served_total",
+            "Query batches served per replica.",
+            replica_served,
+        ),
+        gauge_family(
+            "repro_replica_in_flight",
+            "Concurrently running attempts per replica.",
+            replica_inflight,
+        ),
+    ]
+
+
+_SERVICE_COUNTERS = {
+    "rebuilds": (
+        "repro_service_rebuilds_total",
+        "Index rebuilds completed per replica service.",
+    ),
+    "rebuild_seconds": (
+        "repro_service_rebuild_seconds_total",
+        "Wall seconds spent rebuilding per replica service.",
+    ),
+    "cache_hits": ("repro_service_cache_hits_total", "Result-cache hits."),
+    "cache_misses": ("repro_service_cache_misses_total", "Result-cache misses."),
+    "cache_evictions": (
+        "repro_service_cache_evictions_total",
+        "Result-cache LRU evictions.",
+    ),
+    "cache_full_clears": (
+        "repro_service_cache_full_clears_total",
+        "Whole-cache invalidations (rebuild swaps).",
+    ),
+    "cache_keys_dropped": (
+        "repro_service_cache_keys_dropped_total",
+        "Incremental cache invalidations (streaming updates).",
+    ),
+}
+
+_SERVICE_GAUGES = {
+    "version": ("repro_service_version", "Index version per replica service."),
+    "rebuilding": (
+        "repro_service_rebuilding",
+        "1 while a background rebuild is in flight.",
+    ),
+    "delta_inserts": (
+        "repro_service_delta_inserts",
+        "Streamed inserts pending the next rebuild.",
+    ),
+    "tombstones": (
+        "repro_service_tombstones",
+        "Deleted ids pending the next rebuild.",
+    ),
+    "cache_size": ("repro_service_cache_entries", "Result-cache entries held."),
+}
+
+
+def _service_families(fleet) -> List[MetricFamily]:
+    rows: Dict[str, List] = {key: [] for key in (*_SERVICE_COUNTERS, *_SERVICE_GAUGES)}
+    for group in fleet.groups:
+        for replica in group.replicas:
+            snap = replica.service.obs_snapshot()
+            labels = {"shard": group.shard_id, "replica": replica.replica_id}
+            for key in rows:
+                rows[key].append((labels, float(snap.get(key, 0.0))))
+    families = [
+        counter_family(name, help_, rows[key])
+        for key, (name, help_) in _SERVICE_COUNTERS.items()
+    ]
+    families.extend(
+        gauge_family(name, help_, rows[key])
+        for key, (name, help_) in _SERVICE_GAUGES.items()
+    )
+    return families
+
+
+def _executor_families(fleet) -> List[MetricFamily]:
+    """Distributed-backend byte accounting (absent for local-tree fleets)."""
+    byte_rows, message_rows = [], []
+    for group in fleet.groups:
+        for replica in group.replicas:
+            comm_totals = getattr(replica.service.backend, "comm_totals", None)
+            if not callable(comm_totals):
+                continue
+            totals = comm_totals()
+            base = {"shard": group.shard_id, "replica": replica.replica_id}
+            for direction, bytes_key, msg_key in (
+                ("sent", "bytes_sent", "messages_sent"),
+                ("received", "bytes_received", "messages_received"),
+            ):
+                labels = {**base, "direction": direction}
+                byte_rows.append((labels, float(totals[bytes_key])))
+                message_rows.append((labels, float(totals[msg_key])))
+    if not byte_rows:
+        return []
+    return [
+        counter_family(
+            "repro_executor_bytes_total",
+            "Payload bytes moved by the rank executor, per replica backend.",
+            byte_rows,
+        ),
+        counter_family(
+            "repro_executor_messages_total",
+            "Messages moved by the rank executor, per replica backend.",
+            message_rows,
+        ),
+    ]
+
+
+def _ops_families(fleet) -> List[MetricFamily]:
+    families = [
+        counter_family(
+            "repro_ops_events_total",
+            "Structured ops events by kind (lifetime, eviction-proof).",
+            sorted(
+                ((({"kind": kind}), float(count)) for kind, count in fleet.events.counts().items()),
+                key=lambda row: row[0]["kind"],
+            ),
+        )
+    ]
+    tracer = fleet.tracer.stats()
+    families.append(
+        counter_family(
+            "repro_trace_batches_total",
+            "Micro-batches seen/sampled by the tracer.",
+            [
+                ({"outcome": "seen"}, float(tracer["batches_seen"])),
+                ({"outcome": "sampled"}, float(tracer["batches_sampled"])),
+            ],
+        )
+    )
+    return families
+
+
+def _finite(value: float) -> float:
+    """Clamp inf (a zero-span QPS artefact) to 0 so counters stay sane."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return 0.0
+    return value

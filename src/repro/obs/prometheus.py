@@ -1,0 +1,282 @@
+"""Prometheus text exposition format: renderer and strict parser.
+
+The renderer emits text-format 0.0.4: for each family a ``# HELP`` line
+(escaped), a ``# TYPE`` line, then one sample line per series with label
+names in sorted order (``le`` included) and escaped label values.
+
+The parser is deliberately *stricter* than Prometheus itself — it is the
+acceptance gate for :meth:`KNNFleet.metrics_text` in tests and CI, so it
+enforces everything the renderer promises:
+
+* ``# HELP`` then ``# TYPE`` precede a family's samples; families are
+  contiguous and never repeat;
+* sample names match the family (histograms may only append ``_bucket``,
+  ``_sum``, ``_count``);
+* label names valid, strictly sorted, never duplicated; label values
+  properly quoted/escaped; no duplicate series;
+* histogram buckets cumulative and non-decreasing, ``+Inf`` bucket
+  present and equal to ``_count``, ``_sum``/``_count`` present;
+* counter values finite and non-negative; text ends with a newline.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.metrics import MetricFamily, Sample
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\.)*)"')
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_sample(sample: Sample) -> str:
+    if sample.labels:
+        labels = ",".join(
+            f'{name}="{escape_label_value(value)}"' for name, value in sample.labels
+        )
+        return f"{sample.name}{{{labels}}} {format_value(sample.value)}"
+    return f"{sample.name} {format_value(sample.value)}"
+
+
+def render_text(families: Sequence[MetricFamily]) -> str:
+    """Exposition text for a family list (families sorted by name)."""
+    lines: List[str] = []
+    seen: set = set()
+    for fam in sorted(families, key=lambda f: f.name):
+        if fam.name in seen:
+            raise ValueError(f"duplicate metric family {fam.name!r}")
+        seen.add(fam.name)
+        lines.append(f"# HELP {fam.name} {escape_help(fam.help)}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for sample in fam.samples:
+            lines.append(_render_sample(sample))
+    return "".join(line + "\n" for line in lines)
+
+
+# ----------------------------------------------------------------------
+# Strict parsing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ParsedFamily:
+    """One parsed family: kind, help, and samples keyed by (name, labels)."""
+
+    name: str
+    kind: str
+    help: str
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+
+
+def _unescape_label_value(raw: str, lineno: int) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            if i + 1 >= len(raw):
+                raise ValueError(f"line {lineno}: dangling escape in label value")
+            nxt = raw[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ValueError(f"line {lineno}: invalid escape \\{nxt} in label value")
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str, lineno: int) -> Tuple[Tuple[str, str], ...]:
+    labels: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed label at {body[pos:]!r}")
+        name, raw = match.group(1), match.group(2)
+        if not _LABEL_NAME_RE.match(name) or name.startswith("__"):
+            raise ValueError(f"line {lineno}: invalid label name {name!r}")
+        labels.append((name, _unescape_label_value(raw, lineno)))
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise ValueError(f"line {lineno}: expected ',' between labels")
+            pos += 1
+    names = [name for name, _ in labels]
+    if len(set(names)) != len(names):
+        raise ValueError(f"line {lineno}: duplicate label names {names}")
+    if names != sorted(names):
+        raise ValueError(f"line {lineno}: label names not sorted: {names}")
+    return tuple(labels)
+
+
+def _parse_value(text: str, lineno: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"line {lineno}: bad sample value {text!r}") from None
+
+
+def _family_for_sample(sample_name: str, families: Dict[str, ParsedFamily]):
+    """The family a sample line belongs to (histogram suffixes stripped)."""
+    if sample_name in families:
+        return families[sample_name]
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            fam = families.get(base)
+            if fam is not None and fam.kind == "histogram":
+                return fam
+    return None
+
+
+def parse_prometheus_text(text: str) -> Dict[str, ParsedFamily]:
+    """Parse (and strictly validate) exposition text.
+
+    Returns families keyed by metric name.  Raises :class:`ValueError` on
+    the first violation of the contract documented in the module
+    docstring.  Empty input parses to an empty dict.
+    """
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition text must end with a newline")
+    families: Dict[str, ParsedFamily] = {}
+    helps: Dict[str, str] = {}
+    current: ParsedFamily | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+            if name in helps:
+                raise ValueError(f"line {lineno}: repeated HELP for {name!r}")
+            helps[name] = help_text
+            current = None
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: invalid metric type {kind!r}")
+            if name not in helps:
+                raise ValueError(f"line {lineno}: TYPE for {name!r} without HELP")
+            if name in families:
+                raise ValueError(f"line {lineno}: repeated TYPE for {name!r}")
+            current = families[name] = ParsedFamily(name, kind, helps[name])
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        # Sample line.
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$", line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        sample_name, label_body, value_text = match.groups()
+        fam = _family_for_sample(sample_name, families)
+        if fam is None:
+            raise ValueError(f"line {lineno}: sample {sample_name!r} without TYPE")
+        if fam is not current:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} outside its family block"
+            )
+        if fam.kind != "histogram" and sample_name != fam.name:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} does not match family {fam.name!r}"
+            )
+        labels = _parse_labels(label_body or "", lineno)
+        value = _parse_value(value_text, lineno)
+        key = (sample_name, labels)
+        if key in fam.samples:
+            raise ValueError(f"line {lineno}: duplicate series {sample_name}{labels}")
+        if fam.kind == "counter" and not (value >= 0 and math.isfinite(value)):
+            raise ValueError(
+                f"line {lineno}: counter {sample_name!r} has invalid value {value}"
+            )
+        fam.samples[key] = value
+    for fam in families.values():
+        if fam.kind == "histogram":
+            _validate_histogram(fam)
+    return families
+
+
+def _validate_histogram(fam: ParsedFamily) -> None:
+    buckets: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+    sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    for (sample_name, labels), value in fam.samples.items():
+        if sample_name == fam.name + "_bucket":
+            le = dict(labels).get("le")
+            if le is None:
+                raise ValueError(f"{fam.name}: _bucket sample without le label")
+            bound = _parse_value(le, 0)
+            base = tuple(pair for pair in labels if pair[0] != "le")
+            buckets.setdefault(base, []).append((bound, value))
+        elif sample_name == fam.name + "_sum":
+            sums[labels] = value
+        elif sample_name == fam.name + "_count":
+            counts[labels] = value
+        else:
+            raise ValueError(f"{fam.name}: unexpected histogram sample {sample_name!r}")
+    series = set(buckets) | set(sums) | set(counts)
+    for base in series:
+        if base not in buckets or base not in sums or base not in counts:
+            raise ValueError(f"{fam.name}{base}: incomplete histogram series")
+        rows = sorted(buckets[base])
+        bounds = [bound for bound, _ in rows]
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"{fam.name}{base}: duplicate bucket bounds")
+        if not rows or not math.isinf(rows[-1][0]):
+            raise ValueError(f"{fam.name}{base}: missing +Inf bucket")
+        cumulative = [count for _, count in rows]
+        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+            raise ValueError(f"{fam.name}{base}: bucket counts not cumulative")
+        if cumulative[-1] != counts[base]:
+            raise ValueError(
+                f"{fam.name}{base}: +Inf bucket {cumulative[-1]} != _count {counts[base]}"
+            )

@@ -15,11 +15,19 @@ from repro.perf.scaling import (
     run_thread_scaling,
     run_weak_scaling,
 )
-from repro.perf.report import format_breakdown, format_scaling, format_table
+from repro.perf.report import (
+    BENCH_SCHEMA_VERSION,
+    format_breakdown,
+    format_scaling,
+    format_table,
+    run_metadata,
+)
 
 __all__ = [
     "WallTimer",
     "Stopwatch",
+    "BENCH_SCHEMA_VERSION",
+    "run_metadata",
     "speedup_series",
     "parallel_efficiency",
     "ScalingPoint",

@@ -3,11 +3,48 @@
 The benchmark harness prints the same rows/series the paper's tables and
 figures report; these helpers keep that formatting consistent and readable
 in terminal output and in EXPERIMENTS.md.
+
+This module also owns the benchmark-artifact schema: every ``BENCH_*.json``
+payload is stamped with :data:`BENCH_SCHEMA_VERSION` and the
+:func:`run_metadata` block (git SHA, host CPU count, platform), so
+perf-trajectory tooling can tell apart format changes from machine changes.
 """
 
 from __future__ import annotations
 
+import os
+import platform
+import subprocess
+import sys
 from typing import Dict, List, Mapping, Sequence
+
+#: Version of the ``BENCH_*.json`` artifact layout.  Bump when keys move or
+#: change meaning; comparison tooling refuses to diff across versions.
+BENCH_SCHEMA_VERSION = 2
+
+
+def run_metadata() -> Dict[str, object]:
+    """Provenance block stamped into every benchmark artifact.
+
+    Best-effort by design: a missing git binary (or a non-repo checkout)
+    yields ``git_sha: None`` rather than a failed benchmark run.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "git_sha": sha,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+    }
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:

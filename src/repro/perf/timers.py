@@ -1,9 +1,17 @@
-"""Lightweight wall-clock timing helpers."""
+"""Lightweight wall-clock timing helpers.
+
+Both timers read time through the injectable clock protocol of
+:mod:`repro.obs.clock` — real ``perf_counter`` by default, a
+:class:`~repro.obs.clock.ManualClock` in deterministic tests — so every
+ad-hoc timing site in the codebase shares one time source with the
+observability plane.
+"""
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List
+
+from repro.obs.clock import MONOTONIC, Clock
 
 
 class WallTimer:
@@ -17,22 +25,24 @@ class WallTimer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock if clock is not None else MONOTONIC
         self._start = 0.0
         self.elapsed = 0.0
 
     def __enter__(self) -> "WallTimer":
-        self._start = time.perf_counter()
+        self._start = self._clock.monotonic()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = self._clock.monotonic() - self._start
 
 
 class Stopwatch:
     """Accumulates named time intervals (useful for phase-style timing)."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock if clock is not None else MONOTONIC
         self._laps: Dict[str, float] = {}
         self._order: List[str] = []
         self._current: str | None = None
@@ -46,13 +56,13 @@ class Stopwatch:
             self._laps[name] = 0.0
             self._order.append(name)
         self._current = name
-        self._start = time.perf_counter()
+        self._start = self._clock.monotonic()
 
     def stop(self) -> None:
         """Stop the currently running interval."""
         if self._current is None:
             return
-        self._laps[self._current] += time.perf_counter() - self._start
+        self._laps[self._current] += self._clock.monotonic() - self._start
         self._current = None
 
     def laps(self) -> Dict[str, float]:

@@ -145,6 +145,22 @@ class PandaBackend:
         self.index.cluster.transfer_executor_ownership(fresh.cluster)
         return PandaBackend(fresh.fit(points, ids))
 
+    def comm_totals(self) -> dict:
+        """Executor byte/message accounting, aggregated over all ranks.
+
+        The presence of this method is what opts a backend into the
+        ``repro_executor_*`` metric families (see
+        :mod:`repro.obs.collectors`); local-tree backends have no
+        communication to report and deliberately omit it.
+        """
+        totals = self.index.cluster.metrics.grand_total()
+        return {
+            "bytes_sent": int(totals.bytes_sent),
+            "bytes_received": int(totals.bytes_received),
+            "messages_sent": int(totals.messages_sent),
+            "messages_received": int(totals.messages_received),
+        }
+
     def close(self) -> None:
         """Release the index's executor workers/shared memory (if owned)."""
         self.index.close()

@@ -58,7 +58,6 @@ additionally safe under concurrent callers (one re-entrant lock).
 from __future__ import annotations
 
 import shutil
-import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -70,6 +69,7 @@ from repro.analysis.annotations import exactness_path, requires_lock
 from repro.analysis.runtime import guarded, new_rlock
 from repro.core.snapshot import allocate_version_dir, promote_version
 from repro.kdtree.query import brute_force_knn
+from repro.obs.clock import MONOTONIC, Clock
 from repro.service.cache import CacheStats, LRUCache, query_key
 from repro.service.delta import DeltaBuffer
 
@@ -332,6 +332,7 @@ def _pipelined_answer_step(
     delta_points: np.ndarray,
     delta_ids: np.ndarray,
     groups: List[Tuple[int, List[int], np.ndarray]],
+    clock: Clock,
 ) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray]], float]:
     """Worker-side body of one pipelined micro-batch.
 
@@ -339,13 +340,13 @@ def _pipelined_answer_step(
     submitting thread folds the returned per-request answers back into
     results, cache and records at harvest time.
     """
-    started = time.perf_counter()
+    started = clock.monotonic()
     answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     for k, request_ids, queries in groups:
         d, i = _answer_snapshot(backend, tomb_ids, delta_points, delta_ids, queries, k)
         for row, request_id in enumerate(request_ids):
             answers[request_id] = (d[row], i[row])
-    return answers, time.perf_counter() - started
+    return answers, clock.monotonic() - started
 
 
 @dataclass
@@ -422,6 +423,17 @@ class KNNService:
         environment variable is deliberately *not* consulted here.  A
         dispatcher built from a spec string is owned (closed with the
         service); a passed-in instance stays owned by the caller.
+    clock:
+        Injectable monotonic clock (:class:`~repro.obs.clock.Clock`) all
+        wall-time measurements read through — real ``perf_counter`` by
+        default, a :class:`~repro.obs.clock.ManualClock` in deterministic
+        tests.  Logical time (``at=`` arguments) is unaffected.
+    events:
+        Optional structured ops event sink (an
+        :class:`~repro.obs.events.EventLog` or a ``.scoped(...)`` view of
+        one).  When set, the service emits ``rebuild_begin`` /
+        ``rebuild_swap`` / ``cache_full_clear`` events; ``None`` (default)
+        emits nothing.
     """
 
     GUARDED_BY = {
@@ -460,6 +472,8 @@ class KNNService:
         background_rebuild: bool = False,
         snapshot_root: str | Path | None = None,
         dispatcher=None,
+        clock: Clock | None = None,
+        events=None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -488,6 +502,10 @@ class KNNService:
         self._ewma_gap: float | None = None
         self._first_dirty_at: float | None = None
         self._bg: _BackgroundRebuild | None = None
+        # Immutable after construction (read-only references, not state):
+        # deliberately outside GUARDED_BY.
+        self._clock = clock if clock is not None else MONOTONIC
+        self.events = events
         self._lock = new_rlock("KNNService._lock")
         self._closed = False
         # Depth-1 micro-batch pipeline: at most one dispatched batch in
@@ -573,6 +591,36 @@ class KNNService:
         """True while a background rebuild is in flight (old index serving)."""
         with self._lock:
             return self._bg is not None
+
+    def obs_snapshot(self) -> Dict[str, float]:
+        """One consistent flat snapshot of every service-level stat.
+
+        Read under one lock acquisition so scrape-time collectors (see
+        :mod:`repro.obs.collectors`) never see a cache count from one
+        rebuild generation and a version from the next.
+        """
+        with self._lock:
+            stats = self.cache.stats
+            return {
+                "pending": float(len(self._pending)),
+                "version": float(self.version),
+                "rebuilds": float(self.rebuilds),
+                "rebuild_seconds": float(self.rebuild_seconds),
+                "rebuilding": 1.0 if self._bg is not None else 0.0,
+                "n_live": float(
+                    self.backend.n_points
+                    - self.delta.n_tombstones
+                    + self.delta.n_inserted
+                ),
+                "delta_inserts": float(self.delta.n_inserted),
+                "tombstones": float(self.delta.n_tombstones),
+                "cache_hits": float(stats.hits),
+                "cache_misses": float(stats.misses),
+                "cache_evictions": float(stats.evictions),
+                "cache_full_clears": float(stats.full_clears),
+                "cache_keys_dropped": float(stats.keys_dropped),
+                "cache_size": float(len(self.cache)),
+            }
 
     def target_batch_size(self) -> int:
         """Current micro-batch target under the (possibly adaptive) policy."""
@@ -858,6 +906,24 @@ class KNNService:
         if transfer is not None:
             transfer(self.backend)
 
+    def _emit(self, kind: str, **fields) -> None:
+        """Emit a structured ops event; a no-op without an event sink.
+
+        The :class:`~repro.obs.events.EventLog` lock is a leaf (``emit``
+        never calls out), so emitting while holding ``_lock`` cannot form
+        a lock-order cycle.
+        """
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+    @requires_lock("_lock")
+    def _clear_cache_fully(self) -> None:
+        """Whole-cache invalidation (rebuild swap), with an ops event."""
+        entries = len(self.cache)
+        if entries:
+            self._emit("cache_full_clear", entries=entries)
+        self.cache.clear()
+
     @requires_lock("_lock")
     def _rebuild_now(self, now: float) -> None:
         # A foreground rebuild folds the freshest live set: an in-flight
@@ -866,9 +932,10 @@ class KNNService:
         points, ids = self.live_arrays()
         if points.shape[0] == 0:
             raise RuntimeError("cannot rebuild over an empty live set")
-        started = time.perf_counter()
+        self._emit("rebuild_begin", mode="foreground", points=int(points.shape[0]))
+        started = self._clock.monotonic()
         self.backend = self.backend.refit(points, ids)
-        elapsed = time.perf_counter() - started
+        elapsed = self._clock.monotonic() - started
         if self._service_time is not None:
             elapsed = float(self._service_time(points.shape[0]))
         self.rebuilds += 1
@@ -877,8 +944,9 @@ class KNNService:
         # queue behind it.
         self._server_free_at = max(self._server_free_at, now) + elapsed
         self.delta.clear()
-        self.cache.clear()
+        self._clear_cache_fully()
         self.version += 1
+        self._emit("rebuild_swap", mode="foreground", version=self.version)
         self._first_dirty_at = None
         self._reindex_ids()
 
@@ -889,9 +957,9 @@ class KNNService:
         points, ids = self.live_arrays()
         if points.shape[0] == 0:
             raise RuntimeError("cannot rebuild over an empty live set")
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         fresh = self.backend.refit(points, ids)
-        elapsed = time.perf_counter() - started
+        elapsed = self._clock.monotonic() - started
         if self._service_time is not None:
             elapsed = float(self._service_time(points.shape[0]))
         snapshot_dir = None
@@ -904,6 +972,12 @@ class KNNService:
             elapsed=elapsed,
             backend=fresh,
             snapshot_dir=snapshot_dir,
+        )
+        self._emit(
+            "rebuild_begin",
+            mode="background",
+            points=int(points.shape[0]),
+            ready_at=self._bg.ready_at,
         )
         return self._bg.ready_at
 
@@ -962,8 +1036,9 @@ class KNNService:
         self.delta.tombstones = tombstones
         self.rebuilds += 1
         self.rebuild_seconds += bg.elapsed
-        self.cache.clear()
+        self._clear_cache_fully()
         self.version += 1
+        self._emit("rebuild_swap", mode="background", version=self.version)
         if bg.snapshot_dir is not None:
             promote_version(self.snapshot_root, bg.snapshot_dir)
         # Any update surviving the swap arrived after the build began; the
@@ -1041,7 +1116,7 @@ class KNNService:
             return self._dispatch_pipelined(batch, flush_time)
 
         dispatch_start = max(flush_time, self._server_free_at)
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         for k in sorted({r.k for r in batch}):
             group = [r for r in batch if r.k == k]
@@ -1049,7 +1124,7 @@ class KNNService:
             d, i = self._answer(queries, k)
             for row, r in enumerate(group):
                 answers[r.request_id] = (d[row], i[row])
-        elapsed = time.perf_counter() - started
+        elapsed = self._clock.monotonic() - started
         if self._service_time is not None:
             elapsed = float(self._service_time(len(batch)))
         self._complete_batch(batch, flush_time, dispatch_start, answers, elapsed)
@@ -1087,7 +1162,7 @@ class KNNService:
             ShardCall(
                 0,
                 _pipelined_answer_step,
-                (self.backend, tomb, delta_points, delta_ids, groups),
+                (self.backend, tomb, delta_points, delta_ids, groups, self._clock),
             )
         )
         self._inflight.append((batch, dispatch_start, fut))

@@ -245,7 +245,7 @@ class TestHedgedReads:
         replica = group.replicas[1]
         replica.in_flight = 1
         fut = Future()  # PENDING: cancellable, exactly like a queued attempt
-        group._discard([(fut, replica)])
+        group._discard([(fut, replica, None)])
         assert fut.cancelled()
         assert group.hedge_cancels == 1
         assert replica.in_flight == 0
@@ -262,13 +262,13 @@ class TestHedgedReads:
         replica = group.replicas[1]
         dying = Future()
         assert dying.set_running_or_notify_cancel()
-        group._discard([(dying, replica)])
+        group._discard([(dying, replica, None)])
         assert group.hedge_cancels == 0
         dying.set_exception(ReplicaDeadError("mid-flight", died_now=True))
         assert group.retries == 1 and group.deaths == 1
         clean = Future()
         assert clean.set_running_or_notify_cancel()
-        group._discard([(clean, replica)])
+        group._discard([(clean, replica, None)])
         clean.set_result(("d", "i"))
         assert group.retries == 1 and group.deaths == 1
 

@@ -1,0 +1,342 @@
+"""Fleet observability plane: metrics scrape, span trees, events, identity.
+
+The acceptance bar of the observability plane:
+
+* ``KNNFleet.metrics_text()`` round-trips the strict Prometheus parser
+  and agrees with the fleet's own stats;
+* a sampled micro-batch produces a span tree covering admission →
+  router → owner/scatter phases → shard calls → replica attempts
+  (hedges included) → merges, and exports in Chrome trace-event form;
+* answers are byte-identical with observability fully on vs fully off,
+  under the threaded dispatcher and with replica failures in the mix;
+* every operational moment (death, heal, rebuild begin/swap, cache
+  full-clear, admission reject/shed, hedge fired) lands in the event log.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet.admission import AdmissionPolicy
+from repro.fleet.fleet import KNNFleet
+from repro.obs import EventLog, ManualClock, Tracer, parse_prometheus_text
+from repro.service.backends import LocalTreeBackend
+from repro.service.service import KNNService, RebuildPolicy
+
+
+def _points(n=400, dims=3, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, dims))
+
+
+def _drive(fleet, n=40, k=None, seed=1):
+    rng = np.random.default_rng(seed)
+    ids = [
+        fleet.submit(rng.normal(size=fleet._dims), k=k, at=i * 1e-3)
+        for i in range(n)
+    ]
+    fleet.flush()
+    return ids
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def test_metrics_text_round_trips_strict_parser():
+    with KNNFleet.build(_points(), n_shards=3, n_replicas=2) as fleet:
+        _drive(fleet)
+        families = parse_prometheus_text(fleet.metrics_text())
+        for name in (
+            "repro_fleet_requests_total",
+            "repro_fleet_request_latency_seconds",
+            "repro_fleet_batch_size",
+            "repro_admission_requests_total",
+            "repro_router_queries_total",
+            "repro_dispatch_calls_total",
+            "repro_shard_live_points",
+            "repro_replica_alive",
+            "repro_service_rebuilds_total",
+            "repro_ops_events_total",
+            "repro_trace_batches_total",
+        ):
+            assert name in families, f"missing family {name}"
+        # The scrape agrees with the fleet's own ledgers.
+        requests = families["repro_fleet_requests_total"].samples[
+            ("repro_fleet_requests_total", ())
+        ]
+        assert requests == float(fleet.records.n_total)
+        alive = [
+            v
+            for (name, _), v in families["repro_replica_alive"].samples.items()
+        ]
+        assert alive == [1.0] * 6  # 3 shards x 2 replicas
+
+
+def test_metrics_scrape_repeats_cleanly():
+    with KNNFleet.build(_points(), n_shards=2) as fleet:
+        _drive(fleet, n=10)
+        first = fleet.metrics_text()
+        second = fleet.metrics_text()
+        assert parse_prometheus_text(first).keys() == parse_prometheus_text(second).keys()
+
+
+def test_latency_histogram_observes_every_request():
+    with KNNFleet.build(_points(), n_shards=2) as fleet:
+        _drive(fleet, n=25)
+        families = parse_prometheus_text(fleet.metrics_text())
+        count = families["repro_fleet_request_latency_seconds"].samples[
+            ("repro_fleet_request_latency_seconds_count", ())
+        ]
+        assert count == 25.0
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+
+def test_span_tree_covers_every_stage():
+    tracer = Tracer(enabled=True, sample_every=1)
+    fleet = KNNFleet.build(
+        _points(),
+        n_shards=3,
+        n_replicas=2,
+        dispatcher="thread:4",
+        hedge_after=0.0,  # hedge every scatter-able call immediately
+        tracer=tracer,
+    )
+    try:
+        # k of 60 over ~133-point shards forces scatter beyond the owner.
+        _drive(fleet, n=30, k=60)
+        traces = tracer.traces()
+        assert traces, "REPRO_OBS-independent explicit tracer sampled nothing"
+        cats = {span.cat for record in traces for span in record.root.walk()}
+        assert {
+            "batch",
+            "admission",
+            "router",
+            "phase",
+            "shard_call",
+            "replica_attempt",
+            "merge",
+        } <= cats, f"incomplete coverage: {sorted(cats)}"
+        names = {span.name for record in traces for span in record.root.walk()}
+        assert "owner_phase" in names
+        assert "scatter_phase" in names
+        assert any(n.startswith("replica_attempt") for n in names)
+        # Hedges fired: some shard_call holds more than one replica attempt.
+        hedged = any(
+            len([c for c in span.children if c.cat == "replica_attempt"]) > 1
+            for record in traces
+            for span in record.root.walk()
+            if span.cat == "shard_call"
+        )
+        assert hedged, "hedge_after=0.0 produced no hedged attempt spans"
+    finally:
+        fleet.close()
+
+
+def test_chrome_export_loads_as_trace_events():
+    tracer = Tracer(enabled=True, sample_every=1)
+    with KNNFleet.build(_points(), n_shards=2, tracer=tracer) as fleet:
+        _drive(fleet, n=8)
+        doc = json.loads(json.dumps(tracer.export_chrome()))
+        assert doc["traceEvents"], "no trace events exported"
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid", "args"}
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        jsonl = tracer.export_jsonl()
+        assert all(json.loads(line) for line in jsonl.strip().splitlines())
+
+
+def test_tracer_sampling_period_respected():
+    tracer = Tracer(enabled=True, sample_every=4)
+    with KNNFleet.build(_points(), n_shards=2, tracer=tracer) as fleet:
+        for i in range(12):
+            fleet.query(np.zeros(3), at=float(i))
+        stats = tracer.stats()
+        assert stats["batches_seen"] >= 12
+        assert stats["batches_sampled"] == -(-stats["batches_seen"] // 4)
+
+
+def test_tracing_off_is_free_of_traces():
+    with KNNFleet.build(_points(), n_shards=2) as fleet:  # REPRO_OBS unset/off
+        _drive(fleet, n=8)
+        if not fleet.tracer.enabled:
+            assert fleet.tracer.traces() == []
+
+
+# ----------------------------------------------------------------------
+# Byte identity: observability on vs off, failures in the mix
+# ----------------------------------------------------------------------
+
+
+def _run_with_failures(tracer):
+    fleet = KNNFleet.build(
+        _points(seed=5),
+        n_shards=3,
+        n_replicas=2,
+        dispatcher="thread",
+        hedge_after=0.0,
+        tracer=tracer,
+    )
+    try:
+        rng = np.random.default_rng(9)
+        fleet.arm_replica_failure(0, 0)
+        ids = [fleet.submit(rng.normal(size=3), k=40, at=i * 1e-3) for i in range(30)]
+        fleet.kill_replica(2, 1)
+        ids += [
+            fleet.submit(rng.normal(size=3), k=40, at=0.03 + i * 1e-3) for i in range(30)
+        ]
+        fleet.flush()
+        return [fleet.result(r) for r in ids]
+    finally:
+        fleet.close()
+
+
+def test_results_byte_identical_with_observability_on_and_off():
+    plain = _run_with_failures(Tracer(enabled=False))
+    traced = _run_with_failures(Tracer(enabled=True, sample_every=1))
+    assert len(plain) == len(traced)
+    for (d_p, i_p), (d_t, i_t) in zip(plain, traced):
+        assert np.array_equal(d_p, d_t)
+        assert np.array_equal(i_p, i_t)
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+
+
+def test_death_and_heal_events_scoped_per_shard():
+    with KNNFleet.build(_points(), n_shards=2, n_replicas=2) as fleet:
+        _drive(fleet, n=5)
+        fleet.kill_replica(1, 0)
+        fleet.heal()
+        deaths = fleet.events.snapshot("replica_death")
+        heals = fleet.events.snapshot("replica_heal")
+        assert len(deaths) == 1 and len(heals) == 1
+        assert dict(deaths[0].fields)["shard"] == 1
+        assert dict(deaths[0].fields)["replica"] == 0
+        assert dict(deaths[0].fields)["injected"] is True
+        assert dict(heals[0].fields)["replica"] == 0
+
+
+def test_hedge_fired_events():
+    fleet = KNNFleet.build(
+        _points(), n_shards=2, n_replicas=2, dispatcher="thread", hedge_after=0.0
+    )
+    try:
+        _drive(fleet, n=10, k=60)
+        hedges = fleet.events.snapshot("hedge_fired")
+        assert hedges, "no hedge_fired events with hedge_after=0.0"
+        fields = dict(hedges[0].fields)
+        assert {"shard", "replica", "hedge_replica", "deadline_s"} <= set(fields)
+    finally:
+        fleet.close()
+
+
+def test_admission_reject_and_shed_events():
+    for mode, kind in (("reject", "admission_reject"), ("shed", "admission_shed")):
+        with KNNFleet.build(
+            _points(),
+            n_shards=2,
+            admission_policy=AdmissionPolicy(max_pending=4, mode=mode),
+            batch_policy=None,
+        ) as fleet:
+            rng = np.random.default_rng(3)
+            for i in range(20):
+                fleet.submit(rng.normal(size=3), at=i * 1e-9)
+            events = fleet.events.snapshot(kind)
+            assert events, f"no {kind} events under mode={mode}"
+            assert "request_id" in dict(events[0].fields)
+
+
+def test_rebuild_and_cache_clear_events_foreground_service():
+    events = EventLog(clock=ManualClock())
+    backend = LocalTreeBackend.fit(_points(n=64), ids=np.arange(64))
+    service = KNNService(backend, k=3, cache_capacity=16, events=events)
+    # Warm the cache so the rebuild's full clear has entries to report.
+    service.query(np.zeros(3), at=0.0)
+    service.query(np.zeros(3), at=1.0)
+    service.rebuild(at=2.0)
+    kinds = events.counts()
+    assert kinds.get("rebuild_begin") == 1
+    assert kinds.get("rebuild_swap") == 1
+    assert kinds.get("cache_full_clear") == 1
+    begin = events.snapshot("rebuild_begin")[0]
+    assert dict(begin.fields)["mode"] == "foreground"
+    clear = events.snapshot("cache_full_clear")[0]
+    assert dict(clear.fields)["entries"] >= 1
+
+
+def test_background_rebuild_events_through_fleet():
+    with KNNFleet.build(
+        _points(),
+        n_shards=2,
+        rebuild_policy=RebuildPolicy(max_inserts=4),
+    ) as fleet:
+        rng = np.random.default_rng(11)
+        t = 0.0
+        for _ in range(8):
+            t += 1e-3
+            fleet.insert(rng.normal(size=(4, 3)), at=t)
+            t += 1e-3
+            fleet.query(rng.normal(size=3), at=t)
+        # Push logical time far enough for every pending swap to land.
+        fleet.query(rng.normal(size=3), at=t + 10.0)
+        counts = fleet.events.counts()
+        assert counts.get("rebuild_begin", 0) >= 1
+        assert counts.get("rebuild_swap", 0) >= 1
+        begin = fleet.events.snapshot("rebuild_begin")[0]
+        fields = dict(begin.fields)
+        assert fields["mode"] == "background"
+        assert "shard" in fields and "replica" in fields
+
+
+def test_ops_events_exported_in_metrics():
+    with KNNFleet.build(_points(), n_shards=2, n_replicas=2) as fleet:
+        fleet.kill_replica(0, 1)
+        fleet.heal()
+        families = parse_prometheus_text(fleet.metrics_text())
+        ops = families["repro_ops_events_total"].samples
+        by_kind = {dict(labels)["kind"]: v for (_, labels), v in ops.items()}
+        assert by_kind.get("replica_death") == 1.0
+        assert by_kind.get("replica_heal") == 1.0
+
+
+# ----------------------------------------------------------------------
+# Clock injection
+# ----------------------------------------------------------------------
+
+
+def test_manual_clock_threads_through_fleet():
+    clock = ManualClock()
+    with KNNFleet.build(_points(), n_shards=2, clock=clock) as fleet:
+        assert fleet._clock is clock
+        assert fleet.router._clock is clock
+        for group in fleet.groups:
+            assert group._clock is clock
+            for replica in group.replicas:
+                assert replica.service._clock is clock
+        _drive(fleet, n=4)
+        # Events stamped off the same frozen clock read 0.0.
+        fleet.kill_replica(0, 0)
+        assert fleet.events.snapshot("replica_death")[0].at == 0.0
+
+
+def test_service_obs_snapshot_keys():
+    backend = LocalTreeBackend.fit(_points(n=32), ids=np.arange(32))
+    service = KNNService(backend, k=3, cache_capacity=8)
+    service.query(np.zeros(3), at=0.0)
+    snap = service.obs_snapshot()
+    expected = {
+        "pending", "version", "rebuilds", "rebuild_seconds", "rebuilding",
+        "n_live", "delta_inserts", "tombstones", "cache_hits", "cache_misses",
+        "cache_evictions", "cache_full_clears", "cache_keys_dropped", "cache_size",
+    }
+    assert expected <= set(snap)
+    assert snap["n_live"] == 32.0

@@ -1,0 +1,40 @@
+"""Injectable monotonic clock: real, manual, and protocol behavior."""
+
+import pytest
+
+from repro.obs.clock import MONOTONIC, Clock, ManualClock, MonotonicClock
+
+
+def test_monotonic_clock_advances():
+    clock = MonotonicClock()
+    a = clock.monotonic()
+    b = clock.monotonic()
+    assert b >= a
+
+
+def test_module_singleton_is_monotonic_clock():
+    assert isinstance(MONOTONIC, MonotonicClock)
+
+
+def test_manual_clock_starts_at_zero_and_advances():
+    clock = ManualClock()
+    assert clock.monotonic() == 0.0
+    clock.advance(1.5)
+    assert clock.monotonic() == 1.5
+    clock.advance(0.5)
+    assert clock.monotonic() == 2.0
+
+
+def test_manual_clock_custom_start():
+    assert ManualClock(start=10.0).monotonic() == 10.0
+
+
+def test_manual_clock_rejects_negative_advance():
+    clock = ManualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_base_clock_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Clock().monotonic()

@@ -1,0 +1,189 @@
+"""Instruments and registry: series semantics, buckets, collect rules."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    ObsRegistry,
+    counter_family,
+    gauge_family,
+    log_buckets,
+)
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge
+# ----------------------------------------------------------------------
+
+
+def test_counter_zero_label_default_series():
+    c = Counter("requests_total", "Requests.")
+    snap = c.snapshot()
+    assert snap.kind == "counter"
+    assert [(s.labels, s.value) for s in snap.samples] == [((), 0.0)]
+
+
+def test_counter_inc_and_labels():
+    c = Counter("hits_total", "Hits.", labelnames=("kind",))
+    c.inc(kind="a")
+    c.inc(2.0, kind="b")
+    c.labels(kind="b").inc(3.0)
+    values = {s.labels: s.value for s in c.snapshot().samples}
+    assert values == {(("kind", "a"),): 1.0, (("kind", "b"),): 5.0}
+
+
+def test_counter_rejects_negative_and_bad_labels():
+    c = Counter("n_total", "N.", labelnames=("kind",))
+    with pytest.raises(ValueError):
+        c.inc(-1.0, kind="a")
+    with pytest.raises(ValueError):
+        c.inc(1.0, wrong="a")
+    with pytest.raises(ValueError):
+        c.inc(1.0)  # missing the declared label
+
+
+def test_invalid_metric_and_label_names_rejected():
+    with pytest.raises(ValueError):
+        Counter("0bad", "x")
+    with pytest.raises(ValueError):
+        Counter("ok_total", "x", labelnames=("le",))
+    with pytest.raises(ValueError):
+        Counter("ok_total", "x", labelnames=("__reserved",))
+    with pytest.raises(ValueError):
+        Counter("ok_total", "x", labelnames=("a", "a"))
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("depth", "Depth.")
+    g.set(4.0)
+    g.inc()
+    g.dec(2.0)
+    assert g.snapshot().samples[0].value == 3.0
+
+
+def test_counter_thread_safety():
+    c = Counter("racy_total", "Racy.")
+    n, per = 8, 2000
+
+    def work():
+        for _ in range(per):
+            c.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.snapshot().samples[0].value == float(n * per)
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+
+
+def test_log_buckets_geometric_and_deduped():
+    bounds = log_buckets(0.001, 1.0, per_decade=1)
+    assert bounds == (0.001, 0.01, 0.1, 1.0)
+    assert len(set(log_buckets(1e-6, 10.0, 3))) == len(log_buckets(1e-6, 10.0, 3))
+    with pytest.raises(ValueError):
+        log_buckets(1.0, 0.5)
+    with pytest.raises(ValueError):
+        log_buckets(0.1, 1.0, per_decade=0)
+
+
+def test_default_latency_buckets_cover_range():
+    assert DEFAULT_LATENCY_BUCKETS[0] == 1e-6
+    assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0
+
+
+def test_histogram_bucket_assignment_inclusive_upper_bound():
+    h = Histogram("lat", "Latency.", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+        h.observe(v)
+    by_name = {}
+    for s in h.snapshot().samples:
+        by_name.setdefault(s.name, []).append((dict(s.labels).get("le"), s.value))
+    # le is an inclusive upper bound: 1.0 lands in le="1.0".
+    cumulative = dict(by_name["lat_bucket"])
+    assert cumulative["1.0"] == 2.0
+    assert cumulative["2.0"] == 3.0
+    assert cumulative["4.0"] == 4.0
+    assert cumulative["+Inf"] == 5.0
+    assert by_name["lat_count"][0][1] == 5.0
+    assert by_name["lat_sum"][0][1] == pytest.approx(107.0)
+
+
+def test_histogram_buckets_cumulative_per_label_series():
+    h = Histogram("lat", "Latency.", labelnames=("shard",), buckets=(1.0, 10.0))
+    h.observe(0.5, shard="0")
+    h.observe(5.0, shard="0")
+    h.observe(0.5, shard="1")
+    rows = {}
+    for s in h.snapshot().samples:
+        if s.name == "lat_bucket":
+            labels = dict(s.labels)
+            rows[(labels["shard"], labels["le"])] = s.value
+    assert rows[("0", "1.0")] == 1.0
+    assert rows[("0", "10.0")] == 2.0
+    assert rows[("0", "+Inf")] == 2.0
+    assert rows[("1", "+Inf")] == 1.0
+
+
+def test_histogram_rejects_nan_and_bad_bounds():
+    h = Histogram("lat", "L.", buckets=(1.0,))
+    with pytest.raises(ValueError):
+        h.observe(math.nan)
+    with pytest.raises(ValueError):
+        Histogram("lat2", "L.", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("lat3", "L.", buckets=())
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_rejects_duplicate_names():
+    reg = ObsRegistry()
+    reg.counter("x_total", "X.")
+    with pytest.raises(ValueError):
+        reg.gauge("x_total", "X again.")
+
+
+def test_registry_collect_merges_callbacks_sorted():
+    reg = ObsRegistry()
+    reg.counter("b_total", "B.")
+    reg.register_callback(
+        lambda: [
+            gauge_family("a_gauge", "A.", [({}, 1.0)]),
+            counter_family("c_total", "C.", [({"kind": "x"}, 2.0)]),
+        ]
+    )
+    names = [fam.name for fam in reg.collect()]
+    assert names == ["a_gauge", "b_total", "c_total"]
+
+
+def test_registry_collect_rejects_callback_duplicating_instrument():
+    reg = ObsRegistry()
+    reg.counter("dup_total", "D.")
+    reg.register_callback(lambda: [counter_family("dup_total", "D2.", [({}, 1.0)])])
+    with pytest.raises(ValueError):
+        reg.collect()
+
+
+def test_registry_render_round_trips_strict_parser():
+    from repro.obs.prometheus import parse_prometheus_text
+
+    reg = ObsRegistry()
+    reg.counter("r_total", "R.", labelnames=("kind",)).inc(kind="a")
+    reg.histogram("r_lat", "Lat.", buckets=(0.1, 1.0)).observe(0.05)
+    families = parse_prometheus_text(reg.render())
+    assert set(families) == {"r_total", "r_lat"}

@@ -1,0 +1,176 @@
+"""Exposition format: escaping, ordering, and the strict parser's teeth."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Sample, MetricFamily, counter_family, gauge_family
+from repro.obs.prometheus import (
+    escape_help,
+    escape_label_value,
+    format_value,
+    parse_prometheus_text,
+    render_text,
+)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def test_escape_help_backslash_and_newline():
+    assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+
+def test_escape_label_value_quotes_too():
+    assert escape_label_value('say "hi"\n\\') == 'say \\"hi\\"\\n\\\\'
+
+
+def test_format_value_variants():
+    assert format_value(3.0) == "3"
+    assert format_value(3.5) == "3.5"
+    assert format_value(math.inf) == "+Inf"
+    assert format_value(-math.inf) == "-Inf"
+    assert format_value(math.nan) == "NaN"
+
+
+def test_render_sorted_families_and_label_order():
+    fams = [
+        counter_family("z_total", "Z.", [({"b": "2", "a": "1"}, 3.0)]),
+        gauge_family("a_gauge", "A.", [({}, 1.0)]),
+    ]
+    text = render_text(fams)
+    lines = text.splitlines()
+    assert lines[0] == "# HELP a_gauge A."
+    assert lines[1] == "# TYPE a_gauge gauge"
+    assert lines[2] == "a_gauge 1"
+    # Label names sorted regardless of insertion order.
+    assert lines[5] == 'z_total{a="1",b="2"} 3'
+    assert text.endswith("\n")
+
+
+def test_render_empty_family_list_is_empty_string():
+    assert render_text([]) == ""
+    assert parse_prometheus_text("") == {}
+
+
+def test_render_rejects_duplicate_family():
+    fams = [gauge_family("x", "X.", [({}, 1.0)]), gauge_family("x", "X.", [({}, 2.0)])]
+    with pytest.raises(ValueError):
+        render_text(fams)
+
+
+def test_label_escaping_round_trips_through_parser():
+    nasty = 'quote " backslash \\ newline \n end'
+    text = render_text([gauge_family("g", "G.", [({"v": nasty}, 1.0)])])
+    fams = parse_prometheus_text(text)
+    ((_, labels),) = fams["g"].samples.keys()
+    assert dict(labels)["v"] == nasty
+
+
+# ----------------------------------------------------------------------
+# Strict parser
+# ----------------------------------------------------------------------
+
+
+def _histogram_text(counts=(1, 2, 2), total=1.5) -> str:
+    return (
+        "# HELP h H.\n"
+        "# TYPE h histogram\n"
+        f'h_bucket{{le="0.1"}} {counts[0]}\n'
+        f'h_bucket{{le="1.0"}} {counts[1]}\n'
+        f'h_bucket{{le="+Inf"}} {counts[2]}\n'
+        f"h_sum {total}\n"
+        f"h_count {counts[2]}\n"
+    )
+
+
+def test_parser_accepts_valid_histogram():
+    fams = parse_prometheus_text(_histogram_text())
+    assert fams["h"].kind == "histogram"
+    assert len(fams["h"].samples) == 5
+
+
+@pytest.mark.parametrize(
+    "mutate,match",
+    [
+        (lambda t: t.rstrip("\n"), "end with a newline"),
+        (lambda t: t.replace('h_bucket{le="+Inf"} 2\n', ""), r"\+Inf"),
+        (lambda t: t.replace("h_count 2", "h_count 3"), "_count"),
+        (lambda t: t.replace('le="1.0"}} 2', 'le="1.0"}} 0').replace(
+            'h_bucket{le="1.0"} 2', 'h_bucket{le="1.0"} 0'
+        ), "cumulative"),
+    ],
+)
+def test_parser_rejects_broken_histograms(mutate, match):
+    with pytest.raises(ValueError, match=match):
+        parse_prometheus_text(mutate(_histogram_text()))
+
+
+def test_parser_rejects_sample_without_type():
+    with pytest.raises(ValueError, match="without TYPE"):
+        parse_prometheus_text("orphan 1\n")
+
+
+def test_parser_rejects_type_without_help():
+    with pytest.raises(ValueError, match="without HELP"):
+        parse_prometheus_text("# TYPE x counter\nx 1\n")
+
+
+def test_parser_rejects_repeated_family():
+    text = (
+        "# HELP x X.\n# TYPE x counter\nx 1\n"
+        "# HELP y Y.\n# TYPE y counter\ny 1\n"
+        "# HELP x X.\n# TYPE x counter\nx 2\n"
+    )
+    with pytest.raises(ValueError, match="repeated HELP"):
+        parse_prometheus_text(text)
+
+
+def test_parser_rejects_interleaved_families():
+    text = (
+        "# HELP x X.\n# TYPE x counter\n"
+        "# HELP y Y.\n# TYPE y counter\n"
+        "x 1\n"
+    )
+    with pytest.raises(ValueError, match="outside its family block"):
+        parse_prometheus_text(text)
+
+
+def test_parser_rejects_duplicate_series():
+    text = "# HELP x X.\n# TYPE x counter\nx 1\nx 2\n"
+    with pytest.raises(ValueError, match="duplicate series"):
+        parse_prometheus_text(text)
+
+
+def test_parser_rejects_unsorted_or_duplicate_labels():
+    with pytest.raises(ValueError, match="not sorted"):
+        parse_prometheus_text('# HELP x X.\n# TYPE x gauge\nx{b="1",a="2"} 1\n')
+    with pytest.raises(ValueError, match="duplicate label names"):
+        parse_prometheus_text('# HELP x X.\n# TYPE x gauge\nx{a="1",a="2"} 1\n')
+
+
+def test_parser_rejects_negative_counter():
+    with pytest.raises(ValueError, match="invalid value"):
+        parse_prometheus_text("# HELP x X.\n# TYPE x counter\nx -1\n")
+
+
+def test_parser_rejects_invalid_escape():
+    with pytest.raises(ValueError, match="invalid escape"):
+        parse_prometheus_text('# HELP x X.\n# TYPE x gauge\nx{a="\\t"} 1\n')
+
+
+def test_render_parse_round_trip_preserves_values():
+    fam = MetricFamily(
+        "rt",
+        "gauge",
+        "Round trip.",
+        (
+            Sample("rt", (("k", "a"),), 1.25),
+            Sample("rt", (("k", "b"),), -3.0),
+        ),
+    )
+    parsed = parse_prometheus_text(render_text([fam]))
+    assert parsed["rt"].samples[("rt", (("k", "a"),))] == 1.25
+    assert parsed["rt"].samples[("rt", (("k", "b"),))] == -3.0

@@ -1,0 +1,155 @@
+"""Tracer sampling, span folding, and export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.tracing import Span, SpanSink, Tracer, obs_sample_every
+
+
+# ----------------------------------------------------------------------
+# REPRO_OBS parsing
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("raw,period", [
+    ("", 0), ("0", 0), ("off", 0), ("false", 0), ("no", 0),
+    ("1", 1), ("on", 1), ("true", 1), ("yes", 1),
+    ("7", 7), (" 3 ", 3),
+])
+def test_obs_sample_every_values(raw, period):
+    assert obs_sample_every(raw) == period
+
+
+@pytest.mark.parametrize("raw", ["-1", "garbage", "1.5"])
+def test_obs_sample_every_rejects(raw):
+    with pytest.raises(ValueError):
+        obs_sample_every(raw)
+
+
+def test_obs_sample_every_reads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "4")
+    assert obs_sample_every() == 4
+    monkeypatch.delenv("REPRO_OBS")
+    assert obs_sample_every() == 0
+
+
+# ----------------------------------------------------------------------
+# SpanSink
+# ----------------------------------------------------------------------
+
+
+def test_sink_fold_wraps_marked_spans():
+    clock = ManualClock()
+    sink = SpanSink(clock)
+    sink.add(Span("before", "x", 0.0, 1.0))
+    mark = sink.mark()
+    sink.add(Span("a", "x", 1.0, 2.0))
+    sink.add(Span("b", "x", 2.0, 3.0))
+    parent = sink.fold(mark, "parent", "phase", 1.0, 3.0, n=2)
+    assert [s.name for s in sink.spans] == ["before", "parent"]
+    assert [c.name for c in parent.children] == ["a", "b"]
+    assert parent.meta == {"n": 2}
+    assert parent.duration == 2.0
+
+
+def test_sink_instant_uses_clock():
+    clock = ManualClock(start=5.0)
+    sink = SpanSink(clock)
+    span = sink.instant("tick", "admission", note="x")
+    assert span.start == span.end == 5.0
+    assert span.meta == {"note": "x"}
+
+
+def test_span_walk_preorder():
+    root = Span("r", "x", 0, 3, children=[
+        Span("a", "x", 0, 1, children=[Span("aa", "x", 0, 1)]),
+        Span("b", "x", 1, 2),
+    ])
+    assert [s.name for s in root.walk()] == ["r", "a", "aa", "b"]
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+
+def test_tracer_disabled_returns_none_and_counts_nothing():
+    tracer = Tracer(enabled=False)
+    assert tracer.start() is None
+    assert tracer.finish(None, "x", 0.0, 1.0) is None
+    assert tracer.stats() == {"batches_seen": 0, "batches_sampled": 0, "traces_held": 0}
+
+
+def test_tracer_samples_every_nth():
+    tracer = Tracer(enabled=True, sample_every=3, clock=ManualClock())
+    sinks = [tracer.start() for _ in range(7)]
+    sampled = [s is not None for s in sinks]
+    assert sampled == [True, False, False, True, False, False, True]
+    assert tracer.stats()["batches_seen"] == 7
+    assert tracer.stats()["batches_sampled"] == 3
+
+
+def test_tracer_finish_builds_root_and_rings():
+    tracer = Tracer(enabled=True, sample_every=1, capacity=2, clock=ManualClock())
+    for i in range(3):
+        sink = tracer.start()
+        sink.add(Span(f"child{i}", "x", 0.0, 1.0))
+        tracer.finish(sink, "root", 0.0, 2.0, i=i)
+    traces = tracer.traces()
+    assert len(traces) == 2  # ring capacity
+    assert traces[-1].root.meta == {"i": 2}
+    assert [c.name for c in traces[-1].root.children] == ["child2"]
+    assert tracer.stats()["batches_sampled"] == 3
+
+
+def test_tracer_rejects_bad_params():
+    with pytest.raises(ValueError):
+        Tracer(enabled=True, sample_every=0)
+    with pytest.raises(ValueError):
+        Tracer(enabled=True, capacity=0)
+
+
+def test_export_jsonl_one_object_per_trace():
+    tracer = Tracer(enabled=True, sample_every=1, clock=ManualClock())
+    for _ in range(2):
+        tracer.finish(tracer.start(), "root", 0.0, 1.0)
+    lines = tracer.export_jsonl().strip().splitlines()
+    assert len(lines) == 2
+    record = json.loads(lines[0])
+    assert record["root"]["name"] == "root"
+
+
+def test_export_chrome_format():
+    clock = ManualClock(start=1.0)
+    tracer = Tracer(enabled=True, sample_every=1, clock=clock)
+    sink = tracer.start()
+    sink.add(Span("child", "shard_call", 1.5, 2.0, {"shard": 0}))
+    tracer.finish(sink, "root", 1.0, 2.5, batch=4)
+    doc = tracer.export_chrome()
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert all(e["ph"] == "X" for e in events)
+    root = next(e for e in events if e["name"] == "root")
+    child = next(e for e in events if e["name"] == "child")
+    # Timestamps are microseconds relative to the earliest root start.
+    assert root["ts"] == 0.0
+    assert root["dur"] == pytest.approx(1.5e6)
+    assert child["ts"] == pytest.approx(0.5e6)
+    assert child["args"] == {"shard": 0}
+    # Lanes: one tid per span category, same pid per trace.
+    assert root["pid"] == child["pid"]
+    assert root["tid"] != child["tid"]
+
+
+def test_write_chrome_and_jsonl(tmp_path):
+    tracer = Tracer(enabled=True, sample_every=1, clock=ManualClock())
+    tracer.finish(tracer.start(), "root", 0.0, 1.0)
+    chrome = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    tracer.write_chrome(chrome)
+    tracer.write_jsonl(jsonl)
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+    assert json.loads(jsonl.read_text().splitlines()[0])["trace_id"] == 1
