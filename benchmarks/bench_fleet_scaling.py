@@ -38,9 +38,7 @@ Run directly (like the other benchmark drivers)::
 from __future__ import annotations
 
 import argparse
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -48,13 +46,8 @@ from repro.datasets.cosmology import cosmology_particles
 from repro.fleet import KNNFleet
 from repro.kdtree.query import brute_force_knn
 from repro.obs import Tracer, parse_prometheus_text
-from repro.perf import BENCH_SCHEMA_VERSION, run_metadata
+from repro.perf import BENCH_SCHEMA_VERSION, run_metadata, write_bench_artifact
 from repro.service import MicroBatchPolicy, RebuildPolicy, uniform_trace
-
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
-#: Artifacts land at the repo root regardless of the working directory the
-#: benchmark was launched from — CI asserts these exact paths.
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 FULL_SIZE = dict(n_points=60_000, n_requests=8_000, rate=40_000.0, k=8,
                  shard_counts=(1, 2, 4, 8), n_stream=2_000, stream_buffer=500)
@@ -313,7 +306,6 @@ def main() -> None:
         "[byte-identical, strict-parsed]"
     )
 
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     metadata = run_metadata()
     artifact = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -336,11 +328,8 @@ def main() -> None:
         "dispatchers": dispatch,
     }
     for name, payload in (("BENCH_fleet.json", artifact), ("BENCH_dispatch.json", dispatch_artifact)):
-        text = json.dumps(payload, indent=2) + "\n"
-        (REPO_ROOT / name).write_text(text)
-        (RESULTS_DIR / name).write_text(text)
-        assert (REPO_ROOT / name).is_file(), f"bench artifact {name} missing from repo root"
-        print(f"[saved to {REPO_ROOT / name}]")
+        path = write_bench_artifact(name, payload)
+        print(f"[saved to {path}]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,201 @@
+"""Microbenchmark: SoA leaf-block kernels and float32 precision tiers.
+
+Measures the two hot kernels the hardware-limit refactor rebuilt:
+
+1. **Leaf scan layout/precision sweep** — squared-distance scans over the
+   same leaf-ordered points in three shapes: the old AoS row layout
+   (``(n, dims)`` float64, einsum reduction), the SoA float64 column
+   block, and the SoA float32 column block.  Reported as streamed GB/s
+   (a memory-bandwidth proxy) and scanned Mpoints/s; the acceptance
+   ratio is float32-SoA time vs float64-AoS time on identical points.
+2. **Query wall time per precision tier** — full :func:`batch_knn` at
+   ``precision="float64"``, the uncertified float32 scouting traversal
+   alone (phase 1 of the tiered path), and the certified
+   ``precision="float32"`` two-phase query whose answers are asserted
+   byte-identical (ids and distances) to the float64 tier.
+
+Writes ``BENCH_kernels.json`` via the canonical artifact helper.  Run
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py          # full size
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke  # CI size
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.kdtree.build import build_kdtree
+from repro.kdtree.leafblocks import LeafBlocks, scan_columns_sq
+from repro.kdtree.query import QueryStats, _traverse_batch, batch_knn
+from repro.perf import BENCH_SCHEMA_VERSION, run_metadata, write_bench_artifact
+
+#: Acceptance-scale problem (paper-style single-node query workload).
+FULL_SIZE = dict(n_points=200_000, n_queries=10_000, k=8, scan_repeats=20)
+#: Small configuration for CI smoke runs.
+SMOKE_SIZE = dict(n_points=20_000, n_queries=1_000, k=8, scan_repeats=8)
+
+#: Leaf granularity for the scan sweep: distances are computed one
+#: leaf-sized slice at a time, like the traversal's leaf kernel.
+SCAN_LEAF = 256
+
+
+def _time_best(fn, repeats: int) -> float:
+    """Best-of-N wall time — the least-interfered-with run."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_leaf_scan(points: np.ndarray, query: np.ndarray, repeats: int) -> dict:
+    """Scan every leaf-sized slice of ``points`` under each layout/tier."""
+    n, dims = points.shape
+    blocks = LeafBlocks.from_points(points)
+    aos = np.ascontiguousarray(points)  # (n, dims) float64 rows
+    q64 = np.asarray(query, dtype=np.float64)
+    q32 = q64.astype(np.float32)
+    starts = range(0, n, SCAN_LEAF)
+
+    def scan_aos():
+        for s in starts:
+            block = aos[s : s + SCAN_LEAF]
+            diff = block - q64[None, :]
+            np.einsum("pd,pd->p", diff, diff)
+
+    def scan_soa(coords, q):
+        def run():
+            for s in starts:
+                scan_columns_sq(coords, s, min(SCAN_LEAF, n - s), q)
+
+        return run
+
+    variants = {
+        "float64_aos": (scan_aos, aos.nbytes),
+        "float64_soa": (scan_soa(blocks.coords, q64), blocks.coords.nbytes),
+        "float32_soa": (scan_soa(blocks.coords32, q32), blocks.coords32.nbytes),
+    }
+    out: dict = {}
+    for name, (fn, nbytes) in variants.items():
+        seconds = _time_best(fn, repeats)
+        out[name] = {
+            "seconds": seconds,
+            "gbps": nbytes / seconds / 1e9,
+            "mpts_per_s": n / seconds / 1e6,
+        }
+    out["float32_soa_vs_float64_aos_speedup"] = (
+        out["float64_aos"]["seconds"] / out["float32_soa"]["seconds"]
+    )
+    return out
+
+
+def bench_query_tiers(tree, queries: np.ndarray, k: int) -> dict:
+    """Wall time for float64, float32-scout-only, and certified float32."""
+    n_queries = queries.shape[0]
+
+    t0 = time.perf_counter()
+    d64, i64, _ = batch_knn(tree, queries, k, precision="float64")
+    float64_s = time.perf_counter() - t0
+
+    radius_sq = np.full(n_queries, np.inf)
+    t0 = time.perf_counter()
+    _traverse_batch(tree, queries, k, radius_sq, np.float32, QueryStats())
+    scout_s = time.perf_counter() - t0
+
+    stats = QueryStats()
+    t0 = time.perf_counter()
+    d32, i32, _ = batch_knn(tree, queries, k, precision="float32", stats=stats)
+    certified_s = time.perf_counter() - t0
+
+    byte_identical = np.array_equal(d64, d32) and np.array_equal(i64, i32)
+    assert byte_identical, "certified float32 answers diverge from float64"
+    return {
+        "float64_s": float64_s,
+        "float32_scout_s": scout_s,
+        "float32_certified_s": certified_s,
+        "float64_us_per_query": float64_s * 1e6 / n_queries,
+        "float32_scout_us_per_query": scout_s * 1e6 / n_queries,
+        "float32_certified_us_per_query": certified_s * 1e6 / n_queries,
+        "rechecked_candidates": int(stats.rechecked_candidates),
+        "byte_identical": byte_identical,
+    }
+
+
+def run_bench(n_points: int, n_queries: int, k: int, scan_repeats: int, seed: int = 1) -> dict:
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n_points, 3))
+    queries = rng.normal(size=(n_queries, 3))
+
+    scan = bench_leaf_scan(points, queries[0], scan_repeats)
+    tree = build_kdtree(points)
+    query = bench_query_tiers(tree, queries, k)
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "run": run_metadata(),
+        "config": {
+            "n_points": n_points,
+            "n_queries": n_queries,
+            "k": k,
+            "dims": 3,
+            "scan_leaf": SCAN_LEAF,
+            "scan_repeats": scan_repeats,
+        },
+        "leaf_scan": scan,
+        "query": query,
+    }
+
+
+def format_report(result: dict) -> str:
+    scan = result["leaf_scan"]
+    query = result["query"]
+    cfg = result["config"]
+    lines = [
+        f"leaf scan: {cfg['n_points']} points x {cfg['dims']} dims, leaf={cfg['scan_leaf']}",
+    ]
+    for name in ("float64_aos", "float64_soa", "float32_soa"):
+        row = scan[name]
+        lines.append(
+            f"  {name:12s}: {row['seconds'] * 1e3:8.3f} ms"
+            f"   {row['gbps']:6.2f} GB/s   {row['mpts_per_s']:7.1f} Mpts/s"
+        )
+    lines.append(
+        f"  float32 SoA vs float64 AoS speedup: {scan['float32_soa_vs_float64_aos_speedup']:.2f}x"
+    )
+    lines.append(f"query tiers: {cfg['n_queries']} queries, k={cfg['k']}")
+    lines.append(f"  float64           : {query['float64_us_per_query']:8.2f} us/query")
+    lines.append(f"  float32 scout only: {query['float32_scout_us_per_query']:8.2f} us/query")
+    lines.append(
+        f"  float32 certified : {query['float32_certified_us_per_query']:8.2f} us/query"
+        f"   ({query['rechecked_candidates']} rechecked candidates; byte-identical to float64)"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="run the small CI configuration")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    size = dict(SMOKE_SIZE if args.smoke else FULL_SIZE)
+    result = run_bench(seed=args.seed, **size)
+    print(format_report(result))
+
+    speedup = result["leaf_scan"]["float32_soa_vs_float64_aos_speedup"]
+    assert speedup > 1.0, (
+        f"float32 SoA leaf scan ({speedup:.2f}x) failed to beat the float64 AoS baseline"
+    )
+
+    path = write_bench_artifact("BENCH_kernels.json", result)
+    print(f"[saved to {path}]")
+
+
+if __name__ == "__main__":
+    main()

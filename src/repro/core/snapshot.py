@@ -47,7 +47,6 @@ from repro.core.config import PandaConfig
 from repro.core.global_tree import GlobalTree
 from repro.core.local_phase import LOCAL_TREE_KEY, LazyLocalTree, local_tree_of
 from repro.kdtree.serialize import (
-    SNAPSHOT_VERSION,
     config_from_dict,
     config_to_dict,
     load_kdtree,
@@ -62,10 +61,16 @@ _GLOBAL_FILE = "global_tree.npz"
 _POINTS_STORE = "local_points"
 _NODES_STORE = "local_nodes"
 
-#: Version written by ``layout="slabs"`` snapshots.  Distinct from the
-#: per-rank-files :data:`SNAPSHOT_VERSION` so readers that predate the slab
-#: layout reject it with the designed version error instead of crashing on
-#: missing ``local_tree_NNNN.npz`` files.
+#: Version written by ``layout="files"`` snapshots.  The *directory* layout
+#: is what this number versions — per-rank tree files carry their own
+#: :data:`repro.kdtree.serialize.SNAPSHOT_VERSION` inside, so kd-tree format
+#: bumps do not move it.
+FILES_SNAPSHOT_VERSION = 1
+
+#: Version written by ``layout="slabs"`` snapshots.  Distinct from
+#: :data:`FILES_SNAPSHOT_VERSION` so readers that predate the slab layout
+#: reject it with the designed version error instead of crashing on missing
+#: ``local_tree_NNNN.npz`` files.
 SLAB_SNAPSHOT_VERSION = 2
 
 _GLOBAL_ARRAYS = ("split_dim", "split_val", "left", "right", "rank", "box_lo", "box_hi", "depth_of_rank")
@@ -141,7 +146,7 @@ def write_snapshot(index, path: str | Path, layout: str = "files") -> Path:
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
     meta = {
-        "version": SLAB_SNAPSHOT_VERSION if layout == "slabs" else SNAPSHOT_VERSION,
+        "version": SLAB_SNAPSHOT_VERSION if layout == "slabs" else FILES_SNAPSHOT_VERSION,
         "layout": layout,
         "n_ranks": index.n_ranks,
         "threads_per_rank": index.cluster.threads_per_rank,
@@ -258,10 +263,10 @@ def read_snapshot(
     if not meta_path.exists():
         raise FileNotFoundError(f"no PANDA snapshot at {root} (missing {_META_FILE})")
     meta = json.loads(meta_path.read_text())
-    if meta.get("version") not in (SNAPSHOT_VERSION, SLAB_SNAPSHOT_VERSION):
+    if meta.get("version") not in (FILES_SNAPSHOT_VERSION, SLAB_SNAPSHOT_VERSION):
         raise ValueError(
             f"snapshot {root} has version {meta.get('version')!r}; "
-            f"this build reads versions {SNAPSHOT_VERSION} and {SLAB_SNAPSHOT_VERSION}"
+            f"this build reads versions {FILES_SNAPSHOT_VERSION} and {SLAB_SNAPSHOT_VERSION}"
         )
     layout = meta.get("layout", "files")
 

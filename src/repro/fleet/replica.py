@@ -96,7 +96,13 @@ class Replica:
         with self._lock:
             self._armed_failure = True
 
-    def answer(self, queries: np.ndarray, k: int, at: float | None) -> Tuple[np.ndarray, np.ndarray]:
+    def answer(
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        precision: str | None = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Answer a batch, or die (armed failure / already dead).
 
         The liveness check-and-kill is atomic, so of any number of
@@ -119,7 +125,7 @@ class Replica:
             # heal() swaps self.service while holding _lock, so an attempt
             # that saw alive=True always serves on the matching service.
             service = self.service
-        out = service.answer_batch(queries, k=k, at=at)
+        out = service.answer_batch(queries, k=k, at=at, precision=precision)
         with self._lock:
             self.queries_served += int(np.atleast_2d(queries).shape[0])
         return out
@@ -233,6 +239,7 @@ class ReplicaGroup:
         at: float | None = None,
         dispatcher: Dispatcher | None = None,
         sink: SpanSink | None = None,
+        precision: str | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Exact batch answer from the least-loaded live replica.
 
@@ -241,7 +248,10 @@ class ReplicaGroup:
         answer is the same bytes whichever one survives).  With a
         concurrent ``dispatcher`` and an armed ``hedge_after`` deadline the
         retry path generalises to hedged reads: a late attempt races a
-        second replica and the first answer wins.
+        second replica and the first answer wins.  ``precision`` is the
+        per-request distance-kernel tier override; tiers are certified
+        byte-identical, so retries and hedges stay answer-invariant
+        whatever tier each attempt serves at.
 
         ``sink`` (the enclosing shard call's span sink when the batch is
         traced) collects one ``replica_attempt`` span per attempt, hedges
@@ -250,19 +260,24 @@ class ReplicaGroup:
         with self._serve_lock:
             deadline = self._hedge_deadline()
             if deadline is None or dispatcher is None or not dispatcher.concurrent:
-                return self._answer_serial(queries, k, at, sink)
-            return self._answer_hedged(queries, k, at, deadline, dispatcher, sink)
+                return self._answer_serial(queries, k, at, sink, precision)
+            return self._answer_hedged(queries, k, at, deadline, dispatcher, sink, precision)
 
     @exactness_path
     @requires_lock("_serve_lock")
     def _answer_serial(
-        self, queries: np.ndarray, k: int, at: float | None, sink: SpanSink | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        sink: SpanSink | None = None,
+        precision: str | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         while True:
             replica = self.primary()  # raises ShardUnavailableError when none left
             started = self._clock.monotonic()
             try:
-                out = replica.answer(queries, k, at)
+                out = replica.answer(queries, k, at, precision)
                 ended = self._clock.monotonic()
                 self._note_latency(ended - started)
                 if sink is not None:
@@ -312,6 +327,7 @@ class ReplicaGroup:
         deadline: float,
         dispatcher: Dispatcher,
         sink: SpanSink | None = None,
+        precision: str | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One hedged read: primary attempt, then race a peer past the deadline.
 
@@ -333,7 +349,7 @@ class ReplicaGroup:
         while True:
             replica = self._reserve()  # raises ShardUnavailableError when none left
             primary_fut, primary_sink = self._submit_attempt(
-                dispatcher, replica, queries, k, at, sink
+                dispatcher, replica, queries, k, at, sink, precision
             )
             try:
                 out = primary_fut.result(timeout=deadline)
@@ -365,7 +381,7 @@ class ReplicaGroup:
                 deadline_s=deadline,
             )
             hedge_fut, hedge_sink = self._submit_attempt(
-                dispatcher, hedge_replica, queries, k, at, sink
+                dispatcher, hedge_replica, queries, k, at, sink, precision
             )
             attempts = [
                 (primary_fut, replica, primary_sink),
@@ -409,6 +425,7 @@ class ReplicaGroup:
         k: int,
         at: float | None,
         sink: SpanSink | None = None,
+        precision: str | None = None,
     ):
         """Submit one replica-lane attempt: ``(future, attempt sink)``."""
         attempt_sink = SpanSink(self._clock) if sink is not None else None
@@ -416,7 +433,7 @@ class ReplicaGroup:
             ShardCall(
                 self.shard_id,
                 self._run_attempt,
-                (replica, queries, k, at),
+                (replica, queries, k, at, precision),
                 sink=attempt_sink,
                 label=f"replica_attempt r{replica.replica_id}",
                 cat="replica_attempt",
@@ -436,13 +453,18 @@ class ReplicaGroup:
             sink.extend(attempt_sink.spans)
 
     def _run_attempt(
-        self, replica: Replica, queries: np.ndarray, k: int, at: float | None
+        self,
+        replica: Replica,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        precision: str | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Replica-lane body of one hedged attempt (always releases the
         reservation taken by :meth:`_reserve`)."""
         try:
             started = self._clock.monotonic()
-            out = replica.answer(queries, k, at)
+            out = replica.answer(queries, k, at, precision)
             self._note_latency(self._clock.monotonic() - started)
             return out
         finally:

@@ -117,12 +117,15 @@ class Router:
         k: int,
         at: float | None = None,
         trace: SpanSink | None = None,
+        precision: str | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Exact fleet-wide ``(distances, ids)`` for a query batch.
 
         ``trace`` (a sampled batch's span sink) collects the phase spans,
         per-shard call spans and merge spans of this batch; ``None`` —
-        the untraced common case — records nothing.
+        the untraced common case — records nothing.  ``precision`` rides
+        into every shard call of the batch (owner and scatter alike); the
+        certified tiers make the merged answer byte-invariant to it.
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n = queries.shape[0]
@@ -133,8 +136,8 @@ class Router:
             )
         self.stats.queries += n
         if not self.plan.supports_pruning:
-            return self._broadcast(queries, k, at, trace)
-        return self._scatter_gather(queries, k, at, trace)
+            return self._broadcast(queries, k, at, trace, precision)
+        return self._scatter_gather(queries, k, at, trace, precision)
 
     def _submit(
         self,
@@ -144,6 +147,7 @@ class Router:
         at: float | None,
         trace: SpanSink | None = None,
         label: str = "",
+        precision: str | None = None,
     ):
         """One shard call on the dispatch plane: ``(future, call sink)``.
 
@@ -158,7 +162,7 @@ class Router:
             ShardCall(
                 shard,
                 self.groups[shard].answer,
-                (queries, k, at, self.dispatcher, sink),
+                (queries, k, at, self.dispatcher, sink, precision),
                 sink=sink,
                 label=label or f"shard_call shard{shard}",
             )
@@ -183,7 +187,12 @@ class Router:
     # ------------------------------------------------------------------
     @exactness_path
     def _broadcast(
-        self, queries: np.ndarray, k: int, at: float | None, trace: SpanSink | None
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        trace: SpanSink | None,
+        precision: str | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         n = queries.shape[0]
         self.stats.shard_visits += n * len(self.groups)
@@ -195,7 +204,7 @@ class Router:
         calls: List[tuple] = []
         try:
             for shard in range(len(self.groups)):
-                calls.append(self._submit(shard, queries, k, at, trace))
+                calls.append(self._submit(shard, queries, k, at, trace, precision=precision))
             # Harvest in submission (= ascending shard) order: the fold
             # order fixes which exactly-tied id survives, so it must match
             # the serial sequence bit for bit.
@@ -238,7 +247,12 @@ class Router:
     # ------------------------------------------------------------------
     @exactness_path
     def _scatter_gather(
-        self, queries: np.ndarray, k: int, at: float | None, trace: SpanSink | None
+        self,
+        queries: np.ndarray,
+        k: int,
+        at: float | None,
+        trace: SpanSink | None,
+        precision: str | None = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         n = queries.shape[0]
         owners = self.plan.owner_of(queries)
@@ -265,6 +279,7 @@ class Router:
                 fut, sink = self._submit(
                     int(shard), queries[rows], k, at, trace,
                     label=f"owner_call shard{int(shard)}",
+                    precision=precision,
                 )
                 pending[fut] = (rows, sink)
             self.stats.shard_visits += n
@@ -283,7 +298,7 @@ class Router:
                     t_scatter = self._clock.monotonic()
                     seq = self._submit_scatter(
                         queries, k, at, rows, owners[rows], acc_d[rows, k - 1],
-                        scatter_calls, seq, trace,
+                        scatter_calls, seq, trace, precision,
                     )
                     scatter_elapsed += self._clock.monotonic() - t_scatter
             owner_ended = self._clock.monotonic()
@@ -354,6 +369,7 @@ class Router:
         scatter_calls: List[Tuple[int, int, np.ndarray, object, object]],
         seq: int,
         trace: SpanSink | None = None,
+        precision: str | None = None,
     ) -> int:
         """Group one owner's rows by scatter shard and submit the calls.
 
@@ -374,6 +390,7 @@ class Router:
             fut, sink = self._submit(
                 int(shard), queries[group_rows], k, at, trace,
                 label=f"scatter_call shard{int(shard)}",
+                precision=precision,
             )
             scatter_calls.append((int(shard), seq, group_rows, fut, sink))
             seq += 1

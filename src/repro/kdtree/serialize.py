@@ -2,7 +2,12 @@
 
 A built :class:`~repro.kdtree.tree.KDTree` is eight flat arrays plus its
 construction config and stats, so a snapshot is simply those arrays written
-to disk together with a JSON metadata blob.  Two interchangeable backends
+to disk together with a JSON metadata blob.  Since version 2 a snapshot
+also carries the float32 SoA leaf-block columns
+(:mod:`repro.kdtree.leafblocks`) so a warm-started float32-tier service
+streams byte-identical columns without re-deriving them; the float64
+columns are rebuilt deterministically from the point array on load.
+Two interchangeable backends
 implement the same round-trip contract (loaded arrays are byte-identical to
 the saved ones, config and stats compare equal):
 
@@ -29,10 +34,20 @@ from typing import Tuple
 import numpy as np
 
 from repro.cluster.metrics import PhaseCounters
+from repro.kdtree.leafblocks import LeafBlocks
 from repro.kdtree.tree import KDTree, KDTreeConfig, TreeBuildStats
 
 #: Snapshot format version (bump on incompatible layout changes).
-SNAPSHOT_VERSION = 1
+#: Version 2 adds the persisted float32 SoA leaf-block columns (and the
+#: ``precision`` config key); version-1 snapshots still load, deriving the
+#: leaf blocks lazily from the point array.
+SNAPSHOT_VERSION = 2
+
+#: Versions this build can read.
+_COMPATIBLE_VERSIONS = (1, 2)
+
+#: npz key / ColumnStore column prefix of the float32 leaf-block columns.
+_BLOCKS32_KEY = "blocks_coords32"
 
 #: Row-aligned arrays (one entry per point, in leaf-packed order).
 _POINT_ARRAYS = ("ids",)
@@ -94,9 +109,10 @@ def _tree_meta(tree: KDTree) -> dict:
 
 def _check_version(meta: dict, source: str) -> None:
     version = meta.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(
-            f"snapshot {source} has version {version!r}; this build reads version {SNAPSHOT_VERSION}"
+            f"snapshot {source} has version {version!r}; this build reads versions "
+            f"{_COMPATIBLE_VERSIONS}"
         )
 
 
@@ -116,6 +132,7 @@ def _save_npz(tree: KDTree, path: Path) -> None:
         right=tree.right,
         start=tree.start,
         count=tree.count,
+        **{_BLOCKS32_KEY: tree.blocks.coords32},
     )
 
 
@@ -124,9 +141,17 @@ def _load_npz(path: Path) -> KDTree:
         meta = json.loads(bytes(data["meta"]).decode())
         _check_version(meta, str(path))
         arrays = {name: data[name] for name in ("points",) + _POINT_ARRAYS + _NODE_ARRAYS}
+        coords32 = data[_BLOCKS32_KEY] if _BLOCKS32_KEY in data.files else None
+    blocks = None
+    if coords32 is not None:
+        # The float64 columns derive deterministically from the (already
+        # leaf-ordered) point array; the float32 columns round-trip
+        # byte-identically from the snapshot.
+        blocks = LeafBlocks.from_points(arrays["points"], coords32=coords32)
     return KDTree(
         config=config_from_dict(meta["config"]),
         stats=stats_from_dict(meta["stats"]),
+        blocks=blocks,
         **arrays,
     )
 
@@ -140,6 +165,11 @@ def _save_columns(tree: KDTree, root: Path, chunk_size: int) -> None:
     root.mkdir(parents=True, exist_ok=True)
     dims = int(tree.points.shape[1])
     point_cols = {f"dim{d}": tree.points[:, d] for d in range(dims)}
+    blocks = tree.blocks
+    for d in range(dims):
+        # Per-dimension float32 leaf-block columns: already the SoA layout,
+        # so each slab is written (and can be read back) verbatim.
+        point_cols[f"{_BLOCKS32_KEY}_dim{d}"] = blocks.coords32[d]
     point_cols["ids"] = tree.ids
     ColumnStore(root / "points", chunk_size=chunk_size).write(point_cols)
     ColumnStore(root / "nodes", chunk_size=chunk_size).write(
@@ -160,6 +190,12 @@ def _load_columns(root: Path) -> KDTree:
     else:
         points = np.empty((int(meta["n_points"]), 0))
     ids = points_store.read_column("ids")
+    blocks = None
+    if int(meta.get("version", 1)) >= 2 and dims:
+        coords32 = np.stack(
+            [points_store.read_column(f"{_BLOCKS32_KEY}_dim{d}") for d in range(dims)]
+        )
+        blocks = LeafBlocks.from_points(points, coords32=coords32)
     nodes_store = ColumnStore(root / "nodes")
     node_arrays = {name: nodes_store.read_column(name) for name in _NODE_ARRAYS}
     return KDTree(
@@ -167,6 +203,7 @@ def _load_columns(root: Path) -> KDTree:
         ids=ids,
         config=config_from_dict(meta["config"]),
         stats=stats_from_dict(meta["stats"]),
+        blocks=blocks,
         **node_arrays,
     )
 

@@ -17,17 +17,21 @@ from repro.perf.scaling import (
 )
 from repro.perf.report import (
     BENCH_SCHEMA_VERSION,
+    RESULTS_DIR,
     format_breakdown,
     format_scaling,
     format_table,
     run_metadata,
+    write_bench_artifact,
 )
 
 __all__ = [
     "WallTimer",
     "Stopwatch",
     "BENCH_SCHEMA_VERSION",
+    "RESULTS_DIR",
     "run_metadata",
+    "write_bench_artifact",
     "speedup_series",
     "parallel_efficiency",
     "ScalingPoint",

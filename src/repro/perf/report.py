@@ -12,15 +12,24 @@ perf-trajectory tooling can tell apart format changes from machine changes.
 
 from __future__ import annotations
 
+import json
 import os
 import platform
 import subprocess
 import sys
+from pathlib import Path
 from typing import Dict, List, Mapping, Sequence
 
 #: Version of the ``BENCH_*.json`` artifact layout.  Bump when keys move or
 #: change meaning; comparison tooling refuses to diff across versions.
 BENCH_SCHEMA_VERSION = 2
+
+#: Repository root (three levels above ``src/repro/perf``); the canonical
+#: bench-artifact directory hangs off it.
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Canonical location of every ``BENCH_*.json`` artifact.
+RESULTS_DIR = _REPO_ROOT / "benchmarks" / "results"
 
 
 def run_metadata() -> Dict[str, object]:
@@ -45,6 +54,25 @@ def run_metadata() -> Dict[str, object]:
         "platform": platform.platform(),
         "python": sys.version.split()[0],
     }
+
+
+def write_bench_artifact(name: str, payload: Mapping[str, object]) -> Path:
+    """Write one ``BENCH_*.json`` artifact to its canonical locations.
+
+    The single write-path for every benchmark: the payload lands in
+    :data:`RESULTS_DIR` (``benchmarks/results/``, created on demand) and a
+    byte-identical copy at the repository root, where CI's existence
+    assertions and quick ``cat BENCH_*.json`` inspection expect it.
+    Returns the canonical (results-dir) path.
+    """
+    if not name.endswith(".json"):
+        raise ValueError(f"bench artifact name must end in .json, got {name!r}")
+    text = json.dumps(payload, indent=2)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    canonical = RESULTS_DIR / name
+    canonical.write_text(text)
+    (_REPO_ROOT / name).write_text(text)
+    return canonical
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:

@@ -1,0 +1,131 @@
+"""Fleet-level precision A/B: float32 fleets answer byte-identically.
+
+Two fleets over the same live set — one on the float32 index tier, one on
+float64 — are driven through the same randomized workload (queries,
+inserts, deletes, replica failures, background rebuild pressure).  Every
+answer must be byte-equal: ids AND distances.  This is the certified-
+identity guarantee surviving sharding, replica failover and delta-buffer
+fusion, not just the single-tree kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import KNNFleet
+from repro.obs import parse_prometheus_text
+from repro.service import RebuildPolicy
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(404)
+    # Large coordinate magnitude with small spreads: the float32 scout
+    # genuinely reorders near-ties here, so identity is earned by the
+    # recheck, not by float32 happening to agree.
+    points = np.full(3, 1000.0) + rng.normal(scale=1e-2, size=(600, 3))
+    ids = np.arange(points.shape[0], dtype=np.int64)
+    return points, ids
+
+
+def _make_pair(points, ids, **kwargs):
+    return tuple(
+        KNNFleet.build(points, ids=ids.copy(), precision=precision, **kwargs)
+        for precision in ("float64", "float32")
+    )
+
+
+@pytest.mark.parametrize("n_shards,n_replicas", [(1, 1), (2, 3), (4, 2)])
+def test_randomized_workload_byte_equal(base, n_shards, n_replicas):
+    points, ids = base
+    rng = np.random.default_rng(n_shards * 10 + n_replicas)
+    f64, f32 = _make_pair(
+        points,
+        ids,
+        n_shards=n_shards,
+        n_replicas=n_replicas,
+        k=4,
+        rebuild_policy=RebuildPolicy(max_inserts=40, max_tombstones=15),
+    )
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    t = 0.0
+    for step in range(25):
+        t += 10.0
+        op = rng.choice(["query", "insert", "delete"], p=[0.5, 0.3, 0.2])
+        if op == "query":
+            k = int(rng.integers(1, 8))
+            for q in rng.uniform(lo, hi, size=(int(rng.integers(1, 5)), 3)):
+                t += 1.0
+                d64, i64 = f64.query(q, k=k, at=t)
+                d32, i32 = f32.query(q, k=k, at=t)
+                assert np.array_equal(d64, d32), f"distances diverge at step {step}"
+                assert np.array_equal(i64, i32), f"ids diverge at step {step}"
+        elif op == "insert":
+            fresh = rng.uniform(lo, hi, size=(int(rng.integers(1, 15)), 3))
+            new64 = f64.insert(fresh, at=t)
+            new32 = f32.insert(fresh, at=t)
+            assert np.array_equal(new64, new32)
+        else:
+            live64 = f64.n_live
+            victims = rng.choice(ids[: min(live64, ids.size)], size=3, replace=False)
+            f64.delete(victims, at=t)
+            f32.delete(victims, at=t)
+            ids = np.setdiff1d(ids, victims)
+        if n_replicas > 1 and step in (7, 15):
+            # Same failure injected into both fleets; failover must keep
+            # the tiers in lockstep.
+            shard = int(rng.integers(0, n_shards))
+            for fleet in (f64, f32):
+                group = fleet.groups[shard]
+                if group.n_alive > 1:
+                    fleet.arm_replica_failure(shard, group.primary().replica_id)
+    assert f64.n_live == f32.n_live
+    f64.close()
+    f32.close()
+
+
+def test_per_request_override_on_shared_fleet(base):
+    points, ids = base
+    rng = np.random.default_rng(5)
+    fleet = KNNFleet.build(points, ids=ids.copy(), n_shards=3, n_replicas=2, k=4)
+    queries = rng.uniform(points.min(axis=0), points.max(axis=0), size=(10, 3))
+    t = 0.0
+    for q in queries:
+        t += 1.0
+        d64, i64 = fleet.query(q, k=4, at=t, precision="float64")
+        t += 1.0
+        d32, i32 = fleet.query(q, k=4, at=t, precision="float32")
+        assert np.array_equal(d64, d32)
+        assert np.array_equal(i64, i32)
+    fleet.close()
+
+
+def test_invalid_precision_rejected(base):
+    points, ids = base
+    fleet = KNNFleet.build(points[:50], ids=ids[:50].copy(), n_shards=1, k=3)
+    with pytest.raises(ValueError):
+        fleet.submit(points[0], precision="double")
+    with pytest.raises(ValueError):
+        KNNFleet.build(points[:50], n_shards=1, precision="double")
+    fleet.close()
+
+
+def test_float32_fleet_reports_rechecks(base):
+    points, ids = base
+    fleet = KNNFleet.build(
+        points, ids=ids.copy(), n_shards=2, n_replicas=1, k=4, precision="float32"
+    )
+    rng = np.random.default_rng(6)
+    t = 0.0
+    for q in rng.uniform(points.min(axis=0), points.max(axis=0), size=(8, 3)):
+        t += 1.0
+        fleet.query(q, k=4, at=t)
+    families = parse_prometheus_text(fleet.metrics_text())
+    recheck = families["repro_query_recheck_total"]
+    assert sum(recheck.samples.values()) > 0.0
+    by_tier: dict = {}
+    for (_, labels), value in families["repro_query_precision_total"].samples.items():
+        tier = dict(labels)["tier"]
+        by_tier[tier] = by_tier.get(tier, 0.0) + value
+    assert by_tier.get("float32", 0.0) > 0.0
+    assert by_tier.get("float64", 0.0) == 0.0
+    fleet.close()

@@ -157,6 +157,74 @@ class TestBatchTopK:
             assert sorted(topk.ids[0][:found].tolist()) == sorted(heap_i.tolist())
 
 
+class TestDtypeHandling:
+    """float32 candidates flow through both heaps without silent upcasts."""
+
+    def test_push_many_accepts_float32(self):
+        heap = BoundedMaxHeap(3)
+        dists = np.array([5.0, 1.0, 2.0, 9.0], dtype=np.float32)
+        kept = heap.push_many(dists, np.array([5, 1, 2, 9], dtype=np.int32))
+        assert kept >= 3
+        sorted_d, sorted_i = heap.sorted_items()
+        assert sorted_d.dtype == np.float64
+        assert list(sorted_d) == [1.0, 2.0, 5.0]
+        assert list(sorted_i) == [1, 2, 5]
+
+    def test_batch_topk_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            BatchTopK(2, 3, dtype=np.int64)
+
+    def test_batch_topk_float32_rows_stay_float32(self):
+        topk = BatchTopK(2, 3, dtype=np.float32)
+        assert topk.dists.dtype == np.float32
+        topk.update(
+            np.array([0, 1]),
+            np.array([[4.0, 1.0], [2.0, np.inf]], dtype=np.float32),
+            np.array([[4, 1], [2, -1]]),
+        )
+        assert topk.dists.dtype == np.float32
+        assert topk.bounds().dtype == np.float32
+        d, i = topk.sorted_results()
+        assert d.dtype == np.float32
+        assert list(d[0][:2]) == [1.0, 4.0]
+
+    def test_batch_topk_converts_candidates_to_row_dtype(self):
+        # float32 candidates offered to float64 rows: one explicit lossless
+        # conversion, not a whole-block upcast of the stored state.
+        topk = BatchTopK(1, 2)
+        accepted = topk.update(
+            np.array([0]),
+            np.array([[2.0, 1.0]], dtype=np.float32),
+            np.array([[2, 1]]),
+        )
+        assert accepted[0] == 2
+        assert topk.dists.dtype == np.float64
+        assert list(topk.dists[0]) == [1.0, 2.0]
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=32),
+            min_size=1,
+            max_size=20,
+        ),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_float32_rows_match_float64_on_float32_inputs(self, values, k):
+        """On float32-representable inputs the two row dtypes agree exactly."""
+        cand = np.asarray(values, dtype=np.float32)
+        ids = np.arange(len(values))
+        topk32 = BatchTopK(1, k, dtype=np.float32)
+        topk64 = BatchTopK(1, k)
+        a32 = topk32.update(np.array([0]), cand[None, :], ids[None, :])
+        a64 = topk64.update(np.array([0]), cand.astype(np.float64)[None, :], ids[None, :])
+        assert a32[0] == a64[0]
+        d32, i32 = topk32.sorted_results()
+        d64, i64 = topk64.sorted_results()
+        assert np.array_equal(d32[0].astype(np.float64), d64[0])
+        assert np.array_equal(i32, i64)
+
+
 class TestMergeTopk:
     def test_requires_positive_k(self):
         with pytest.raises(ValueError):

@@ -15,6 +15,17 @@ from repro.kdtree.query import (
 from repro.kdtree.tree import KDTreeConfig
 
 
+def _assert_stats_match(tree, s_vec: QueryStats, s_ref: QueryStats) -> None:
+    """Batch-vs-scalar stats equality, gated to the float64 tier.
+
+    The scalar engine is the pure-float64 gold reference; on the float32
+    tier the batch path does strictly more work (scout traversal plus
+    exact recheck), so only the answers — not the counters — must match.
+    """
+    if tree.config.precision == "float64":
+        assert s_vec == s_ref
+
+
 def _tie_normalized(dists: np.ndarray, ids: np.ndarray):
     """Sort each row by (distance, id) so tie order does not matter."""
     dists = np.atleast_2d(dists)
@@ -202,7 +213,7 @@ class TestVectorizedMatchesScalar:
         d_ref, i_ref, s_ref = batch_knn_scalar(tree, queries, k)
         assert np.array_equal(d_vec, d_ref)
         assert np.array_equal(i_vec, i_ref)
-        assert s_vec == s_ref
+        _assert_stats_match(tree, s_vec, s_ref)
 
     def test_clustered_data_identical(self, cosmo_points):
         tree = build_kdtree(cosmo_points)
@@ -212,7 +223,7 @@ class TestVectorizedMatchesScalar:
         d_ref, i_ref, s_ref = batch_knn_scalar(tree, queries, 8)
         assert np.array_equal(d_vec, d_ref)
         assert np.array_equal(i_vec, i_ref)
-        assert s_vec == s_ref
+        _assert_stats_match(tree, s_vec, s_ref)
 
     def test_stats_counters_preserved(self, tree_and_points):
         """nodes/leaves/distances/heap counters match the scalar DFS exactly."""
@@ -222,10 +233,7 @@ class TestVectorizedMatchesScalar:
         _, _, s_vec = batch_knn(tree, queries, 6)
         _, _, s_ref = batch_knn_scalar(tree, queries, 6)
         assert s_vec.queries == s_ref.queries == 60
-        assert s_vec.nodes_visited == s_ref.nodes_visited
-        assert s_vec.leaves_scanned == s_ref.leaves_scanned
-        assert s_vec.distance_computations == s_ref.distance_computations
-        assert s_vec.heap_updates == s_ref.heap_updates
+        _assert_stats_match(tree, s_vec, s_ref)
 
     def test_bounded_radii_identical(self, tree_and_points):
         tree, points = tree_and_points
@@ -236,7 +244,7 @@ class TestVectorizedMatchesScalar:
         d_ref, i_ref, s_ref = batch_knn_scalar(tree, queries, 5, radii=radii)
         assert np.array_equal(d_vec, d_ref)
         assert np.array_equal(i_vec, i_ref)
-        assert s_vec == s_ref
+        _assert_stats_match(tree, s_vec, s_ref)
 
     def test_duplicate_points_same_neighbor_sets(self):
         rng = np.random.default_rng(12)
@@ -269,7 +277,7 @@ class TestVectorizedMatchesScalar:
         d_ref, i_ref, s_ref = batch_knn_scalar(tree, queries, 20)
         assert np.array_equal(d_vec, d_ref)
         assert np.array_equal(i_vec, i_ref)
-        assert s_vec == s_ref
+        _assert_stats_match(tree, s_vec, s_ref)
         assert np.all(np.isinf(d_vec[:, 7:]))
         assert np.all(i_vec[:, 7:] == -1)
 
