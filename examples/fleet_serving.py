@@ -13,12 +13,17 @@ rebuild hot-swaps with a versioned snapshot trail on disk, and admission
 control shedding load when the queue fills — all with answers verified
 against brute force along the way. It finishes on the observability
 plane: a strict-parsed Prometheus metrics scrape, the structured ops
-event log, and a Perfetto-loadable trace of sampled queries.
+event log, a Perfetto-loadable trace of sampled queries, and the live
+ops surface — health and metrics probed over real HTTP, an on-demand
+sampling profile captured under load, and the SLO burn-rate summary.
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
+import threading
+import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -132,7 +137,62 @@ def main() -> None:
         print(f"tracing: sampled {held['batches_sampled']} of "
               f"{held['batches_seen']} batches — chrome trace at {trace_path.name} "
               "(load in ui.perfetto.dev)")
+
+        # 6. Live ops surface: serve the fleet's HTTP endpoint on an
+        #    ephemeral loopback port, probe health and metrics the way a
+        #    Prometheus scraper or load balancer would, and capture an
+        #    on-demand sampling profile while traffic flows.
+        server = fleet.serve_ops()
+        with urllib.request.urlopen(server.url + "/healthz", timeout=10) as resp:
+            health = json.load(resp)
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as resp:
+            scraped = parse_prometheus_text(resp.read().decode())
+        print(f"ops surface: {server.url} — healthz {health['status']}, "
+              f"{len(scraped)} families over HTTP")
+
+        stop = threading.Event()
+
+        def traffic() -> None:
+            at, i = t + 100.0, 0
+            while not stop.is_set():
+                at += 2e-5
+                fleet.submit(live_pts[i % live_pts.shape[0]], at=at)
+                i += 1
+                if i % 64 == 0:
+                    fleet.drain(at=at)
+
+        pump = threading.Thread(target=traffic)
+        pump.start()
+        try:
+            with urllib.request.urlopen(
+                server.url + "/profile?seconds=2&hz=197", timeout=30
+            ) as resp:
+                profile = resp.read().decode()
+        finally:
+            stop.set()
+            pump.join()
+            fleet.drain(at=t + 200.0)
+        header, *stacks = profile.splitlines()
+        meta = json.loads(header.lstrip("# "))
+        self_time: dict[str, int] = {}
+        for line in stacks:
+            stack, count = line.rsplit(" ", 1)
+            leaf_phase = stack.split(";", 1)[0]
+            self_time[leaf_phase] = self_time.get(leaf_phase, 0) + int(count)
+        top = sorted(self_time.items(), key=lambda kv: -kv[1])[:5]
+        print(f"profile: {meta['samples']:.0f} samples over 2 s — top phases: "
+              + ", ".join(f"{name}={count}" for name, count in top))
+
+        slo = fleet.slo.status()
+        breached = [name for name, row in slo.items() if row["breached"]]
+        breaches = sum(row["breaches"] for row in slo.values())
+        print(f"slo: {len(slo)} objectives tracked, "
+              f"{breaches} breach(es) this run"
+              + (f" — currently breached: {', '.join(breached)}" if breached
+                 else ", none currently breached"))
         fleet.close()
+        print(f"shutdown: ops server closed with the fleet "
+              f"({'closed' if server.closed else 'still open'})")
 
 
 if __name__ == "__main__":

@@ -47,6 +47,7 @@ from repro.cluster.executor import (
     ThreadExecutor,
     make_executor,
 )
+from repro.obs.profiler import phase
 
 #: Environment variable selecting the default dispatcher spec.
 DISPATCHER_ENV = "REPRO_DISPATCHER"
@@ -205,12 +206,14 @@ def _run_call(call: ShardCall) -> Any:
     """
     sink = call.sink
     if sink is None:
-        return call.fn(*call.args)
+        with phase("dispatch." + call.cat):
+            return call.fn(*call.args)
     clock = sink.clock
     mark = sink.mark()
     started = clock.monotonic()
     try:
-        result = call.fn(*call.args)
+        with phase("dispatch." + call.cat):
+            result = call.fn(*call.args)
     except BaseException as exc:
         sink.fold(
             mark,

@@ -50,7 +50,10 @@ from repro.kdtree.tree import KDTreeConfig
 from repro.obs.clock import MONOTONIC, Clock
 from repro.obs.collectors import fleet_families
 from repro.obs.events import EventLog
-from repro.obs.metrics import ObsRegistry, log_buckets
+from repro.obs.metrics import Histogram, ObsRegistry, log_buckets
+from repro.obs.profiler import SamplingProfiler, phase, profile_hz
+from repro.obs.server import OpsServer
+from repro.obs.slo import SLO, SLOEngine, fleet_slos
 from repro.obs.tracing import Tracer
 from repro.service.backends import LocalTreeBackend
 from repro.service.service import (
@@ -97,6 +100,8 @@ class KNNFleet:
         clock: Clock | None = None,
         tracer: Tracer | None = None,
         events: EventLog | None = None,
+        slos: "List[SLO] | None" = None,
+        slo_windows: "Tuple[Tuple[float, float], ...] | None" = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -172,6 +177,22 @@ class KNNFleet:
         self._next_auto_id = int(initial_ids.max()) + 1 if initial_ids.size else 0
         self._close_lock = new_lock("KNNFleet._close_lock")
         self._closed = False
+        # Active ops surface: a declarative SLO engine re-evaluated on
+        # every dispatch and scrape (custom ``slos`` override the standard
+        # latency/availability/survival set), the always-on sampling
+        # profiler armed only via REPRO_PROFILE, and the HTTP ops server
+        # started lazily by serve_ops().
+        self.slo = SLOEngine(
+            slos if slos is not None else fleet_slos(self, windows=slo_windows),
+            clock=self._clock,
+            events=self.events,
+        )
+        self.metrics.register_callback(self.slo.families)
+        hz = profile_hz()
+        self.profiler: SamplingProfiler | None = (
+            SamplingProfiler(hz=hz).start() if hz > 0 else None
+        )
+        self._ops_server: OpsServer | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -198,6 +219,8 @@ class KNNFleet:
         tracer: Tracer | None = None,
         events: EventLog | None = None,
         precision: str | None = None,
+        slos: "List[SLO] | None" = None,
+        slo_windows: "Tuple[Tuple[float, float], ...] | None" = None,
     ) -> "KNNFleet":
         """Plan, shard, replicate and wire a fleet over ``points``.
 
@@ -285,6 +308,8 @@ class KNNFleet:
             clock=clock,
             tracer=tracer,
             events=events,
+            slos=slos,
+            slo_windows=slo_windows,
         )
 
     def close(self) -> None:
@@ -298,6 +323,12 @@ class KNNFleet:
             if self._closed:
                 return
             self._closed = True
+        # Ops surface first: no HTTP handler should observe a half-closed
+        # fleet, and the profiler must stop before its target threads die.
+        if self._ops_server is not None:
+            self._ops_server.close()
+        if self.profiler is not None:
+            self.profiler.stop()
         for group in self.groups:
             for replica in group.replicas:
                 replica.service.close()
@@ -328,6 +359,38 @@ class KNNFleet:
         return len(self._pending)
 
     @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has won the teardown race."""
+        with self._close_lock:
+            return self._closed
+
+    @property
+    def latency_histogram(self) -> Histogram:
+        """The end-to-end request latency histogram (logical seconds)."""
+        return self._latency_hist
+
+    def latency_quantile(self, q: float) -> float:
+        """Interpolated end-to-end latency quantile from the histogram.
+
+        Unlike the retained-window order statistics this covers *every*
+        completed request since fleet start at O(buckets) cost — the
+        source :meth:`stats` and the SLO engine report from.
+        """
+        return self._latency_hist.quantile(q)
+
+    def serve_ops(self, host: str = "127.0.0.1", port: int = 0) -> OpsServer:
+        """Start (or return) the HTTP ops endpoint bound to this fleet.
+
+        ``port=0`` binds an ephemeral port — read ``.port``/``.url`` on
+        the returned :class:`~repro.obs.server.OpsServer`.  The server is
+        owned by the fleet and torn down in :meth:`close`; calling again
+        after an explicit ``server.close()`` starts a fresh one.
+        """
+        if self._ops_server is None or self._ops_server.closed:
+            self._ops_server = OpsServer(self, host=host, port=port)
+        return self._ops_server
+
+    @property
     def n_live(self) -> int:
         """Live points across every shard."""
         return sum(group.n_live for group in self.groups)
@@ -348,6 +411,13 @@ class KNNFleet:
         router's measured fan-out, and a per-shard health row.
         """
         summary: Dict[str, object] = dict(self.records.summary())
+        # The retained-window order statistics are replaced by histogram
+        # interpolation: same keys, but covering every completed request
+        # since fleet start (and identical to what /metrics and the SLO
+        # engine see), not just the last ``retention`` records.
+        summary["p50_latency_s"] = self.latency_quantile(0.5)
+        summary["p99_latency_s"] = self.latency_quantile(0.99)
+        summary["slo"] = self.slo.status()
         summary["admission"] = self.admission.stats.as_dict()
         summary["router"] = self.router.stats.as_dict()
         dispatch: Dict[str, object] = dict(self.dispatcher.stats.as_dict())
@@ -675,27 +745,28 @@ class KNNFleet:
             for r in g.replicas
         }
         try:
-            for k, prec_key in sorted({(r.k, r.precision or "") for r in batch}):
-                precision = prec_key or None
-                group = [r for r in batch if r.k == k and (r.precision or "") == prec_key]
-                queries = np.stack([r.query for r in group])
-                k_mark = trace.mark() if trace is not None else 0
-                k_start = self._clock.monotonic()
-                d, i = self.router.answer(
-                    queries, k, at=flush_time, trace=trace, precision=precision
-                )
-                if trace is not None:
-                    trace.fold(
-                        k_mark,
-                        f"router k={k}",
-                        "router",
-                        k_start,
-                        self._clock.monotonic(),
-                        k=k,
-                        queries=len(group),
+            with phase("fleet.batch"):
+                for k, prec_key in sorted({(r.k, r.precision or "") for r in batch}):
+                    precision = prec_key or None
+                    group = [r for r in batch if r.k == k and (r.precision or "") == prec_key]
+                    queries = np.stack([r.query for r in group])
+                    k_mark = trace.mark() if trace is not None else 0
+                    k_start = self._clock.monotonic()
+                    d, i = self.router.answer(
+                        queries, k, at=flush_time, trace=trace, precision=precision
                     )
-                for row, r in enumerate(group):
-                    answers[r.request_id] = (d[row], i[row])
+                    if trace is not None:
+                        trace.fold(
+                            k_mark,
+                            f"router k={k}",
+                            "router",
+                            k_start,
+                            self._clock.monotonic(),
+                            k=k,
+                            queries=len(group),
+                        )
+                    for row, r in enumerate(group):
+                        answers[r.request_id] = (d[row], i[row])
         except ShardUnavailableError:
             # A shard went fully dark mid-dispatch: the batch stays queued
             # (in arrival order) so a heal() + flush() can still answer it,
@@ -742,6 +813,10 @@ class KNNFleet:
                     cache_hit=False, batch_size=len(batch),
                 )
             )
+        # Re-evaluate the burn-rate windows while the batch's latency
+        # observations are fresh — breaches fire at dispatch time, not at
+        # the next scrape.
+        self.slo.tick()
         return len(batch)
 
     def _store_result(self, request_id: int, value: Tuple[np.ndarray, np.ndarray]) -> None:

@@ -34,6 +34,7 @@ from repro.analysis.annotations import exactness_path, requires_lock
 from repro.analysis.runtime import guarded, new_lock
 from repro.fleet.dispatch import Dispatcher, ShardCall
 from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.profiler import phase
 from repro.obs.tracing import Span, SpanSink
 from repro.service.service import KNNService
 
@@ -125,7 +126,8 @@ class Replica:
             # heal() swaps self.service while holding _lock, so an attempt
             # that saw alive=True always serves on the matching service.
             service = self.service
-        out = service.answer_batch(queries, k=k, at=at, precision=precision)
+        with phase("replica.serve"):
+            out = service.answer_batch(queries, k=k, at=at, precision=precision)
         with self._lock:
             self.queries_served += int(np.atleast_2d(queries).shape[0])
         return out

@@ -53,6 +53,7 @@ from repro.fleet.planner import ShardPlan
 from repro.fleet.replica import ReplicaGroup
 from repro.kdtree.heap import merge_topk_rows
 from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.profiler import phase
 from repro.obs.tracing import Span, SpanSink
 
 
@@ -203,28 +204,29 @@ class Router:
         started = self._clock.monotonic()
         calls: List[tuple] = []
         try:
-            for shard in range(len(self.groups)):
-                calls.append(self._submit(shard, queries, k, at, trace, precision=precision))
-            # Harvest in submission (= ascending shard) order: the fold
-            # order fixes which exactly-tied id survives, so it must match
-            # the serial sequence bit for bit.
-            for pos, (fut, sink) in enumerate(calls):
-                d, i = fut.result()
-                calls[pos] = (None, sink)
-                if trace is not None:
-                    trace.extend(sink.spans)
-                merge_t0 = self._clock.monotonic()
-                acc_d, acc_i = merge_topk_rows(k, acc_d, acc_i, d, i)
-                if trace is not None:
-                    trace.add(
-                        Span(
-                            f"merge shard{pos}",
-                            "merge",
-                            merge_t0,
-                            self._clock.monotonic(),
-                            {"shard": pos, "rows": int(n)},
+            with phase("router.broadcast"):
+                for shard in range(len(self.groups)):
+                    calls.append(self._submit(shard, queries, k, at, trace, precision=precision))
+                # Harvest in submission (= ascending shard) order: the fold
+                # order fixes which exactly-tied id survives, so it must match
+                # the serial sequence bit for bit.
+                for pos, (fut, sink) in enumerate(calls):
+                    d, i = fut.result()
+                    calls[pos] = (None, sink)
+                    if trace is not None:
+                        trace.extend(sink.spans)
+                    merge_t0 = self._clock.monotonic()
+                    acc_d, acc_i = merge_topk_rows(k, acc_d, acc_i, d, i)
+                    if trace is not None:
+                        trace.add(
+                            Span(
+                                f"merge shard{pos}",
+                                "merge",
+                                merge_t0,
+                                self._clock.monotonic(),
+                                {"shard": pos, "rows": int(n)},
+                            )
                         )
-                    )
         except BaseException:
             self._settle([fut for fut, _ in calls if fut is not None])
             raise
@@ -274,33 +276,34 @@ class Router:
         scatter_calls: List[Tuple[int, int, np.ndarray, object, object]] = []
         seq = 0
         try:
-            for shard in np.unique(owners):
-                rows = np.flatnonzero(owners == shard)
-                fut, sink = self._submit(
-                    int(shard), queries[rows], k, at, trace,
-                    label=f"owner_call shard{int(shard)}",
-                    precision=precision,
-                )
-                pending[fut] = (rows, sink)
-            self.stats.shard_visits += n
-            while pending:
-                done, _ = futures_wait(set(pending), return_when=FIRST_COMPLETED)
-                for fut in done:
-                    rows, sink = pending.pop(fut)
-                    d, i = fut.result()
-                    if trace is not None:
-                        trace.extend(sink.spans)
-                    acc_d[rows] = d
-                    acc_i[rows] = i
-                    # Phase 2 for this owner's rows: fan out only where the
-                    # r' ball (owner's k-th distance; infinite when the
-                    # owner held fewer than k) crosses a region box.
-                    t_scatter = self._clock.monotonic()
-                    seq = self._submit_scatter(
-                        queries, k, at, rows, owners[rows], acc_d[rows, k - 1],
-                        scatter_calls, seq, trace, precision,
+            with phase("router.owner"):
+                for shard in np.unique(owners):
+                    rows = np.flatnonzero(owners == shard)
+                    fut, sink = self._submit(
+                        int(shard), queries[rows], k, at, trace,
+                        label=f"owner_call shard{int(shard)}",
+                        precision=precision,
                     )
-                    scatter_elapsed += self._clock.monotonic() - t_scatter
+                    pending[fut] = (rows, sink)
+                self.stats.shard_visits += n
+                while pending:
+                    done, _ = futures_wait(set(pending), return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        rows, sink = pending.pop(fut)
+                        d, i = fut.result()
+                        if trace is not None:
+                            trace.extend(sink.spans)
+                        acc_d[rows] = d
+                        acc_i[rows] = i
+                        # Phase 2 for this owner's rows: fan out only where the
+                        # r' ball (owner's k-th distance; infinite when the
+                        # owner held fewer than k) crosses a region box.
+                        t_scatter = self._clock.monotonic()
+                        seq = self._submit_scatter(
+                            queries, k, at, rows, owners[rows], acc_d[rows, k - 1],
+                            scatter_calls, seq, trace, precision,
+                        )
+                        scatter_elapsed += self._clock.monotonic() - t_scatter
             owner_ended = self._clock.monotonic()
             self.stats.owner_seconds += owner_ended - started - scatter_elapsed
             if trace is not None:
@@ -319,26 +322,27 @@ class Router:
             # while calls targeting the same shard have disjoint rows.
             scatter_mark = trace.mark() if trace is not None else 0
             started = self._clock.monotonic()
-            scatter_calls.sort(key=lambda c: (c[0], c[1]))
-            for pos, (_shard, _seq, rows, fut, sink) in enumerate(scatter_calls):
-                d, i = fut.result()
-                scatter_calls[pos] = (_shard, _seq, rows, None, sink)
-                if trace is not None:
-                    trace.extend(sink.spans)
-                merge_t0 = self._clock.monotonic()
-                out_d, out_i = merge_topk_rows(k, acc_d[rows], acc_i[rows], d, i)
-                acc_d[rows] = out_d
-                acc_i[rows] = out_i
-                if trace is not None:
-                    trace.add(
-                        Span(
-                            f"merge shard{_shard}",
-                            "merge",
-                            merge_t0,
-                            self._clock.monotonic(),
-                            {"shard": int(_shard), "rows": int(rows.size)},
+            with phase("router.scatter"):
+                scatter_calls.sort(key=lambda c: (c[0], c[1]))
+                for pos, (_shard, _seq, rows, fut, sink) in enumerate(scatter_calls):
+                    d, i = fut.result()
+                    scatter_calls[pos] = (_shard, _seq, rows, None, sink)
+                    if trace is not None:
+                        trace.extend(sink.spans)
+                    merge_t0 = self._clock.monotonic()
+                    out_d, out_i = merge_topk_rows(k, acc_d[rows], acc_i[rows], d, i)
+                    acc_d[rows] = out_d
+                    acc_i[rows] = out_i
+                    if trace is not None:
+                        trace.add(
+                            Span(
+                                f"merge shard{_shard}",
+                                "merge",
+                                merge_t0,
+                                self._clock.monotonic(),
+                                {"shard": int(_shard), "rows": int(rows.size)},
+                            )
                         )
-                    )
             scatter_ended = self._clock.monotonic()
             if trace is not None:
                 trace.fold(

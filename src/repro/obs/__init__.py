@@ -14,6 +14,18 @@ Three independent layers, all dependency-free and thread-safe:
 
 :mod:`repro.obs.clock` supplies the injectable monotonic clock every
 timestamp in the serving stack reads through.
+
+On top of the passive layers sits the **active ops surface**:
+
+* :mod:`repro.obs.server` — ``KNNFleet.serve_ops()``'s threaded HTTP
+  endpoint (``/metrics``, ``/healthz``, ``/readyz``, ``/events``,
+  ``/traces``, ``/slo``, ``/profile``) and the ``python -m
+  repro.obs.server`` standalone demo.
+* :mod:`repro.obs.profiler` — the ``REPRO_PROFILE=<hz>`` wall-clock
+  sampling profiler with serving-phase attribution via ``phase`` tags.
+* :mod:`repro.obs.slo` — declarative SLOs evaluated as multi-window
+  error-budget burn rates, exported as ``repro_slo_*`` metrics and
+  ``slo_breach``/``slo_recovered`` events.
 """
 
 from repro.obs.clock import MONOTONIC, Clock, ManualClock, MonotonicClock
@@ -31,7 +43,17 @@ from repro.obs.metrics import (
     gauge_family,
     log_buckets,
 )
+from repro.obs.profiler import (
+    DEFAULT_PROFILE_HZ,
+    PROFILE_ENV,
+    SamplingProfiler,
+    current_phase,
+    phase,
+    profile_hz,
+)
 from repro.obs.prometheus import parse_prometheus_text, render_text
+from repro.obs.server import METRICS_CONTENT_TYPE, OpsServer, readiness_reasons
+from repro.obs.slo import DEFAULT_WINDOWS, SLO, SLOEngine, fleet_slos
 from repro.obs.tracing import (
     OBS_ENV,
     Span,
@@ -60,8 +82,21 @@ __all__ = [
     "counter_family",
     "gauge_family",
     "log_buckets",
+    "DEFAULT_PROFILE_HZ",
+    "PROFILE_ENV",
+    "SamplingProfiler",
+    "current_phase",
+    "phase",
+    "profile_hz",
     "parse_prometheus_text",
     "render_text",
+    "METRICS_CONTENT_TYPE",
+    "OpsServer",
+    "readiness_reasons",
+    "DEFAULT_WINDOWS",
+    "SLO",
+    "SLOEngine",
+    "fleet_slos",
     "OBS_ENV",
     "Span",
     "SpanSink",

@@ -59,10 +59,10 @@ def _request_families(fleet) -> List[MetricFamily]:
         ),
         gauge_family(
             "repro_fleet_latency_quantile_seconds",
-            "Request latency order statistics over the retained window.",
+            "Interpolated request latency quantiles from the latency histogram.",
             [
-                ({"quantile": quantile}, float(summary.get(key, 0.0)))
-                for key, quantile in _QUANTILES
+                ({"quantile": quantile}, float(fleet.latency_quantile(float(quantile))))
+                for _, quantile in _QUANTILES
             ],
         ),
         gauge_family(

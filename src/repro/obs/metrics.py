@@ -311,6 +311,59 @@ class Histogram:
             cell[0][idx] += 1
             cell[1] += value
 
+    def quantile(self, q: float, **labelvalues) -> float:
+        """Interpolated ``q``-quantile of one labeled series.
+
+        Linear interpolation inside the bucket where the cumulative count
+        crosses ``q * total`` — the standard estimate for log-bucketed
+        histograms (what a Prometheus ``histogram_quantile()`` computes
+        server-side, here computed at the source).  Observations are
+        assumed non-negative (the first bucket interpolates from 0), and
+        mass in the ``+Inf`` bucket clamps to the largest finite bound —
+        the histogram cannot see past its own bucket layout.  An empty
+        series answers 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        key = _label_key(self.labelnames, labelvalues)
+        with self._lock:
+            cell = self._series.get(key)
+            counts = list(cell[0]) if cell is not None else []
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, counts):
+            if count and cumulative + count >= target:
+                if math.isinf(bound):
+                    return lower
+                return lower + (bound - lower) * ((target - cumulative) / count)
+            cumulative += count
+            if not math.isinf(bound):
+                lower = bound
+        return lower
+
+    def count_le(self, value: float, **labelvalues) -> Tuple[float, float]:
+        """``(observations known <= value, total observations)`` atomically.
+
+        Counts every bucket whose upper bound is ``<= value`` — exact when
+        ``value`` is a bucket bound, conservative (an undercount) between
+        bounds.  Both numbers come from one locked read, so the pair is a
+        consistent good/total reading for SLO arithmetic even while
+        workers keep observing.
+        """
+        value = float(value)
+        key = _label_key(self.labelnames, labelvalues)
+        with self._lock:
+            cell = self._series.get(key)
+            counts = list(cell[0]) if cell is not None else []
+        below = sum(
+            count for bound, count in zip(self.bounds, counts) if bound <= value
+        )
+        return float(below), float(sum(counts))
+
     def snapshot(self) -> MetricFamily:
         with self._lock:
             rows = [

@@ -71,6 +71,7 @@ from repro.core.snapshot import allocate_version_dir, promote_version
 from repro.kdtree.leafblocks import PRECISIONS
 from repro.kdtree.query import QueryStats, brute_force_knn
 from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.profiler import phase
 from repro.service.cache import CacheStats, LRUCache, query_key
 from repro.service.delta import DeltaBuffer
 
@@ -353,17 +354,18 @@ def _pipelined_answer_step(
     answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     tier_counts: Dict[str, int] = {}
     rechecked = 0
-    for k, precision, request_ids, queries in groups:
-        stats = QueryStats()
-        d, i = _answer_snapshot(
-            backend, tomb_ids, delta_points, delta_ids, queries, k,
-            precision=precision, stats=stats,
-        )
-        tier = precision or getattr(backend, "precision", "float64")
-        tier_counts[tier] = tier_counts.get(tier, 0) + int(queries.shape[0])
-        rechecked += int(stats.rechecked_candidates)
-        for row, request_id in enumerate(request_ids):
-            answers[request_id] = (d[row], i[row])
+    with phase("service.pipeline"):
+        for k, precision, request_ids, queries in groups:
+            stats = QueryStats()
+            d, i = _answer_snapshot(
+                backend, tomb_ids, delta_points, delta_ids, queries, k,
+                precision=precision, stats=stats,
+            )
+            tier = precision or getattr(backend, "precision", "float64")
+            tier_counts[tier] = tier_counts.get(tier, 0) + int(queries.shape[0])
+            rechecked += int(stats.rechecked_candidates)
+            for row, request_id in enumerate(request_ids):
+                answers[request_id] = (d[row], i[row])
     return answers, clock.monotonic() - started, tier_counts, rechecked
 
 
@@ -1178,13 +1180,14 @@ class KNNService:
         dispatch_start = max(flush_time, self._server_free_at)
         started = self._clock.monotonic()
         answers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        for k, prec_key in sorted({(r.k, r.precision or "") for r in batch}):
-            precision = prec_key or None
-            group = [r for r in batch if r.k == k and (r.precision or "") == prec_key]
-            queries = np.stack([r.query for r in group])
-            d, i = self._answer(queries, k, precision)
-            for row, r in enumerate(group):
-                answers[r.request_id] = (d[row], i[row])
+        with phase("service.answer"):
+            for k, prec_key in sorted({(r.k, r.precision or "") for r in batch}):
+                precision = prec_key or None
+                group = [r for r in batch if r.k == k and (r.precision or "") == prec_key]
+                queries = np.stack([r.query for r in group])
+                d, i = self._answer(queries, k, precision)
+                for row, r in enumerate(group):
+                    answers[r.request_id] = (d[row], i[row])
         elapsed = self._clock.monotonic() - started
         if self._service_time is not None:
             elapsed = float(self._service_time(len(batch)))
@@ -1245,20 +1248,21 @@ class KNNService:
         cache, records and the logical clock are only ever touched here and
         in the synchronous path, never by workers.
         """
-        while self._inflight:
-            batch, dispatch_start, fut = self._inflight.popleft()
-            answers, elapsed, tier_counts, rechecked = fut.result()
-            if self._service_time is not None:
-                elapsed = float(self._service_time(len(batch)))
-            # Worker-local tier/recheck accounting folds back here, under
-            # the lock, in the submitting thread — same discipline as the
-            # clock and cache fold below.
-            for tier, count in tier_counts.items():
-                self._tier_queries[tier] = self._tier_queries.get(tier, 0) + count
-            self._recheck_candidates += rechecked
-            # The clock already advanced to the flush time at submit;
-            # passing `_now` keeps the max() a no-op.
-            self._complete_batch(batch, self._now, dispatch_start, answers, elapsed)
+        with phase("service.harvest"):
+            while self._inflight:
+                batch, dispatch_start, fut = self._inflight.popleft()
+                answers, elapsed, tier_counts, rechecked = fut.result()
+                if self._service_time is not None:
+                    elapsed = float(self._service_time(len(batch)))
+                # Worker-local tier/recheck accounting folds back here, under
+                # the lock, in the submitting thread — same discipline as the
+                # clock and cache fold below.
+                for tier, count in tier_counts.items():
+                    self._tier_queries[tier] = self._tier_queries.get(tier, 0) + count
+                self._recheck_candidates += rechecked
+                # The clock already advanced to the flush time at submit;
+                # passing `_now` keeps the max() a no-op.
+                self._complete_batch(batch, self._now, dispatch_start, answers, elapsed)
 
     @exactness_path
     @requires_lock("_lock")

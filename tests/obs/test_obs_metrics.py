@@ -187,3 +187,84 @@ def test_registry_render_round_trips_strict_parser():
     reg.histogram("r_lat", "Lat.", buckets=(0.1, 1.0)).observe(0.05)
     families = parse_prometheus_text(reg.render())
     assert set(families) == {"r_total", "r_lat"}
+
+
+# ----------------------------------------------------------------------
+# Histogram.quantile / count_le
+# ----------------------------------------------------------------------
+
+
+class TestHistogramQuantile:
+    def _hist(self, bounds=(1.0, 2.0, 4.0)):
+        return Histogram("q_seconds", "Q.", buckets=bounds)
+
+    def test_empty_series_is_zero(self):
+        assert self._hist().quantile(0.5) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        h = self._hist()
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_interpolates_within_bucket(self):
+        h = self._hist()
+        for _ in range(10):
+            h.observe(1.5)  # all mass in (1, 2]
+        # target q*10 walks linearly across the (1, 2] bucket
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.1) == pytest.approx(1.1)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_monotone_in_q(self):
+        h = self._hist()
+        for v in (0.5, 0.7, 1.5, 1.6, 3.0, 3.5, 5.0):
+            h.observe(v)
+        qs = [h.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self):
+        h = self._hist()
+        for _ in range(10):
+            h.observe(100.0)  # beyond every finite bound
+        assert h.quantile(0.99) == pytest.approx(4.0)
+
+    def test_labeled_series_are_independent(self):
+        h = Histogram("ql_seconds", "Q.", buckets=(1.0, 2.0), labelnames=("tier",))
+        h.observe(0.5, tier="fast")
+        h.observe(1.5, tier="slow")
+        assert h.quantile(0.5, tier="fast") <= 1.0
+        assert h.quantile(0.5, tier="slow") > 1.0
+
+    def test_median_of_uniform_observations(self):
+        h = Histogram("qu_seconds", "Q.", buckets=tuple(float(b) for b in range(1, 11)))
+        for v in range(1, 11):
+            h.observe(float(v) - 0.5)
+        assert h.quantile(0.5) == pytest.approx(5.0, abs=0.5)
+
+
+class TestHistogramCountLe:
+    def test_empty(self):
+        h = Histogram("cl_seconds", "C.", buckets=(1.0, 2.0))
+        assert h.count_le(1.0) == (0.0, 0.0)
+
+    def test_exact_at_bucket_bound(self):
+        h = Histogram("cl2_seconds", "C.", buckets=(1.0, 2.0))
+        for v in (0.5, 0.9, 1.5, 3.0):
+            h.observe(v)
+        good, total = h.count_le(1.0)
+        assert (good, total) == (2.0, 4.0)
+
+    def test_conservative_between_bounds(self):
+        h = Histogram("cl3_seconds", "C.", buckets=(1.0, 2.0))
+        h.observe(1.1)  # lands in (1, 2]: not provably <= 1.5
+        good, total = h.count_le(1.5)
+        assert (good, total) == (0.0, 1.0)
+
+    def test_labeled(self):
+        h = Histogram("cl4_seconds", "C.", buckets=(1.0,), labelnames=("t",))
+        h.observe(0.5, t="a")
+        h.observe(5.0, t="b")
+        assert h.count_le(1.0, t="a") == (1.0, 1.0)
+        assert h.count_le(1.0, t="b") == (0.0, 1.0)

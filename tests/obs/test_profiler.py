@@ -1,0 +1,277 @@
+"""Sampling profiler: phase tags, folded stacks, bounds, fleet identity."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet import KNNFleet
+from repro.obs.profiler import (
+    DEFAULT_PROFILE_HZ,
+    PROFILE_ENV,
+    UNTAGGED,
+    SamplingProfiler,
+    current_phase,
+    phase,
+    profile_hz,
+)
+
+
+class TestProfileHz:
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert profile_hz() == 0.0
+
+    def test_empty_means_disabled(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "  ")
+        assert profile_hz() == 0.0
+
+    def test_parses_rate(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "97")
+        assert profile_hz() == 97.0
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "0")
+        assert profile_hz() == 0.0
+
+    @pytest.mark.parametrize("raw", ["fast", "-5", "1e"])
+    def test_invalid_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(PROFILE_ENV, raw)
+        with pytest.raises(ValueError, match=PROFILE_ENV):
+            profile_hz()
+
+
+class TestPhaseTags:
+    def test_no_tag_by_default(self):
+        assert current_phase() is None
+
+    def test_tag_scoped_to_with_block(self):
+        with phase("router.owner"):
+            assert current_phase() == "router.owner"
+        assert current_phase() is None
+
+    def test_nesting_reports_innermost(self):
+        with phase("outer"):
+            with phase("inner"):
+                assert current_phase() == "inner"
+            assert current_phase() == "outer"
+        assert current_phase() is None
+
+    def test_exception_restores_outer_tag(self):
+        with phase("outer"):
+            with pytest.raises(RuntimeError):
+                with phase("inner"):
+                    raise RuntimeError("boom")
+            assert current_phase() == "outer"
+        assert current_phase() is None
+
+    def test_cross_thread_read_by_ident(self):
+        seen = {}
+        ready = threading.Event()
+        release = threading.Event()
+
+        def work():
+            with phase("worker.phase"):
+                ready.set()
+                release.wait(5.0)
+
+        t = threading.Thread(target=work)
+        t.start()
+        assert ready.wait(5.0)
+        seen["tag"] = current_phase(t.ident)
+        release.set()
+        t.join()
+        assert seen["tag"] == "worker.phase"
+        assert current_phase(t.ident) is None
+
+
+def _busy_thread(tag, stop):
+    def work():
+        with phase(tag):
+            while not stop.is_set():
+                sum(range(500))
+
+    t = threading.Thread(target=work)
+    t.start()
+    return t
+
+
+class TestSamplingProfiler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-1)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_stacks=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
+
+    def test_sample_once_attributes_tagged_thread(self):
+        stop = threading.Event()
+        t = _busy_thread("test.busy", stop)
+        try:
+            p = SamplingProfiler(hz=DEFAULT_PROFILE_HZ)
+            for _ in range(5):
+                p.sample_once()
+        finally:
+            stop.set()
+            t.join()
+        totals = p.phase_totals()
+        # the sampling thread itself is skipped, so the tagged worker is
+        # the one guaranteed row
+        assert totals.get("test.busy", 0) >= 1
+
+    def test_folded_format_is_collapsed_stack(self):
+        stop = threading.Event()
+        t = _busy_thread("test.fold", stop)
+        try:
+            p = SamplingProfiler()
+            for _ in range(3):
+                p.sample_once()
+        finally:
+            stop.set()
+            t.join()
+        lines = p.folded().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack  # phase root + at least one frame
+
+    def test_top_self_ranks_by_samples(self):
+        stop = threading.Event()
+        t = _busy_thread("test.rank", stop)
+        try:
+            p = SamplingProfiler()
+            for _ in range(6):
+                p.sample_once()
+        finally:
+            stop.set()
+            t.join()
+        top = p.top_self(3)
+        assert top
+        counts = [count for _, _, count in top]
+        assert counts == sorted(counts, reverse=True)
+        phases = {row[0] for row in top}
+        assert "test.rank" in phases or UNTAGGED in phases
+
+    def test_max_stacks_bounds_and_counts_drops(self):
+        p = SamplingProfiler(max_stacks=1)
+        with p._lock:
+            pass  # lock exists and is a leaf
+        stop = threading.Event()
+        t1 = _busy_thread("a", stop)
+        t2 = _busy_thread("b", stop)
+        try:
+            for _ in range(10):
+                p.sample_once()
+        finally:
+            stop.set()
+            t1.join()
+            t2.join()
+        stats = p.stats()
+        assert stats["distinct_stacks"] <= 1.0
+        assert stats["samples"] >= stats["distinct_stacks"]
+
+    def test_max_depth_truncates(self):
+        def recurse(n):
+            if n == 0:
+                event.wait(5.0)
+            else:
+                recurse(n - 1)
+
+        event = threading.Event()
+        t = threading.Thread(target=recurse, args=(40,))
+        t.start()
+        try:
+            p = SamplingProfiler(max_depth=5)
+            p.sample_once()
+        finally:
+            event.set()
+            t.join()
+        for line in p.folded().splitlines():
+            stack = line.rsplit(" ", 1)[0].split(";")
+            # phase + at most max_depth frames + the truncation marker
+            assert len(stack) <= 1 + 5 + 1
+
+    def test_start_stop_idempotent(self):
+        p = SamplingProfiler(hz=200)
+        assert not p.running
+        p.start()
+        p.start()
+        assert p.running
+        p.stop()
+        p.stop()
+        assert not p.running
+
+    def test_context_manager_samples_while_open(self):
+        stop = threading.Event()
+        t = _busy_thread("test.ctx", stop)
+        try:
+            with SamplingProfiler(hz=500) as p:
+                stop.wait(0.1)
+        finally:
+            stop.set()
+            t.join()
+        assert p.stats()["samples"] >= 1
+
+
+class TestFleetProfilerIntegration:
+    def _run_trace(self, **build_kwargs):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(300, 4))
+        queries = rng.normal(size=(48, 4))
+        fleet = KNNFleet.build(points, n_shards=2, n_replicas=1, **build_kwargs)
+        try:
+            ids = [fleet.submit(q, at=i * 1e-3) for i, q in enumerate(queries)]
+            fleet.drain()
+            return [fleet.result(i) for i in ids], fleet
+        finally:
+            fleet.close()
+
+    def test_env_arms_profiler_and_answers_stay_identical(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        plain, fleet_off = self._run_trace()
+        assert fleet_off.profiler is None
+        monkeypatch.setenv(PROFILE_ENV, "400")
+        profiled, fleet_on = self._run_trace()
+        assert fleet_on.profiler is not None
+        assert not fleet_on.profiler.running  # stopped by close()
+        for (d0, i0), (d1, i1) in zip(plain, profiled):
+            np.testing.assert_array_equal(d0, d1)
+            np.testing.assert_array_equal(i0, i1)
+
+    def test_fleet_dispatch_produces_tagged_stacks(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        rng = np.random.default_rng(5)
+        fleet = KNNFleet.build(rng.normal(size=(400, 4)), n_shards=2, n_replicas=1)
+        p = SamplingProfiler()
+        stop = threading.Event()
+
+        def traffic():
+            i = 0
+            while not stop.is_set():
+                fleet.submit(rng.normal(size=4), at=i * 1e-4)
+                i += 1
+                if i % 16 == 0:
+                    fleet.drain(at=i * 1e-4)
+
+        t = threading.Thread(target=traffic)
+        t.start()
+        try:
+            # sample until a phase-tagged stack shows up; the answer
+            # windows are short, so a fixed sample count is flaky on a
+            # loaded machine
+            deadline = time.monotonic() + 20.0
+            tagged = set()
+            while not tagged and time.monotonic() < deadline:
+                for _ in range(100):
+                    p.sample_once()
+                tagged = {k for k in p.phase_totals() if k != UNTAGGED}
+        finally:
+            stop.set()
+            t.join()
+            fleet.close()
+        assert tagged, p.phase_totals()
